@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the paper's core algorithms: sequence
+//! allocation, release + defragmentation, and the canonical-plan
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iba_core::alloc::AllocatorKind;
+use iba_core::defrag::canonical_plan;
+use iba_core::{Distance, ESet, HighPriorityTable, SequenceId, ServiceLevel, VirtualLane};
+
+fn sl(i: u8) -> ServiceLevel {
+    ServiceLevel::new(i).unwrap()
+}
+
+fn vl(i: u8) -> VirtualLane {
+    VirtualLane::data(i)
+}
+
+fn bench_admit_release(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table");
+    for kind in [AllocatorKind::BitReversal, AllocatorKind::FirstFit] {
+        g.bench_function(format!("admit_release_cycle/{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut t = HighPriorityTable::with_allocator(kind);
+                let mut ids = Vec::with_capacity(16);
+                // 10 singles + a d8 + a d2, then tear down. Rejections
+                // are tolerated — the weaker policies reject feasible
+                // requests by design; that is what the ablation shows.
+                for i in 0..10u8 {
+                    if let Ok(adm) = t.admit(sl(i % 10), vl(i % 10), Distance::D64, 100) {
+                        ids.push((adm.sequence, 100));
+                    }
+                }
+                if let Ok(adm) = t.admit(sl(2), vl(2), Distance::D8, 50) {
+                    ids.push((adm.sequence, 50));
+                }
+                if let Ok(adm) = t.admit(sl(0), vl(0), Distance::D2, 64) {
+                    ids.push((adm.sequence, 64));
+                }
+                for (id, w) in ids {
+                    t.release(id, w).unwrap();
+                }
+                black_box(t.free_entries())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_admit(c: &mut Criterion) {
+    c.bench_function("table/single_admit_on_loaded", |b| {
+        // Pre-load a table, measure one admission + release.
+        let mut t = HighPriorityTable::new();
+        for i in 0..8u8 {
+            t.admit(sl(i), vl(i), Distance::D64, 255).unwrap();
+        }
+        b.iter(|| {
+            let adm = t.admit(sl(9), vl(9), Distance::D16, 30).unwrap();
+            t.release(adm.sequence, 30).unwrap();
+            black_box(adm.sequence)
+        })
+    });
+}
+
+fn bench_defrag(c: &mut Criterion) {
+    c.bench_function("defrag/canonical_plan_12_sequences", |b| {
+        // A representative fragmented layout.
+        let mut occ = 0u64;
+        let mut live = Vec::new();
+        let picks = [
+            (Distance::D64, 5),
+            (Distance::D64, 9),
+            (Distance::D32, 3),
+            (Distance::D64, 20),
+            (Distance::D16, 2),
+            (Distance::D64, 33),
+            (Distance::D8, 1),
+            (Distance::D64, 40),
+            (Distance::D64, 51),
+            (Distance::D32, 11),
+            (Distance::D64, 60),
+            (Distance::D64, 62),
+        ];
+        for (i, (d, j)) in picks.iter().enumerate() {
+            let e = ESet::new(*d, j % d.slots());
+            if e.is_free_in(occ) {
+                occ |= e.mask();
+                live.push((SequenceId::new(i as u32), e));
+            }
+        }
+        b.iter(|| black_box(canonical_plan(black_box(&live))))
+    });
+}
+
+fn bench_bit_reversal_select(c: &mut Criterion) {
+    c.bench_function("alloc/bitrev_select_worst_case", |b| {
+        // Nearly full table: the probe scans most offsets.
+        let mut t = HighPriorityTable::new();
+        for i in 0..31u8 {
+            t.admit(sl(i % 10), vl(i % 10), Distance::D64, 255).unwrap();
+        }
+        let occ = t.occupancy();
+        b.iter(|| {
+            black_box(AllocatorKind::BitReversal.select(black_box(occ), Distance::D2))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_admit_release, bench_single_admit, bench_defrag, bench_bit_reversal_select
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Ablation A4** — crossbar priority inversion under best-effort
+//! saturation, and the priority-aware input-claiming extension.
+//!
+//! With the plain multiplexed crossbar, a low-priority transfer can hold
+//! an input port while a high-priority packet at that input waits for
+//! another output; under sustained, phase-locked best-effort saturation
+//! the race repeats and a small fraction of guaranteed packets miss
+//! their deadlines. The extension reserves inputs that hold
+//! transmittable high-priority work, eliminating the effect.
+
+use iba_bench::env_u64;
+use iba_core::{ServiceLevel, SlTable};
+use iba_qos::QosFrame;
+use iba_sim::SimConfig;
+use iba_stats::Table;
+use iba_topo::irregular::{generate, IrregularConfig};
+use iba_topo::updown;
+use iba_traffic::hotspot::permutation_flows;
+use iba_traffic::{RequestGenerator, WorkloadConfig};
+
+fn run(priority_claiming: bool, seed: u64, switches: usize) -> (u64, u64, u64) {
+    let topo = generate(IrregularConfig::with_switches(switches, seed));
+    let routing = updown::compute(&topo);
+    let mut config = SimConfig::paper_default(256);
+    config.priority_input_claiming = priority_claiming;
+    let mut frame = QosFrame::new(topo.clone(), routing, SlTable::paper_table1(), config);
+    let mut gen = RequestGenerator::new(
+        &topo,
+        &SlTable::paper_table1(),
+        &WorkloadConfig::new(256, seed ^ 2),
+    );
+    frame.fill(&mut gen, 30, 1500);
+
+    let (mut fabric, mut obs) = frame.build_fabric(2, None);
+    for f in permutation_flows(
+        frame.manager.topology(),
+        ServiceLevel::new(10).unwrap(),
+        1.0, // full-link best-effort saturation from every host
+        256,
+        7,
+        3_000_000,
+    ) {
+        fabric.add_flow(f);
+    }
+    fabric.run_until(2_000_000, &mut obs);
+    obs.reset_samples();
+    fabric.run_until(12_000_000, &mut obs);
+
+    let missed: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
+    (missed, obs.qos_packets, obs.be_packets)
+}
+
+fn main() {
+    let seed = env_u64("IBA_SEED", 43);
+    let switches = env_u64("IBA_SWITCHES", 8) as usize;
+    let mut t = Table::new(
+        "Ablation A4: priority inversion under best-effort saturation\n\
+         (every host also offers a full link of phase-locked PBE traffic)",
+        &[
+            "Crossbar input claiming",
+            "QoS packets",
+            "Deadline misses",
+            "BE packets",
+        ],
+    );
+    for (name, on) in [("plain (paper's model)", false), ("priority-aware (extension)", true)] {
+        let (missed, qos, be) = run(on, seed, switches);
+        t.row(vec![
+            name.to_string(),
+            qos.to_string(),
+            missed.to_string(),
+            be.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Inside the provisioned envelope (BE <= 20%) both variants deliver every\n\
+         packet on time; the inversion only appears beyond it."
+    );
+}

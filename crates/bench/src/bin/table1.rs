@@ -1,0 +1,33 @@
+//! **Table 1** — Features of the SLs used.
+//!
+//! Prints the service-level configuration of the evaluation: maximum
+//! distance between consecutive high-priority entries and the mean-
+//! bandwidth stratum of each SL (values reconstructed; see DESIGN.md §4).
+
+use iba_core::SlTable;
+use iba_stats::Table;
+
+fn main() {
+    let sl_table = SlTable::paper_table1();
+    let mut t = Table::new(
+        "Table 1. Features of the SLs used.",
+        &["SL", "Class", "Maximum distance", "Bandwidth range (Mbps)"],
+    );
+    for p in sl_table.profiles() {
+        let dist = p
+            .distance
+            .map_or("- (low-priority)".to_string(), |d| d.slots().to_string());
+        let bw = if p.bandwidth_mbps.1.is_infinite() {
+            "best effort".to_string()
+        } else {
+            format!("{} - {}", p.bandwidth_mbps.0, p.bandwidth_mbps.1)
+        };
+        t.row(vec![
+            p.sl.to_string(),
+            p.class.to_string(),
+            dist,
+            bw,
+        ]);
+    }
+    println!("{}", t.render());
+}

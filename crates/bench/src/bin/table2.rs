@@ -1,0 +1,69 @@
+//! **Table 2** — Traffic and utilization for different packet sizes.
+//!
+//! Regenerates the paper's Table 2: injected and delivered traffic
+//! (bytes/cycle/node), average utilization (%) and average bandwidth
+//! reservation (Mbps) for host interfaces and switch ports, for small
+//! (256 B) and large (4 KB) packets.
+
+use iba_bench::{build_experiment, pct, rate, run_measured};
+use iba_stats::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2. Traffic and utilization for different packet sizes.",
+        &["Packet size", "Small", "Large"],
+    );
+
+    let mut cols: Vec<Vec<String>> = Vec::new();
+    for mtu in [256u32, 4096] {
+        eprintln!("== building + running MTU {mtu} ==");
+        let exp = build_experiment(mtu);
+        eprintln!(
+            "   fill: {} accepted / {} attempted, offered {:.3} bytes/cycle total",
+            exp.fill.accepted, exp.fill.attempted, exp.fill.offered_load
+        );
+        let m = run_measured(&exp, true);
+        let (host_res, switch_res) = exp.frame.manager.reservation_summary();
+        // The paper accounts QoS traffic only: its "maximum utilization
+        // reachable is 80%, because the other 20% is reserved for BE and
+        // CH traffic".
+        let injected = m.obs.qos_generated_bytes as f64 / m.window as f64 / m.hosts as f64;
+        let delivered = m.obs.qos_bytes as f64 / m.window as f64 / m.hosts as f64;
+        cols.push(vec![
+            rate(injected),
+            rate(delivered),
+            pct(m.stats.host_link_qos_utilization),
+            pct(m.stats.switch_link_qos_utilization),
+            format!("{host_res:.1}"),
+            format!("{switch_res:.1}"),
+        ]);
+        eprintln!(
+            "   steady window {} cycles, {} QoS packets, {} BE packets",
+            m.window, m.obs.qos_packets, m.obs.be_packets
+        );
+        eprintln!(
+            "   incl. best-effort: injected {} delivered {} B/cyc/node; total util host {:.2}% switch {:.2}%",
+            rate(m.stats.injected_per_node(m.hosts)),
+            rate(m.stats.delivered_per_node(m.hosts)),
+            m.stats.host_link_utilization,
+            m.stats.switch_link_utilization
+        );
+    }
+
+    let rows = [
+        "Injected traffic (Bytes/Cycle/Node)",
+        "Delivered traffic (Bytes/Cycle/Node)",
+        "Av. utilization for host interfaces (%)",
+        "Av. utilization for switch ports (%)",
+        "Av. reservation for host interfaces (Mbps)",
+        "Av. reservation for switch ports (Mbps)",
+    ];
+    for (i, label) in rows.iter().enumerate() {
+        t.row(vec![
+            label.to_string(),
+            cols[0][i].clone(),
+            cols[1][i].clone(),
+        ]);
+    }
+    println!("{}", t.render());
+}

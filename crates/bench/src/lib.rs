@@ -1,0 +1,125 @@
+//! Shared harness for the experiment binaries: builds the paper's
+//! evaluation setup (16-switch irregular fabric, Table 1 SLs, fill to
+//! saturation, transient + steady-state measurement) and exposes knobs
+//! via environment variables so every table/figure binary runs the same
+//! pipeline.
+//!
+//! | Variable | Default | Meaning |
+//! |----------|---------|---------|
+//! | `IBA_SWITCHES` | 16 | fabric size (paper headline: 16 / 64 hosts) |
+//! | `IBA_SEED` | 42 | topology + workload seed |
+//! | `IBA_STEADY_PACKETS` | 30 | steady state runs until the slowest connection emitted this many packets |
+//! | `IBA_REJECT_LIMIT` | 120 | consecutive rejections that end the fill phase |
+
+#![forbid(unsafe_code)]
+
+use iba_core::SlTable;
+use iba_qos::{FillReport, QosFrame, QosObserver};
+use iba_sim::{FabricStats, SimConfig};
+use iba_topo::irregular::{generate, IrregularConfig};
+use iba_topo::updown;
+use iba_traffic::besteffort::BackgroundConfig;
+use iba_traffic::{RequestGenerator, WorkloadConfig};
+
+/// Reads a numeric environment knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's experiment setup for one packet size.
+pub struct Experiment {
+    /// The filled QoS frame.
+    pub frame: QosFrame,
+    /// Fill-phase outcome.
+    pub fill: FillReport,
+    /// Seed used everywhere.
+    pub seed: u64,
+}
+
+/// Builds the paper's fabric, fills it to saturation and returns the
+/// ready-to-run experiment.
+pub fn build_experiment(mtu: u32) -> Experiment {
+    let switches = env_u64("IBA_SWITCHES", 16) as usize;
+    let seed = env_u64("IBA_SEED", 42);
+    build_experiment_sized(mtu, switches, seed)
+}
+
+/// Same, with explicit size and seed (used by the size sweep).
+pub fn build_experiment_sized(mtu: u32, switches: usize, seed: u64) -> Experiment {
+    let reject_limit = env_u64("IBA_REJECT_LIMIT", 120) as u32;
+    let topo = generate(IrregularConfig::with_switches(switches, seed));
+    let routing = updown::compute(&topo);
+    let sl_table = SlTable::paper_table1();
+    let mut frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        sl_table.clone(),
+        SimConfig::paper_default(mtu),
+    );
+    let mut gen = RequestGenerator::new(&topo, &sl_table, &WorkloadConfig::new(mtu, seed ^ 0xF00D));
+    let fill = frame.fill(&mut gen, reject_limit, 100_000);
+    Experiment { frame, fill, seed }
+}
+
+/// Outcome of a measured run.
+pub struct Measured {
+    /// The observer with all delay/jitter samples from the steady state.
+    pub obs: QosObserver,
+    /// Fabric-level throughput/utilisation statistics.
+    pub stats: FabricStats,
+    /// Number of hosts (for per-node normalisation).
+    pub hosts: usize,
+    /// Steady-state window length (cycles).
+    pub window: u64,
+}
+
+/// Runs the experiment: transient period (twice the slowest IAT), then
+/// a steady state until the slowest connection has emitted
+/// `IBA_STEADY_PACKETS` packets. Background best-effort traffic fills
+/// the remaining 20% when `background` is set.
+pub fn run_measured(exp: &Experiment, background: bool) -> Measured {
+    let steady_packets = env_u64("IBA_STEADY_PACKETS", 30);
+    let bg = background.then(BackgroundConfig::default);
+    let (mut fabric, mut obs) = exp.frame.build_fabric(exp.seed ^ 0xABCD, bg.as_ref());
+
+    let slowest_iat = exp.frame.steady_state_cycles(1);
+    let transient = slowest_iat * 2;
+    let steady = exp.frame.steady_state_cycles(steady_packets);
+
+    fabric.run_until(transient, &mut obs);
+    obs.reset_samples();
+    fabric.reset_stats();
+    fabric.run_until(transient + steady, &mut obs);
+
+    let stats = fabric.summarize();
+    Measured {
+        obs,
+        stats,
+        hosts: exp.frame.manager.topology().num_hosts(),
+        window: steady,
+    }
+}
+
+/// Formats a percentage for the tables.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Human label for a deadline-threshold fraction: `D/30 … D/2, 3D/4, D`.
+pub fn threshold_label(t: f64) -> String {
+    if (t - 1.0).abs() < 1e-9 {
+        "D".to_string()
+    } else if (t - 0.75).abs() < 1e-9 {
+        "3D/4".to_string()
+    } else {
+        format!("D/{:.0}", 1.0 / t)
+    }
+}
+
+/// Formats a small rate (bytes/cycle/node).
+pub fn rate(v: f64) -> String {
+    format!("{v:.4}")
+}

@@ -1,0 +1,221 @@
+//! Dependency-free argument parsing.
+
+use std::fmt;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ibaqos — InfiniBand arbitration-table QoS toolkit
+
+USAGE:
+    ibaqos <COMMAND> [OPTIONS]
+
+COMMANDS:
+    topo    generate a fabric and print a summary (or --dot)
+    fill    fill the fabric's arbitration tables to saturation
+    run     run the full experiment (fill + simulate + report)
+    demo    step-by-step walkthrough of the table-filling algorithm
+    help    show this text
+
+OPTIONS:
+    --switches <N>         number of switches        [default: 8]
+    --seed <S>             RNG seed                  [default: 42]
+    --mtu <M>              packet size in bytes      [default: 256]
+    --steady-packets <P>   steady-state length       [default: 10]
+    --background           add best-effort background traffic
+    --dot                  (topo) emit Graphviz DOT instead of a summary
+";
+
+/// Which subcommand to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// Fabric generation / inspection.
+    Topo,
+    /// Admission fill only.
+    Fill,
+    /// Full experiment.
+    Run,
+    /// Educational walkthrough.
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Subcommand.
+    pub command: Command,
+    /// `--switches`.
+    pub switches: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--mtu`.
+    pub mtu: u32,
+    /// `--steady-packets`.
+    pub steady_packets: u64,
+    /// `--background`.
+    pub background: bool,
+    /// `--dot`.
+    pub dot: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            command: Command::Help,
+            switches: 8,
+            seed: 42,
+            mtu: 256,
+            steady_packets: 10,
+            background: false,
+            dot: false,
+        }
+    }
+}
+
+/// Parse failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// A flag that needs a value didn't get one.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue(String, String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing command\n\n{USAGE}"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command '{c}'\n\n{USAGE}"),
+            ParseError::UnknownFlag(o) => write!(f, "unknown flag '{o}'\n\n{USAGE}"),
+            ParseError::MissingValue(o) => write!(f, "flag '{o}' needs a value"),
+            ParseError::BadValue(o, v) => write!(f, "bad value '{v}' for '{o}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        let cmd = it.next().ok_or(ParseError::MissingCommand)?;
+        args.command = match cmd.as_str() {
+            "topo" => Command::Topo,
+            "fill" => Command::Fill,
+            "run" => Command::Run,
+            "demo" => Command::Demo,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(ParseError::UnknownCommand(other.to_string())),
+        };
+
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--background" => args.background = true,
+                "--dot" => args.dot = true,
+                "--switches" | "--seed" | "--mtu" | "--steady-packets" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
+                    let bad = || ParseError::BadValue(flag.clone(), value.clone());
+                    match flag.as_str() {
+                        "--switches" => args.switches = value.parse().map_err(|_| bad())?,
+                        "--seed" => args.seed = value.parse().map_err(|_| bad())?,
+                        "--mtu" => args.mtu = value.parse().map_err(|_| bad())?,
+                        "--steady-packets" => {
+                            args.steady_packets = value.parse().map_err(|_| bad())?;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                other => return Err(ParseError::UnknownFlag(other.to_string())),
+            }
+        }
+        if args.switches == 0 {
+            return Err(ParseError::BadValue(
+                "--switches".into(),
+                "0".into(),
+            ));
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("run")).unwrap();
+        assert_eq!(a.command, Command::Run);
+        assert_eq!(a.switches, 8);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.mtu, 256);
+        assert!(!a.background);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = Args::parse(&argv(
+            "run --switches 16 --seed 7 --mtu 4096 --steady-packets 30 --background",
+        ))
+        .unwrap();
+        assert_eq!(a.switches, 16);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.mtu, 4096);
+        assert_eq!(a.steady_packets, 30);
+        assert!(a.background);
+    }
+
+    #[test]
+    fn topo_dot_flag() {
+        let a = Args::parse(&argv("topo --dot")).unwrap();
+        assert_eq!(a.command, Command::Topo);
+        assert!(a.dot);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(Args::parse(&[]).unwrap_err(), ParseError::MissingCommand);
+        assert!(matches!(
+            Args::parse(&argv("frobnicate")).unwrap_err(),
+            ParseError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("run --bogus")).unwrap_err(),
+            ParseError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("run --switches")).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("run --switches banana")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("run --switches 0")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(Args::parse(&argv(h)).unwrap().command, Command::Help);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # iba-cli — command-line driver
+//!
+//! The `ibaqos` binary exposes the library over four subcommands:
+//!
+//! ```text
+//! ibaqos topo  [--switches N] [--seed S] [--dot]        fabric summary / DOT
+//! ibaqos fill  [--switches N] [--seed S] [--mtu M]      admission to saturation
+//! ibaqos run   [--switches N] [--seed S] [--mtu M]
+//!              [--steady-packets P] [--background]      full experiment
+//! ibaqos demo                                           table-filling walkthrough
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, Command, ParseError};
+
+/// Entry point shared by the binary and the tests: parses and runs.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    match args.command {
+        Command::Topo => Ok(commands::topo(&args)),
+        Command::Fill => Ok(commands::fill(&args)),
+        Command::Run => Ok(commands::run_experiment(&args)),
+        Command::Demo => Ok(commands::demo()),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match iba_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Sequence allocators: the paper's bit-reversal algorithm plus the
+//! baselines used in the ablation experiments.
+//!
+//! An allocator only decides **where** a new sequence goes given the
+//! current slot occupancy; weight accounting, sharing and defragmentation
+//! live in [`crate::table`].
+
+use crate::distance::Distance;
+use crate::eset::ESet;
+
+/// Strategy for choosing a free `E_{i,j}` for a new sequence.
+pub trait SequenceAllocator {
+    /// Returns the first free set for `distance` under `occupancy`
+    /// (bit set = slot busy), or `None` when no candidate set is free.
+    fn select(&self, occupancy: u64, distance: Distance) -> Option<ESet>;
+
+    /// Human-readable allocator name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's allocator: probe `E_{i,j}` in bit-reversal order of `j`
+/// and take the first free set.
+///
+/// Theorem (TR DIAB-03-01, reproduced as property tests in
+/// [`crate::invariants`]): starting from an empty table and allocating
+/// with this policy, a request is satisfied **whenever enough free
+/// entries exist**, because the free entries always remain arranged to
+/// serve the most restrictive request their count permits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitReversalAllocator;
+
+impl SequenceAllocator for BitReversalAllocator {
+    fn select(&self, occupancy: u64, distance: Distance) -> Option<ESet> {
+        ESet::probe_sequence(distance).find(|e| e.is_free_in(occupancy))
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-reversal"
+    }
+}
+
+/// Baseline: probe offsets in natural order `0, 1, 2, …` (first fit).
+///
+/// Satisfies individual requests, but interleaves odd and even offsets
+/// early, stranding free entries in layouts that cannot serve later
+/// strict-distance requests — the failure mode the ablation demonstrates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFitAllocator;
+
+impl SequenceAllocator for FirstFitAllocator {
+    fn select(&self, occupancy: u64, distance: Distance) -> Option<ESet> {
+        ESet::all(distance).find(|e| e.is_free_in(occupancy))
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Baseline: probe offsets from the **highest** down (worst fit for the
+/// bit-reversal invariant; a stress baseline for the ablation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReverseFitAllocator;
+
+impl SequenceAllocator for ReverseFitAllocator {
+    fn select(&self, occupancy: u64, distance: Distance) -> Option<ESet> {
+        (0..distance.slots())
+            .rev()
+            .map(|j| ESet::new(distance, j))
+            .find(|e| e.is_free_in(occupancy))
+    }
+
+    fn name(&self) -> &'static str {
+        "reverse-fit"
+    }
+}
+
+/// Runtime-selectable allocator used by [`crate::table::HighPriorityTable`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// The paper's bit-reversal policy.
+    #[default]
+    BitReversal,
+    /// Natural-order first fit.
+    FirstFit,
+    /// Highest-offset-first fit.
+    ReverseFit,
+}
+
+impl AllocatorKind {
+    /// Applies the selected policy.
+    #[must_use]
+    pub fn select(self, occupancy: u64, distance: Distance) -> Option<ESet> {
+        match self {
+            AllocatorKind::BitReversal => BitReversalAllocator.select(occupancy, distance),
+            AllocatorKind::FirstFit => FirstFitAllocator.select(occupancy, distance),
+            AllocatorKind::ReverseFit => ReverseFitAllocator.select(occupancy, distance),
+        }
+    }
+
+    /// Policy name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::BitReversal => BitReversalAllocator.name(),
+            AllocatorKind::FirstFit => FirstFitAllocator.name(),
+            AllocatorKind::ReverseFit => ReverseFitAllocator.name(),
+        }
+    }
+
+    /// All selectable policies.
+    pub const ALL: [AllocatorKind; 3] = [
+        AllocatorKind::BitReversal,
+        AllocatorKind::FirstFit,
+        AllocatorKind::ReverseFit,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_gives_offset_zero() {
+        for d in Distance::ALL {
+            let e = BitReversalAllocator.select(0, d).unwrap();
+            assert_eq!(e.offset(), 0);
+            assert_eq!(e.distance(), d);
+        }
+    }
+
+    #[test]
+    fn bitrev_probes_even_offsets_first() {
+        // Occupy E_{3,0}; the next d=8 allocation must land on offset 4.
+        let occ = ESet::new(Distance::D8, 0).mask();
+        let e = BitReversalAllocator.select(occ, Distance::D8).unwrap();
+        assert_eq!(e.offset(), 4);
+        // first-fit would take offset 1 instead.
+        let e = FirstFitAllocator.select(occ, Distance::D8).unwrap();
+        assert_eq!(e.offset(), 1);
+    }
+
+    #[test]
+    fn full_table_yields_none() {
+        for kind in AllocatorKind::ALL {
+            for d in Distance::ALL {
+                assert!(kind.select(u64::MAX, d).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn selected_set_is_always_free() {
+        // Pseudo-random occupancies; whatever is returned must be free.
+        let mut occ = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..64 {
+            occ = occ.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for kind in AllocatorKind::ALL {
+                for d in Distance::ALL {
+                    if let Some(e) = kind.select(occ, d) {
+                        assert!(e.is_free_in(occ), "{} returned busy set", kind.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitrev_preserves_strictest_capability() {
+        // After k distance-64 allocations (k <= 32), a distance-2 request
+        // must still fit — the paper's headline property. First-fit loses
+        // it after the 2nd allocation (slots 0 and 1 kill both d2 sets).
+        let mut occ = 0u64;
+        for k in 0..32 {
+            let e = BitReversalAllocator.select(occ, Distance::D64).unwrap();
+            occ |= e.mask();
+            assert!(
+                BitReversalAllocator.select(occ, Distance::D2).is_some(),
+                "lost d=2 capability after {} singles",
+                k + 1
+            );
+        }
+
+        let mut occ = 0u64;
+        for _ in 0..2 {
+            let e = FirstFitAllocator.select(occ, Distance::D64).unwrap();
+            occ |= e.mask();
+        }
+        assert!(
+            FirstFitAllocator.select(occ, Distance::D2).is_none(),
+            "first-fit should have destroyed the d=2 sets"
+        );
+    }
+}

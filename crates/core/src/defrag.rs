@@ -1,0 +1,174 @@
+//! Defragmentation: restoring the canonical free-entry layout after
+//! sequences die ("it puts together free small sets to form a larger
+//! free set").
+//!
+//! # The reversed-space view
+//!
+//! Let `σ(slot) = bit_reverse(slot, 6)`. Under σ, the set `E_{i,j}`
+//! maps to a **contiguous, naturally aligned block** of `64/2^i` slots
+//! at block index `rev_i(j)` — so the paper's probe order is exactly a
+//! leftmost-first *buddy allocator* in reversed space, and
+//! defragmentation is buddy compaction: re-place every live sequence
+//! leftmost-first in descending size order. Descending-size placement of
+//! power-of-two, naturally aligned blocks always packs without gaps,
+//! which leaves the free slots as a contiguous suffix in reversed space;
+//! a contiguous suffix of length `f` contains an aligned block of every
+//! power-of-two size `≤ f`, hence the canonical invariant: *any request
+//! whose entry count does not exceed the free-entry count is
+//! satisfiable*.
+
+use crate::alloc::{BitReversalAllocator, SequenceAllocator};
+use crate::eset::ESet;
+use crate::sequence::SequenceId;
+
+/// One sequence move produced by the defragmentation pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relocation {
+    /// The sequence being (possibly) moved.
+    pub sequence: SequenceId,
+    /// Where it was.
+    pub from: ESet,
+    /// Where it is now (equal to `from` when it did not move).
+    pub to: ESet,
+}
+
+/// Computes the canonical placement for a set of live sequences.
+///
+/// Sequences are re-placed by the bit-reversal policy, largest (most
+/// entries, i.e. smallest distance) first; ties are broken by the current
+/// offset and then the id, which keeps the plan deterministic and avoids
+/// gratuitous swaps between equal-sized sequences.
+///
+/// Returns `None` only if re-packing fails, which is impossible for any
+/// set of non-overlapping live sequences (their total size is ≤ 64 and
+/// descending-size buddy packing never fragments); the `Option` exists
+/// so callers can keep the proof obligation visible.
+#[must_use]
+pub fn canonical_plan(live: &[(SequenceId, ESet)]) -> Option<Vec<Relocation>> {
+    let mut order: Vec<&(SequenceId, ESet)> = live.iter().collect();
+    order.sort_by_key(|(id, e)| (e.distance().slots(), e.offset(), *id));
+
+    let mut occupancy = 0u64;
+    let mut plan = Vec::with_capacity(live.len());
+    for (id, from) in order {
+        let to = BitReversalAllocator.select(occupancy, from.distance())?;
+        occupancy |= to.mask();
+        plan.push(Relocation {
+            sequence: *id,
+            from: *from,
+            to,
+        });
+    }
+    Some(plan)
+}
+
+/// Whether an occupancy mask is canonical: for every distance `d`, if at
+/// least `64/d` entries are free then some `E_{i,j}` of that distance is
+/// entirely free. This is the invariant defragmentation restores and the
+/// bit-reversal allocator preserves.
+#[must_use]
+pub fn is_canonical(occupancy: u64) -> bool {
+    use crate::distance::Distance;
+    let free = 64 - occupancy.count_ones() as usize;
+    Distance::ALL.iter().all(|&d| {
+        d.entries() > free || ESet::all(d).any(|e| e.is_free_in(occupancy))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Distance;
+
+    fn id(i: u32) -> SequenceId {
+        SequenceId(i)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert_eq!(canonical_plan(&[]).unwrap().len(), 0);
+        assert!(is_canonical(0));
+    }
+
+    #[test]
+    fn already_canonical_layout_does_not_move() {
+        // Allocate in the canonical way: a d2 (32 entries) then d4.
+        let live = vec![
+            (id(0), ESet::new(Distance::D2, 0)),
+            (id(1), ESet::new(Distance::D4, 1)),
+        ];
+        let plan = canonical_plan(&live).unwrap();
+        for r in &plan {
+            assert_eq!(r.from, r.to, "no moves expected");
+        }
+    }
+
+    #[test]
+    fn fragmented_singles_are_compacted() {
+        // Singles on both parities block every d=2 set.
+        let live = vec![
+            (id(0), ESet::new(Distance::D64, 1)),
+            (id(1), ESet::new(Distance::D64, 2)),
+        ];
+        let mut occ = 0u64;
+        for (_, e) in &live {
+            occ |= e.mask();
+        }
+        assert!(!is_canonical(occ));
+
+        let plan = canonical_plan(&live).unwrap();
+        let mut new_occ = 0u64;
+        for r in &plan {
+            new_occ |= r.to.mask();
+        }
+        assert!(is_canonical(new_occ));
+        assert_eq!(new_occ.count_ones(), 2);
+    }
+
+    #[test]
+    fn plan_never_overlaps() {
+        let live = vec![
+            (id(0), ESet::new(Distance::D8, 5)),
+            (id(1), ESet::new(Distance::D8, 2)),
+            (id(2), ESet::new(Distance::D16, 1)),
+            (id(3), ESet::new(Distance::D64, 11)),
+            (id(4), ESet::new(Distance::D64, 19)),
+        ];
+        let plan = canonical_plan(&live).unwrap();
+        let mut occ = 0u64;
+        for r in &plan {
+            assert_eq!(occ & r.to.mask(), 0, "overlap at {}", r.to);
+            occ |= r.to.mask();
+        }
+        assert!(is_canonical(occ));
+    }
+
+    #[test]
+    fn largest_first_ordering() {
+        // A d2 sequence must be placed before singles so it can span the
+        // evens.
+        let live = vec![
+            (id(0), ESet::new(Distance::D64, 7)),
+            (id(1), ESet::new(Distance::D2, 1)),
+        ];
+        let plan = canonical_plan(&live).unwrap();
+        let d2 = plan.iter().find(|r| r.sequence == id(1)).unwrap();
+        assert_eq!(d2.to, ESet::new(Distance::D2, 0));
+    }
+
+    #[test]
+    fn is_canonical_detects_mixed_parity_singles() {
+        // A single busy slot leaves the opposite-parity d=2 set free, so
+        // it is canonical at either parity...
+        assert!(is_canonical(1u64 << 0));
+        assert!(is_canonical(1u64 << 1));
+        // ...but singles on both parities kill both d=2 sets while 62
+        // entries remain free => not canonical.
+        assert!(!is_canonical(1u64 << 0 | 1u64 << 1));
+    }
+
+    #[test]
+    fn full_table_is_canonical() {
+        assert!(is_canonical(u64::MAX));
+    }
+}

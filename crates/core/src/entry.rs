@@ -1,0 +1,154 @@
+//! Basic table-entry types: virtual lanes and table geometry.
+
+use std::fmt;
+
+/// Number of entries in each priority table of the `VLArbitrationTable`.
+///
+/// IBA allows *up to* 64 entries; the paper's algorithm is formulated for
+/// the full 64-entry table (64 = 2^6, which is what makes the symmetric
+/// arithmetic progressions work out to power-of-two distances).
+pub const TABLE_ENTRIES: usize = 64;
+
+/// log2 of [`TABLE_ENTRIES`].
+pub const TABLE_ENTRIES_LOG2: u32 = 6;
+
+/// Number of data virtual lanes a port can implement (VL0..VL14).
+///
+/// VL15 exists too but is reserved for subnet management and never appears
+/// in an arbitration table.
+pub const MAX_DATA_VLS: usize = 15;
+
+/// A virtual lane identifier (0..=15).
+///
+/// VL15 is the management lane: it always has absolute priority over data
+/// lanes and must never appear in an arbitration table entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VirtualLane(u8);
+
+impl VirtualLane {
+    /// The subnet-management lane.
+    pub const VL15: VirtualLane = VirtualLane(15);
+
+    /// Creates a data VL. Panics if `id > 14` (use [`VirtualLane::VL15`]
+    /// for the management lane).
+    #[must_use]
+    pub fn data(id: u8) -> Self {
+        assert!(
+            (id as usize) < MAX_DATA_VLS,
+            "data VL id must be 0..=14, got {id}"
+        );
+        VirtualLane(id)
+    }
+
+    /// Creates any VL (0..=15) without the data-lane restriction.
+    ///
+    /// Returns `None` when `id > 15`.
+    #[must_use]
+    pub fn new(id: u8) -> Option<Self> {
+        (id <= 15).then_some(VirtualLane(id))
+    }
+
+    /// Raw lane number.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw lane number as `u8`.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the subnet-management lane VL15.
+    #[must_use]
+    pub fn is_management(self) -> bool {
+        self.0 == 15
+    }
+
+    /// Iterator over all data lanes `VL0..=VL14`.
+    pub fn all_data() -> impl Iterator<Item = VirtualLane> {
+        (0..MAX_DATA_VLS as u8).map(VirtualLane)
+    }
+}
+
+impl fmt::Display for VirtualLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VL{}", self.0)
+    }
+}
+
+/// One slot of a priority table: which VL it serves and with how much
+/// weight (units of 64 bytes, 0 = unused entry).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TableSlot {
+    /// Virtual lane served by this slot (meaningless while `weight == 0`).
+    pub vl: u8,
+    /// Weight in 64-byte units; 0 marks a free slot.
+    pub weight: u8,
+}
+
+impl TableSlot {
+    /// A free slot.
+    pub const FREE: TableSlot = TableSlot { vl: 0, weight: 0 };
+
+    /// Whether the slot is free (`weight == 0`), per the paper's
+    /// definition "an entry t_i is free if and only if w_i = 0".
+    #[must_use]
+    pub fn is_free(self) -> bool {
+        self.weight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_vl_roundtrip() {
+        for id in 0..15u8 {
+            let vl = VirtualLane::data(id);
+            assert_eq!(vl.index(), id as usize);
+            assert_eq!(vl.raw(), id);
+            assert!(!vl.is_management());
+        }
+    }
+
+    #[test]
+    fn vl15_is_management() {
+        assert!(VirtualLane::VL15.is_management());
+        assert_eq!(VirtualLane::VL15.index(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "data VL id must be 0..=14")]
+    fn data_vl_rejects_15() {
+        let _ = VirtualLane::data(15);
+    }
+
+    #[test]
+    fn new_accepts_0_to_15_only() {
+        assert!(VirtualLane::new(15).is_some());
+        assert!(VirtualLane::new(16).is_none());
+    }
+
+    #[test]
+    fn all_data_yields_15_lanes() {
+        let v: Vec<_> = VirtualLane::all_data().collect();
+        assert_eq!(v.len(), 15);
+        assert!(v.iter().all(|vl| !vl.is_management()));
+    }
+
+    #[test]
+    fn slot_free_iff_zero_weight() {
+        assert!(TableSlot::FREE.is_free());
+        assert!(TableSlot { vl: 3, weight: 0 }.is_free());
+        assert!(!TableSlot { vl: 3, weight: 1 }.is_free());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualLane::data(7).to_string(), "VL7");
+        assert_eq!(VirtualLane::VL15.to_string(), "VL15");
+    }
+}

@@ -1,0 +1,240 @@
+//! Wire format of the `VLArbitrationTable` subnet-management attribute.
+//!
+//! IBA 1.0 (§14.2.5.9) exposes the arbitration tables to the subnet
+//! manager as four 64-byte attribute blocks of 32 entries each —
+//! blocks 1/2 are the low-priority table, blocks 3/4 the high-priority
+//! table. Each entry is 16 bits: 4 reserved bits, a 4-bit VL and an
+//! 8-bit weight. (`LimitOfHighPriority` travels separately in
+//! `PortInfo`.) This module encodes/decodes [`VlArbConfig`] to those
+//! blocks, so a real SM front-end could drive the library.
+
+use crate::entry::VirtualLane;
+use crate::vlarb::{ArbEntry, VlArbConfig};
+
+/// Entries per attribute block.
+pub const BLOCK_ENTRIES: usize = 32;
+/// Bytes per attribute block.
+pub const BLOCK_BYTES: usize = BLOCK_ENTRIES * 2;
+
+/// Which block of the attribute is addressed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Block {
+    /// Low-priority entries 0–31.
+    LowLower,
+    /// Low-priority entries 32–63.
+    LowUpper,
+    /// High-priority entries 0–31.
+    HighLower,
+    /// High-priority entries 32–63.
+    HighUpper,
+}
+
+impl Block {
+    /// All blocks in attribute order.
+    pub const ALL: [Block; 4] = [
+        Block::LowLower,
+        Block::LowUpper,
+        Block::HighLower,
+        Block::HighUpper,
+    ];
+
+    /// The IBA `AttributeModifier` block number (1-based).
+    #[must_use]
+    pub fn attribute_modifier(self) -> u32 {
+        match self {
+            Block::LowLower => 1,
+            Block::LowUpper => 2,
+            Block::HighLower => 3,
+            Block::HighUpper => 4,
+        }
+    }
+}
+
+/// Decoding failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// A block had the wrong length.
+    BadLength(usize),
+    /// An entry named VL15 with nonzero weight (VL15 never arbitrates).
+    Vl15Entry(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength(n) => write!(f, "attribute block of {n} bytes (need 64)"),
+            WireError::Vl15Entry(i) => write!(f, "entry {i} grants VL15"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn encode_entries(entries: &[ArbEntry], block_offset: usize) -> [u8; BLOCK_BYTES] {
+    let mut out = [0u8; BLOCK_BYTES];
+    for i in 0..BLOCK_ENTRIES {
+        if let Some(e) = entries.get(block_offset + i) {
+            out[2 * i] = e.vl.raw() & 0x0F;
+            out[2 * i + 1] = e.weight;
+        }
+    }
+    out
+}
+
+fn decode_entries(bytes: &[u8]) -> Result<Vec<ArbEntry>, WireError> {
+    if bytes.len() != BLOCK_BYTES {
+        return Err(WireError::BadLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(BLOCK_ENTRIES);
+    for i in 0..BLOCK_ENTRIES {
+        let vl_raw = bytes[2 * i] & 0x0F;
+        let weight = bytes[2 * i + 1];
+        if vl_raw == 15 && weight != 0 {
+            return Err(WireError::Vl15Entry(i));
+        }
+        let vl = if vl_raw == 15 {
+            // Weight-0 placeholder rows decode as an unused VL0 slot.
+            VirtualLane::data(0)
+        } else {
+            VirtualLane::data(vl_raw)
+        };
+        out.push(ArbEntry { vl, weight });
+    }
+    Ok(out)
+}
+
+/// Encodes one attribute block of a configuration.
+#[must_use]
+pub fn encode_block(config: &VlArbConfig, block: Block) -> [u8; BLOCK_BYTES] {
+    match block {
+        Block::LowLower => encode_entries(&config.low, 0),
+        Block::LowUpper => encode_entries(&config.low, BLOCK_ENTRIES),
+        Block::HighLower => encode_entries(&config.high, 0),
+        Block::HighUpper => encode_entries(&config.high, BLOCK_ENTRIES),
+    }
+}
+
+/// Encodes the whole table as its four blocks in attribute order.
+#[must_use]
+pub fn encode_all(config: &VlArbConfig) -> [[u8; BLOCK_BYTES]; 4] {
+    [
+        encode_block(config, Block::LowLower),
+        encode_block(config, Block::LowUpper),
+        encode_block(config, Block::HighLower),
+        encode_block(config, Block::HighUpper),
+    ]
+}
+
+/// Decodes four attribute blocks back into a configuration (the
+/// `limit_of_high_priority` comes from `PortInfo` and is supplied by the
+/// caller). Trailing all-zero entries are trimmed.
+pub fn decode_all(
+    blocks: &[[u8; BLOCK_BYTES]; 4],
+    limit_of_high_priority: u8,
+) -> Result<VlArbConfig, WireError> {
+    let mut low = decode_entries(&blocks[0])?;
+    low.extend(decode_entries(&blocks[1])?);
+    let mut high = decode_entries(&blocks[2])?;
+    high.extend(decode_entries(&blocks[3])?);
+    let trim = |v: &mut Vec<ArbEntry>| {
+        while v.last().is_some_and(|e| e.weight == 0 && e.vl.raw() == 0) {
+            v.pop();
+        }
+    };
+    trim(&mut low);
+    trim(&mut high);
+    Ok(VlArbConfig {
+        high,
+        low,
+        limit_of_high_priority,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: u8, w: u8) -> ArbEntry {
+        ArbEntry {
+            vl: VirtualLane::data(v),
+            weight: w,
+        }
+    }
+
+    fn sample() -> VlArbConfig {
+        VlArbConfig {
+            high: (0..40).map(|i| entry((i % 10) as u8, 100 + (i % 50) as u8)).collect(),
+            low: vec![entry(10, 64), entry(11, 16), entry(12, 2)],
+            limit_of_high_priority: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let cfg = sample();
+        let blocks = encode_all(&cfg);
+        let back = decode_all(&blocks, cfg.limit_of_high_priority).unwrap();
+        assert_eq!(back.high, cfg.high);
+        assert_eq!(back.low, cfg.low);
+        assert_eq!(back.limit_of_high_priority, 7);
+    }
+
+    #[test]
+    fn block_layout_is_16bit_per_entry() {
+        let cfg = sample();
+        let b = encode_block(&cfg, Block::HighLower);
+        // Entry 0: VL0 weight 100.
+        assert_eq!(b[0], 0);
+        assert_eq!(b[1], 100);
+        // Entry 5: VL5 weight 105.
+        assert_eq!(b[10], 5);
+        assert_eq!(b[11], 105);
+    }
+
+    #[test]
+    fn upper_block_carries_entries_32_plus() {
+        let cfg = sample();
+        let b = encode_block(&cfg, Block::HighUpper);
+        // Entry 32: VL (32%10)=2, weight 100+(32%50)=132.
+        assert_eq!(b[0], 2);
+        assert_eq!(b[1], 132);
+        // Entries beyond 40 are zero-padded.
+        assert_eq!(&b[2 * 8..], &[0u8; BLOCK_BYTES - 16]);
+    }
+
+    #[test]
+    fn attribute_modifiers_are_spec_ordered() {
+        let mods: Vec<u32> = Block::ALL.iter().map(|b| b.attribute_modifier()).collect();
+        assert_eq!(mods, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(
+            decode_entries(&[0u8; 10]).unwrap_err(),
+            WireError::BadLength(10)
+        );
+    }
+
+    #[test]
+    fn vl15_with_weight_rejected() {
+        let mut blocks = encode_all(&sample());
+        blocks[2][0] = 15;
+        blocks[2][1] = 9;
+        assert_eq!(
+            decode_all(&blocks, 0).unwrap_err(),
+            WireError::Vl15Entry(0)
+        );
+    }
+
+    #[test]
+    fn decoded_config_drives_the_engine() {
+        // The decoded table must be directly usable.
+        use crate::vlarb::VlArbEngine;
+        let cfg = sample();
+        let back = decode_all(&encode_all(&cfg), cfg.limit_of_high_priority).unwrap();
+        let mut engine = VlArbEngine::new(back);
+        let grant = engine.select(|_| Some(256)).unwrap();
+        assert!(grant.vl.raw() < 15);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests reproducing the theorems of the companion
+//! technical report: the bit-reversal allocator plus defragmentation
+//! keep the table canonical, so a request is admitted **iff** enough
+//! free entries (and weight headroom) exist.
+
+use iba_core::alloc::AllocatorKind;
+use iba_core::defrag::{canonical_plan, is_canonical};
+use iba_core::invariants::check_table;
+use iba_core::sequence::SequenceId;
+use iba_core::table::TableError;
+use iba_core::{
+    effective_request, Distance, ESet, HighPriorityTable, ServiceLevel, VirtualLane, Weight,
+};
+use proptest::prelude::*;
+
+fn arb_distance() -> impl Strategy<Value = Distance> {
+    prop::sample::select(Distance::ALL.to_vec())
+}
+
+fn arb_weight() -> impl Strategy<Value = Weight> {
+    // Span the whole admissible spectrum including multi-entry weights.
+    prop_oneof![1u32..=255, 256u32..=2048, 2049u32..=8160]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Admit { sl: u8, distance: Distance, weight: Weight },
+    Release { victim: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..10, arb_distance(), arb_weight())
+            .prop_map(|(sl, distance, weight)| Op::Admit { sl, distance, weight }),
+        2 => (0usize..64).prop_map(|victim| Op::Release { victim }),
+    ]
+}
+
+/// Drives a table through a random op script, checking invariants after
+/// every step. Returns the table for final assertions.
+fn drive(table: &mut HighPriorityTable, ops: &[Op], check_canonical: bool) {
+    // (sequence, weight) for each live admission (a sequence may appear
+    // several times — once per sharing connection).
+    let mut live: Vec<(SequenceId, Weight)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Admit { sl, distance, weight } => {
+                let sl = ServiceLevel::new(*sl).unwrap();
+                let vl = VirtualLane::data(sl.raw());
+                match table.admit(sl, vl, *distance, *weight) {
+                    Ok(adm) => live.push((adm.sequence, *weight)),
+                    Err(TableError::NoFreeSequence) => {
+                        // Only acceptable when the free entries really
+                        // cannot host the request (canonical tables).
+                        if check_canonical {
+                            let (_, n) = effective_request(*distance, *weight).unwrap();
+                            assert!(
+                                table.free_entries() < n,
+                                "canonical table rejected a feasible request: \
+                                 {n} entries needed, {} free",
+                                table.free_entries()
+                            );
+                        }
+                    }
+                    Err(TableError::CapacityExceeded | TableError::RequestTooLarge) => {}
+                    Err(e) => panic!("unexpected admit error: {e}"),
+                }
+            }
+            Op::Release { victim } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (id, w) = live.swap_remove(victim % live.len());
+                table.release(id, w).unwrap();
+            }
+        }
+        table.check_consistency().unwrap();
+        if check_canonical {
+            check_table(table).unwrap();
+        }
+    }
+}
+
+proptest! {
+    /// Theorem 1 (allocation-only): starting from an empty table, the
+    /// bit-reversal policy keeps the layout canonical, and a request is
+    /// rejected only when fewer free entries remain than it needs.
+    #[test]
+    fn bitrev_alloc_only_is_canonical(
+        reqs in prop::collection::vec((0u8..10, arb_distance(), arb_weight()), 1..60)
+    ) {
+        let mut table = HighPriorityTable::new();
+        let ops: Vec<Op> = reqs
+            .into_iter()
+            .map(|(sl, distance, weight)| Op::Admit { sl, distance, weight })
+            .collect();
+        drive(&mut table, &ops, true);
+    }
+
+    /// Theorem 2 (dynamic): with releases and automatic defragmentation
+    /// the canonical property — and hence the admit-iff-enough-entries
+    /// guarantee — continues to hold.
+    #[test]
+    fn bitrev_with_defrag_stays_canonical(
+        ops in prop::collection::vec(arb_op(), 1..120)
+    ) {
+        let mut table = HighPriorityTable::new();
+        drive(&mut table, &ops, true);
+    }
+
+    /// The capacity limit is never breached, whatever the op sequence.
+    #[test]
+    fn capacity_limit_is_respected(
+        ops in prop::collection::vec(arb_op(), 1..80),
+        limit in 1u32..16320,
+    ) {
+        let mut table = HighPriorityTable::new();
+        table.set_capacity_limit(limit);
+        drive(&mut table, &ops, true);
+        prop_assert!(table.reserved_weight() <= limit);
+    }
+
+    /// Baseline sanity: first-fit stays *consistent* (no overlap, weights
+    /// balance) even though it loses canonicity.
+    #[test]
+    fn first_fit_is_consistent(
+        ops in prop::collection::vec(arb_op(), 1..100)
+    ) {
+        let mut table = HighPriorityTable::with_allocator(AllocatorKind::FirstFit);
+        table.set_auto_defrag(false);
+        drive(&mut table, &ops, false);
+    }
+
+    /// canonical_plan never overlaps sequences, preserves distances, and
+    /// produces a canonical occupancy — for any packable input set.
+    #[test]
+    fn canonical_plan_is_sound(picks in prop::collection::vec((arb_distance(), 0usize..64), 0..12)) {
+        // Build a random non-overlapping live set greedily.
+        let mut occ = 0u64;
+        let mut live = Vec::new();
+        for (i, (d, j)) in picks.into_iter().enumerate() {
+            let e = ESet::new(d, j % d.slots());
+            if e.is_free_in(occ) {
+                occ |= e.mask();
+                live.push((SequenceId::new(i as u32), e));
+            }
+        }
+        let plan = canonical_plan(&live).expect("live sets always re-pack");
+        let mut new_occ = 0u64;
+        for r in &plan {
+            prop_assert_eq!(r.from.distance(), r.to.distance());
+            prop_assert_eq!(new_occ & r.to.mask(), 0);
+            new_occ |= r.to.mask();
+        }
+        prop_assert_eq!(new_occ.count_ones(), occ.count_ones());
+        prop_assert!(is_canonical(new_occ));
+    }
+
+    /// The arbitration engine only ever grants VLs that are ready and
+    /// present with nonzero weight in some table.
+    #[test]
+    fn vlarb_grants_only_ready_configured_vls(
+        weights in prop::collection::vec((0u8..15, 0u8..=255), 1..32),
+        ready_mask in 0u16..0x7FFF,
+        limit in 0u8..=255,
+        pkt in 1u64..5000,
+    ) {
+        use iba_core::{ArbEntry, VlArbConfig, VlArbEngine};
+        let high: Vec<ArbEntry> = weights
+            .iter()
+            .map(|&(v, w)| ArbEntry { vl: VirtualLane::data(v), weight: w })
+            .collect();
+        let mut engine = VlArbEngine::new(VlArbConfig {
+            high: high.clone(),
+            low: vec![],
+            limit_of_high_priority: limit,
+        });
+        for _ in 0..64 {
+            let grant = engine.select(|vl| {
+                (ready_mask & (1 << vl.raw()) != 0).then_some(pkt)
+            });
+            if let Some(g) = grant {
+                prop_assert!(ready_mask & (1 << g.vl.raw()) != 0, "granted non-ready VL");
+                prop_assert!(
+                    high.iter().any(|e| e.vl == g.vl && e.weight > 0),
+                    "granted VL without weighted entry"
+                );
+                prop_assert_eq!(g.bytes, pkt);
+            }
+        }
+    }
+
+    /// Weight mapping: monotone in bandwidth and always covering.
+    #[test]
+    fn weight_mapping_monotone(a in 0.1f64..2500.0, b in 0.1f64..2500.0) {
+        use iba_core::{bandwidth_for_weight, weight_for_bandwidth};
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let wl = weight_for_bandwidth(lo, 2500.0).unwrap();
+        let wh = weight_for_bandwidth(hi, 2500.0).unwrap();
+        prop_assert!(wl <= wh);
+        prop_assert!(bandwidth_for_weight(wh, 2500.0) >= hi - 1e-9);
+    }
+}

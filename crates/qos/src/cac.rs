@@ -1,0 +1,294 @@
+//! Connection admission control: the per-port table registry and the
+//! all-or-nothing multi-hop reservation transaction.
+//!
+//! "Each request is studied in each node in its path, and it is only
+//! accepted if there are available resources."
+
+use crate::connection::HopReservation;
+use iba_core::{
+    AllocatorKind, Distance, HighPriorityTable, SequenceId, ServiceLevel, TableError, VirtualLane,
+    Weight, MAX_TABLE_WEIGHT,
+};
+use iba_sim::NodeId;
+use std::collections::HashMap;
+
+/// Identifies one output port in the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortKey {
+    /// Owning node.
+    pub node: NodeId,
+    /// Output port number.
+    pub port: u8,
+}
+
+/// Why a request was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// A hop's table had no free sequence for the distance.
+    NoFreeSequence(PortKey),
+    /// A hop's reservation cap (the 80% QoS share) was hit.
+    CapacityExceeded(PortKey),
+    /// The request is too large for any single sequence.
+    RequestTooLarge,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::NoFreeSequence(k) => {
+                write!(f, "no free sequence at {:?} port {}", k.node, k.port)
+            }
+            RejectReason::CapacityExceeded(k) => {
+                write!(f, "reservation cap reached at {:?} port {}", k.node, k.port)
+            }
+            RejectReason::RequestTooLarge => f.write_str("request exceeds one sequence"),
+        }
+    }
+}
+
+/// The registry of high-priority tables, one per output port, created
+/// lazily with a shared configuration.
+#[derive(Clone, Debug)]
+pub struct PortTables {
+    tables: HashMap<PortKey, HighPriorityTable>,
+    allocator: AllocatorKind,
+    capacity_limit: Weight,
+}
+
+impl PortTables {
+    /// Registry whose tables use the paper's allocator and reserve
+    /// `qos_fraction` of each link for QoS traffic (paper: 0.8).
+    #[must_use]
+    pub fn new(qos_fraction: f64) -> Self {
+        Self::with_allocator(AllocatorKind::BitReversal, qos_fraction)
+    }
+
+    /// Registry with an explicit allocation policy (ablations).
+    #[must_use]
+    pub fn with_allocator(allocator: AllocatorKind, qos_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&qos_fraction));
+        PortTables {
+            tables: HashMap::new(),
+            allocator,
+            capacity_limit: (qos_fraction * f64::from(MAX_TABLE_WEIGHT)) as Weight,
+        }
+    }
+
+    /// The reservation cap applied to every table (weight units).
+    #[must_use]
+    pub fn capacity_limit(&self) -> Weight {
+        self.capacity_limit
+    }
+
+    fn table_mut(&mut self, key: PortKey) -> &mut HighPriorityTable {
+        let allocator = self.allocator;
+        let limit = self.capacity_limit;
+        self.tables.entry(key).or_insert_with(|| {
+            let mut t = HighPriorityTable::with_allocator(allocator);
+            t.set_capacity_limit(limit);
+            t
+        })
+    }
+
+    /// Read access to a port's table (if any reservation ever touched it).
+    #[must_use]
+    pub fn table(&self, key: PortKey) -> Option<&HighPriorityTable> {
+        self.tables.get(&key)
+    }
+
+    /// All `(port, table)` pairs touched so far.
+    pub fn tables(&self) -> impl Iterator<Item = (PortKey, &HighPriorityTable)> {
+        self.tables.iter().map(|(k, t)| (*k, t))
+    }
+
+    /// Attempts to reserve `(sl, vl, distance, weight)` at every port in
+    /// `path`, in order. On any failure all prior reservations are
+    /// rolled back and the failing hop is reported.
+    pub fn admit_path(
+        &mut self,
+        path: &[PortKey],
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+    ) -> Result<Vec<HopReservation>, RejectReason> {
+        let mut done: Vec<HopReservation> = Vec::with_capacity(path.len());
+        for &key in path {
+            match self.table_mut(key).admit(sl, vl, distance, weight) {
+                Ok(adm) => done.push(HopReservation {
+                    node: key.node,
+                    port: key.port,
+                    sequence: adm.sequence,
+                }),
+                Err(e) => {
+                    // Roll back everything reserved so far.
+                    for hop in done.into_iter().rev() {
+                        self.release_hop(hop, weight);
+                    }
+                    return Err(match e {
+                        TableError::NoFreeSequence => RejectReason::NoFreeSequence(key),
+                        TableError::CapacityExceeded => RejectReason::CapacityExceeded(key),
+                        TableError::RequestTooLarge => RejectReason::RequestTooLarge,
+                        other => panic!("unexpected admission error: {other}"),
+                    });
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    /// Releases one hop's reservation.
+    pub fn release_hop(&mut self, hop: HopReservation, weight: Weight) {
+        let key = PortKey {
+            node: hop.node,
+            port: hop.port,
+        };
+        self.table_mut(key)
+            .release(hop.sequence, weight)
+            .expect("release must match a prior admit");
+    }
+
+    /// Releases a whole path.
+    pub fn release_path(&mut self, hops: &[HopReservation], weight: Weight) {
+        for &hop in hops.iter().rev() {
+            self.release_hop(hop, weight);
+        }
+    }
+
+    /// Mean reserved bandwidth (Mbps) over a set of ports, given the
+    /// link capacity. Ports never touched count as zero.
+    #[must_use]
+    pub fn mean_reservation_mbps(&self, keys: &[PortKey], link_mbps: f64) -> f64 {
+        if keys.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = keys
+            .iter()
+            .map(|k| {
+                self.tables
+                    .get(k)
+                    .map_or(0.0, |t| iba_core::bandwidth_for_weight(t.reserved_weight(), link_mbps))
+            })
+            .sum();
+        total / keys.len() as f64
+    }
+
+    /// Consistency check over every table (tests).
+    pub fn check_all(&self) -> Result<(), String> {
+        for (k, t) in &self.tables {
+            t.check_consistency()
+                .map_err(|e| format!("{:?} port {}: {e}", k.node, k.port))?;
+        }
+        Ok(())
+    }
+
+    /// Returns a sequence's info at a port, for assertions.
+    #[must_use]
+    pub fn sequence_info(
+        &self,
+        key: PortKey,
+        id: SequenceId,
+    ) -> Option<iba_core::SequenceInfo> {
+        self.tables.get(&key)?.sequence(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u16, p: u8) -> PortKey {
+        PortKey {
+            node: NodeId::Switch(n),
+            port: p,
+        }
+    }
+
+    fn sl(i: u8) -> ServiceLevel {
+        ServiceLevel::new(i).unwrap()
+    }
+
+    fn vl(i: u8) -> VirtualLane {
+        VirtualLane::data(i)
+    }
+
+    #[test]
+    fn path_admission_reserves_every_hop() {
+        let mut pt = PortTables::new(0.8);
+        let path = [key(0, 1), key(1, 2), key(2, 0)];
+        let hops = pt
+            .admit_path(&path, sl(3), vl(3), Distance::D16, 40)
+            .unwrap();
+        assert_eq!(hops.len(), 3);
+        for k in &path {
+            assert_eq!(pt.table(*k).unwrap().reserved_weight(), 40);
+        }
+        pt.check_all().unwrap();
+    }
+
+    #[test]
+    fn failure_rolls_back_cleanly() {
+        let mut pt = PortTables::new(0.8);
+        // Exhaust hop 1's capacity (13056 cap).
+        let filler = [key(1, 2)];
+        for _ in 0..4 {
+            pt.admit_path(&filler, sl(6), vl(6), Distance::D64, 3264)
+                .unwrap();
+        }
+        // 13056 reserved exactly; next admission at hop 1 must fail.
+        let path = [key(0, 1), key(1, 2), key(2, 0)];
+        let err = pt
+            .admit_path(&path, sl(3), vl(3), Distance::D16, 40)
+            .unwrap_err();
+        assert_eq!(err, RejectReason::CapacityExceeded(key(1, 2)));
+        // Hops 0 and 2 were rolled back.
+        assert_eq!(pt.table(key(0, 1)).unwrap().reserved_weight(), 0);
+        assert!(
+            pt.table(key(2, 0)).is_none()
+                || pt.table(key(2, 0)).unwrap().reserved_weight() == 0
+        );
+        pt.check_all().unwrap();
+    }
+
+    #[test]
+    fn release_path_returns_capacity() {
+        let mut pt = PortTables::new(0.8);
+        let path = [key(0, 0), key(1, 1)];
+        let hops = pt
+            .admit_path(&path, sl(0), vl(0), Distance::D2, 100)
+            .unwrap();
+        pt.release_path(&hops, 100);
+        for k in &path {
+            assert_eq!(pt.table(*k).unwrap().reserved_weight(), 0);
+            assert_eq!(pt.table(*k).unwrap().free_entries(), 64);
+        }
+    }
+
+    #[test]
+    fn reservation_metric() {
+        let mut pt = PortTables::new(1.0);
+        let path = [key(0, 0)];
+        // Half the table weight => half the link.
+        pt.admit_path(&path, sl(9), vl(9), Distance::D64, 8160)
+            .unwrap();
+        let mbps = pt.mean_reservation_mbps(&[key(0, 0), key(5, 5)], 2500.0);
+        // One port at 1250 Mbps, one untouched: mean 625.
+        assert!((mbps - 625.0).abs() < 1.0, "{mbps}");
+    }
+
+    #[test]
+    fn shared_sequences_across_connections() {
+        let mut pt = PortTables::new(0.8);
+        let path = [key(0, 0)];
+        let a = pt
+            .admit_path(&path, sl(4), vl(4), Distance::D32, 30)
+            .unwrap();
+        let b = pt
+            .admit_path(&path, sl(4), vl(4), Distance::D32, 30)
+            .unwrap();
+        assert_eq!(a[0].sequence, b[0].sequence, "same SL must share");
+        let info = pt.sequence_info(key(0, 0), a[0].sequence).unwrap();
+        assert_eq!(info.connections, 2);
+        assert_eq!(info.total_weight, 60);
+    }
+}

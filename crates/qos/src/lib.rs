@@ -1,0 +1,35 @@
+//! # iba-qos — the end-to-end QoS frame
+//!
+//! Ties the arbitration tables (`iba-core`), the fabric simulator
+//! (`iba-sim`), topologies (`iba-topo`) and workloads (`iba-traffic`)
+//! into the paper's "global frame to provide the required QoS for each
+//! possible kind of application traffic":
+//!
+//! * [`cac`] — per-output-port table registry and the multi-hop
+//!   admission transaction (reserve at every hop or roll back);
+//! * [`connection`] — admitted connection records (path, per-hop
+//!   sequences, deadline);
+//! * [`manager`] — the subnet-manager-like entity owning all tables,
+//!   admitting/tearing down connections and pushing `VLArbitrationTable`
+//!   configurations into a simulated fabric;
+//! * [`measure`] — a simulator observer that aggregates the paper's
+//!   metrics (delay vs deadline per SL and per connection, jitter);
+//! * [`frame`] — one-call experiment orchestration: fill the network to
+//!   its admission limit and produce the flows and fabric to run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cac;
+pub mod churn;
+pub mod connection;
+pub mod frame;
+pub mod manager;
+pub mod measure;
+
+pub use cac::{PortKey, PortTables, RejectReason};
+pub use churn::{ChurnEvent, ChurnRunner, ChurnStats};
+pub use connection::{Connection, ConnectionId};
+pub use frame::{FillReport, QosFrame};
+pub use manager::{LowPriorityPolicy, QosManager};
+pub use measure::QosObserver;

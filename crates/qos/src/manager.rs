@@ -1,0 +1,587 @@
+//! The subnet QoS manager: owns every output port's tables, admits and
+//! tears down connections, and pushes the resulting
+//! `VLArbitrationTable` configurations into a simulated fabric.
+
+use crate::cac::{PortKey, PortTables, RejectReason};
+use crate::connection::{Connection, ConnectionId};
+use iba_core::{
+    sl, AllocatorKind, ArbEntry, SlTable, SlToVlMap, VlArbConfig,
+};
+use iba_sim::{Fabric, NodeId, LINK_1X_MBPS};
+use iba_topo::{HostId, PortPeer, RoutingTable, SwitchId, Topology};
+use iba_traffic::ConnectionRequest;
+
+/// Configuration of the low-priority table shared by all ports: one
+/// entry per best-effort class, weighted by preference (PBE over BE over
+/// CH), plus the `LimitOfHighPriority` value.
+#[derive(Clone, Debug)]
+pub struct LowPriorityPolicy {
+    /// Low-priority table entries.
+    pub entries: Vec<ArbEntry>,
+    /// `LimitOfHighPriority` (255 = unlimited: low priority served only
+    /// when the high-priority table is idle, which the 80% reservation
+    /// cap guarantees happens regularly).
+    pub limit_of_high_priority: u8,
+}
+
+impl Default for LowPriorityPolicy {
+    fn default() -> Self {
+        Self::for_map(&SlToVlMap::identity())
+    }
+}
+
+impl LowPriorityPolicy {
+    /// The standard best-effort policy expressed over a given SL→VL
+    /// mapping: PBE over BE over CH, on whatever lanes the mapping
+    /// assigns those SLs.
+    #[must_use]
+    pub fn for_map(map: &SlToVlMap) -> Self {
+        let vl_of = |s: u8| map.vl(iba_core::ServiceLevel::new(s).unwrap());
+        LowPriorityPolicy {
+            entries: vec![
+                ArbEntry {
+                    vl: vl_of(sl::SL_PBE),
+                    weight: 64,
+                },
+                ArbEntry {
+                    vl: vl_of(sl::SL_BE),
+                    weight: 16,
+                },
+                ArbEntry {
+                    vl: vl_of(sl::SL_CH),
+                    weight: 2,
+                },
+            ],
+            limit_of_high_priority: 255,
+        }
+    }
+}
+
+/// The QoS manager for one subnet.
+#[derive(Clone, Debug)]
+pub struct QosManager {
+    topo: Topology,
+    routing: RoutingTable,
+    sl_table: SlTable,
+    sl_to_vl: SlToVlMap,
+    tables: PortTables,
+    connections: Vec<Option<Connection>>,
+    low: LowPriorityPolicy,
+    link_mbps: f64,
+    header_bytes: u32,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl QosManager {
+    /// Manager with the paper's defaults: bit-reversal allocator, 80%
+    /// QoS share, identity SL→VL mapping, 1x links.
+    #[must_use]
+    pub fn new(topo: Topology, routing: RoutingTable, sl_table: SlTable) -> Self {
+        Self::with_allocator(topo, routing, sl_table, AllocatorKind::BitReversal, 0.8)
+    }
+
+    /// Manager with an explicit allocation policy and QoS share
+    /// (ablations).
+    #[must_use]
+    pub fn with_allocator(
+        topo: Topology,
+        routing: RoutingTable,
+        sl_table: SlTable,
+        allocator: AllocatorKind,
+        qos_fraction: f64,
+    ) -> Self {
+        QosManager {
+            topo,
+            routing,
+            sl_table,
+            sl_to_vl: SlToVlMap::identity(),
+            tables: PortTables::with_allocator(allocator, qos_fraction),
+            connections: Vec::new(),
+            low: LowPriorityPolicy::default(),
+            link_mbps: LINK_1X_MBPS,
+            header_bytes: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Declares the per-packet wire overhead the fabric adds (see
+    /// `iba_sim::SimConfig::header_bytes`): reservations are then made
+    /// for the *gross* rate, `bandwidth · (payload + header) / payload`,
+    /// so the guarantee covers the headers too.
+    pub fn set_header_bytes(&mut self, header_bytes: u32) {
+        self.header_bytes = header_bytes;
+    }
+
+    /// Overrides the low-priority policy.
+    pub fn set_low_priority_policy(&mut self, policy: LowPriorityPolicy) {
+        self.low = policy;
+    }
+
+    /// Installs a non-identity SL→VL mapping (a fabric with fewer VLs).
+    ///
+    /// Per §3.2 of the paper, when several SLs share a VL "we could use
+    /// less SLs or enforce more restrictive requirements for some SLs":
+    /// admission then reserves, for every connection, the **most
+    /// restrictive distance among the SLs mapped to its VL**, so the
+    /// shared lane still honours the strictest guarantee riding on it.
+    ///
+    /// Must be called before any connection is admitted.
+    pub fn set_sl_to_vl(&mut self, map: SlToVlMap) {
+        assert_eq!(
+            self.live_connections(),
+            0,
+            "change the SL->VL mapping only on an empty subnet"
+        );
+        self.low = LowPriorityPolicy::for_map(&map);
+        self.sl_to_vl = map;
+    }
+
+    /// The SL→VL mapping in force.
+    #[must_use]
+    pub fn sl_to_vl(&self) -> &SlToVlMap {
+        &self.sl_to_vl
+    }
+
+    /// Overrides the link capacity (Mbps) used for weight computation —
+    /// 2500 for 1x (the default), 10000 for 4x, 30000 for 12x.
+    pub fn set_link_mbps(&mut self, mbps: f64) {
+        assert!(mbps > 0.0);
+        self.link_mbps = mbps;
+    }
+
+    /// The effective distance reserved for a connection of `sl`: the
+    /// SL's own distance tightened to the most restrictive distance of
+    /// any QoS SL sharing the same VL.
+    #[must_use]
+    pub fn effective_distance(&self, sl_id: iba_core::ServiceLevel) -> Option<iba_core::Distance> {
+        let own = self.sl_table.profile(sl_id)?.distance?;
+        let vl = self.sl_to_vl.vl(sl_id);
+        let mut tightest = own;
+        for p in self.sl_table.qos_profiles() {
+            if self.sl_to_vl.vl(p.sl) == vl {
+                if let Some(d) = p.distance {
+                    if d.at_least_as_strict(tightest) {
+                        tightest = d;
+                    }
+                }
+            }
+        }
+        Some(tightest)
+    }
+
+    /// The SL configuration in force.
+    #[must_use]
+    pub fn sl_table(&self) -> &SlTable {
+        &self.sl_table
+    }
+
+    /// The topology under management.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing tables in force.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// (accepted, rejected) request counters.
+    #[must_use]
+    pub fn admission_counters(&self) -> (u64, u64) {
+        (self.accepted, self.rejected)
+    }
+
+    /// The output ports a connection from `src` to `dst` crosses:
+    /// the host's uplink, then every switch's output along the route
+    /// (the last one faces the destination host).
+    #[must_use]
+    pub fn path_ports(&self, src: HostId, dst: HostId) -> Vec<PortKey> {
+        let mut ports = vec![PortKey {
+            node: NodeId::Host(src.0),
+            port: 0,
+        }];
+        let path = self
+            .routing
+            .switch_path(&self.topo, src, dst)
+            .expect("routing is complete");
+        for s in path {
+            ports.push(PortKey {
+                node: NodeId::Switch(s.0),
+                port: self.routing.port(s, dst),
+            });
+        }
+        ports
+    }
+
+    /// Admits a connection request: reserves (SL, VL, distance, weight)
+    /// in the high-priority table of every output port on the path, or
+    /// rejects without side effects.
+    pub fn request(&mut self, req: &ConnectionRequest) -> Result<ConnectionId, RejectReason> {
+        // Reserve for the gross (wire) rate when headers are modelled.
+        let gross_factor =
+            f64::from(req.packet_bytes + self.header_bytes) / f64::from(req.packet_bytes);
+        let weight = iba_core::weight_for_bandwidth(
+            req.mean_bw_mbps * gross_factor,
+            self.link_mbps,
+        )
+        .ok_or(RejectReason::RequestTooLarge)?;
+        let vl = self.sl_to_vl.vl(req.sl);
+        // The reserved distance is the request's own, tightened when the
+        // SL shares its VL with stricter SLs (see `set_sl_to_vl`).
+        let distance = match self.effective_distance(req.sl) {
+            Some(d) if d.at_least_as_strict(req.distance) => d,
+            _ => req.distance,
+        };
+        let path = self.path_ports(req.src, req.dst);
+        let hops = match self
+            .tables
+            .admit_path(&path, req.sl, vl, distance, weight)
+        {
+            Ok(h) => h,
+            Err(e) => {
+                self.rejected += 1;
+                return Err(e);
+            }
+        };
+        // The deadline is the *application's* requirement (its own
+        // distance); the reservation distance may be tighter when SLs
+        // share a VL, which only improves service.
+        let deadline = iba_traffic::request::deadline_with_transmission(
+            req.distance,
+            hops.len(),
+            req.packet_bytes,
+        );
+        let conn = Connection {
+            request: *req,
+            weight,
+            deadline,
+            interarrival: req.interarrival(),
+            hops,
+        };
+        let id = self
+            .connections
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.connections.push(None);
+                self.connections.len() - 1
+            });
+        self.connections[id] = Some(conn);
+        self.accepted += 1;
+        Ok(ConnectionId(id as u32))
+    }
+
+    /// Tears a connection down, releasing every hop (defragmentation
+    /// runs automatically inside each table). Returns `false` for stale
+    /// handles.
+    pub fn teardown(&mut self, id: ConnectionId) -> bool {
+        let Some(slot) = self.connections.get_mut(id.0 as usize) else {
+            return false;
+        };
+        let Some(conn) = slot.take() else {
+            return false;
+        };
+        self.tables.release_path(&conn.hops, conn.weight);
+        true
+    }
+
+    /// A live connection.
+    #[must_use]
+    pub fn connection(&self, id: ConnectionId) -> Option<&Connection> {
+        self.connections.get(id.0 as usize)?.as_ref()
+    }
+
+    /// All live connections.
+    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, &Connection)> {
+        self.connections
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (ConnectionId(i as u32), c)))
+    }
+
+    /// Number of live connections.
+    #[must_use]
+    pub fn live_connections(&self) -> usize {
+        self.connections.iter().flatten().count()
+    }
+
+    /// Access to the raw port tables (reports, tests).
+    #[must_use]
+    pub fn port_tables(&self) -> &PortTables {
+        &self.tables
+    }
+
+    /// Builds the `VLArbitrationTable` configuration of one output port:
+    /// its high-priority table as filled by admission (empty if never
+    /// touched), plus the shared low-priority policy.
+    #[must_use]
+    pub fn arb_config_for(&self, key: PortKey) -> VlArbConfig {
+        match self.tables.table(key) {
+            Some(t) => VlArbConfig::from_slots(
+                t.slots(),
+                self.low.entries.clone(),
+                self.low.limit_of_high_priority,
+            ),
+            None => VlArbConfig {
+                high: Vec::new(),
+                low: self.low.entries.clone(),
+                limit_of_high_priority: self.low.limit_of_high_priority,
+            },
+        }
+    }
+
+    /// Pushes the current table state into every output port of a
+    /// fabric (the subnet-management download step).
+    pub fn apply_tables(&self, fabric: &mut Fabric) {
+        for s in self.topo.switch_ids() {
+            for p in 0..self.topo.ports_per_switch() {
+                if matches!(self.topo.peer(s, p), PortPeer::Free) {
+                    continue;
+                }
+                let key = PortKey {
+                    node: NodeId::Switch(s.0),
+                    port: p,
+                };
+                fabric.set_output_table(key.node, p, self.arb_config_for(key));
+            }
+        }
+        for h in self.topo.host_ids() {
+            let key = PortKey {
+                node: NodeId::Host(h.0),
+                port: 0,
+            };
+            fabric.set_output_table(key.node, 0, self.arb_config_for(key));
+        }
+    }
+
+    /// Mean reserved bandwidth (Mbps) over (host interfaces, switch
+    /// ports) — the last two rows of Table 2. Host interfaces are the
+    /// host uplinks and the switch→host downlinks; switch ports are the
+    /// inter-switch outputs.
+    #[must_use]
+    pub fn reservation_summary(&self) -> (f64, f64) {
+        let mut host_keys = Vec::new();
+        let mut switch_keys = Vec::new();
+        for h in self.topo.host_ids() {
+            host_keys.push(PortKey {
+                node: NodeId::Host(h.0),
+                port: 0,
+            });
+        }
+        for s in self.topo.switch_ids() {
+            for p in 0..self.topo.ports_per_switch() {
+                match self.topo.peer(s, p) {
+                    PortPeer::Host(_) => host_keys.push(PortKey {
+                        node: NodeId::Switch(s.0),
+                        port: p,
+                    }),
+                    PortPeer::Switch { .. } => switch_keys.push(PortKey {
+                        node: NodeId::Switch(s.0),
+                        port: p,
+                    }),
+                    PortPeer::Free => {}
+                }
+            }
+        }
+        (
+            self.tables.mean_reservation_mbps(&host_keys, self.link_mbps),
+            self.tables
+                .mean_reservation_mbps(&switch_keys, self.link_mbps),
+        )
+    }
+
+    /// Classifies an application-level request (deadline in cycles, mean
+    /// bandwidth) into a [`ConnectionRequest`] per the paper's scheme:
+    /// deadline → distance (over the worst-case hop count of the pair),
+    /// then (distance, bandwidth) → SL.
+    #[must_use]
+    pub fn classify_request(
+        &self,
+        id: u32,
+        src: HostId,
+        dst: HostId,
+        deadline_cycles: u64,
+        mean_bw_mbps: f64,
+        packet_bytes: u32,
+    ) -> Option<ConnectionRequest> {
+        let hops = self.path_ports(src, dst).len();
+        let distance = iba_traffic::request::distance_for_deadline(deadline_cycles, hops)?;
+        let sl = self.sl_table.classify(distance, mean_bw_mbps)?;
+        // The SL's own distance (at least as strict as required) is what
+        // gets reserved, so every connection of the SL is homogeneous.
+        let sl_distance = self.sl_table.profile(sl)?.distance?;
+        Some(ConnectionRequest {
+            id,
+            src,
+            dst,
+            sl,
+            distance: sl_distance,
+            mean_bw_mbps,
+            packet_bytes,
+        })
+    }
+
+    /// Direct handle to a switch-facing port key (test/report helper).
+    #[must_use]
+    pub fn switch_port_key(&self, s: SwitchId, port: u8) -> PortKey {
+        PortKey {
+            node: NodeId::Switch(s.0),
+            port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::{Distance, ServiceLevel, VirtualLane};
+    use iba_topo::{irregular, updown};
+
+    fn small_manager(seed: u64) -> QosManager {
+        let topo = irregular::generate(irregular::IrregularConfig::with_switches(4, seed));
+        let routing = updown::compute(&topo);
+        QosManager::new(topo, routing, SlTable::paper_table1())
+    }
+
+    fn req(id: u32, src: u16, dst: u16, sl_id: u8, d: Distance, mbps: f64) -> ConnectionRequest {
+        ConnectionRequest {
+            id,
+            src: HostId(src),
+            dst: HostId(dst),
+            sl: ServiceLevel::new(sl_id).unwrap(),
+            distance: d,
+            mean_bw_mbps: mbps,
+            packet_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn admit_and_teardown_roundtrip() {
+        let mut m = small_manager(1);
+        let id = m.request(&req(0, 0, 9, 2, Distance::D8, 4.0)).unwrap();
+        assert_eq!(m.live_connections(), 1);
+        let conn = m.connection(id).unwrap().clone();
+        assert!(conn.hop_count() >= 2, "host hop + at least one switch");
+        assert_eq!(
+            conn.deadline,
+            iba_traffic::request::deadline_with_transmission(
+                Distance::D8,
+                conn.hop_count(),
+                256
+            )
+        );
+        assert!(m.teardown(id));
+        assert!(!m.teardown(id), "double teardown rejected");
+        assert_eq!(m.live_connections(), 0);
+        // Every table is empty again.
+        for (_, t) in m.port_tables().tables() {
+            assert_eq!(t.reserved_weight(), 0);
+        }
+    }
+
+    #[test]
+    fn path_ports_follow_routing() {
+        let m = small_manager(2);
+        let ports = m.path_ports(HostId(0), HostId(15));
+        assert!(matches!(ports[0].node, NodeId::Host(0)));
+        for p in &ports[1..] {
+            assert!(matches!(p.node, NodeId::Switch(_)));
+        }
+        // Last port faces the destination host.
+        let PortKey { node: NodeId::Switch(s), port } = *ports.last().unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            m.topology().peer(SwitchId(s), port),
+            PortPeer::Host(HostId(15))
+        );
+    }
+
+    #[test]
+    fn capacity_cap_eventually_rejects() {
+        let mut m = small_manager(3);
+        // Hammer one (src, dst) pair with large requests until rejection.
+        let mut admitted = 0;
+        let mut rejected = false;
+        for i in 0..100 {
+            match m.request(&req(i, 0, 9, 9, Distance::D64, 128.0)) {
+                Ok(_) => admitted += 1,
+                Err(_) => {
+                    rejected = true;
+                    break;
+                }
+            }
+        }
+        assert!(rejected, "cap never hit");
+        // 128 Mbps reserves 836/13056 of a link: at most 15 fit.
+        assert!(admitted <= 15, "{admitted} admitted");
+        assert!(admitted >= 10, "only {admitted} admitted");
+        let (acc, rej) = m.admission_counters();
+        assert_eq!(acc, admitted as u64);
+        assert_eq!(rej, 1);
+    }
+
+    #[test]
+    fn arb_config_reflects_reservations() {
+        let mut m = small_manager(4);
+        let id = m.request(&req(0, 0, 9, 0, Distance::D2, 2.0)).unwrap();
+        let conn = m.connection(id).unwrap();
+        let key = PortKey {
+            node: conn.hops[1].node,
+            port: conn.hops[1].port,
+        };
+        let cfg = m.arb_config_for(key);
+        // 32 entries for VL0 with the connection's weight spread over
+        // them.
+        let vl0_entries = cfg
+            .high
+            .iter()
+            .filter(|e| e.weight > 0 && e.vl == VirtualLane::data(0))
+            .count();
+        assert_eq!(vl0_entries, 32);
+        assert_eq!(cfg.low.len(), 3);
+        assert_eq!(cfg.limit_of_high_priority, 255);
+    }
+
+    #[test]
+    fn untouched_ports_get_low_only_config() {
+        let m = small_manager(5);
+        let cfg = m.arb_config_for(PortKey {
+            node: NodeId::Switch(0),
+            port: 0,
+        });
+        assert!(cfg.high.is_empty());
+        assert_eq!(cfg.low.len(), 3);
+    }
+
+    #[test]
+    fn classify_request_end_to_end() {
+        let m = small_manager(6);
+        // Loose deadline, moderate bandwidth: lands in a d=64 DB SL.
+        let r = m
+            .classify_request(0, HostId(0), HostId(8), 64 * 16320 * 12, 16.0, 256)
+            .unwrap();
+        assert_eq!(r.sl.raw(), 7);
+        assert_eq!(r.distance, Distance::D64);
+        // Impossible deadline: None.
+        assert!(m
+            .classify_request(0, HostId(0), HostId(8), 100, 16.0, 256)
+            .is_none());
+    }
+
+    #[test]
+    fn reservation_summary_scales_with_load() {
+        let mut m = small_manager(7);
+        let (h0, s0) = m.reservation_summary();
+        assert_eq!((h0, s0), (0.0, 0.0));
+        for i in 0..20 {
+            let _ = m.request(&req(i, (i % 16) as u16, ((i + 5) % 16) as u16, 7, Distance::D64, 16.0));
+        }
+        let (h1, _s1) = m.reservation_summary();
+        assert!(h1 > 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Virtual-lane buffers and credit accounting.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// One VL's receive buffer at an input port: a FIFO of whole packets
+/// with a byte-capacity bound ("each VL is large enough to store four
+/// whole packets").
+#[derive(Clone, Debug)]
+pub struct VlBuffer {
+    queue: VecDeque<Packet>,
+    used: u64,
+    capacity: u64,
+}
+
+impl VlBuffer {
+    /// An empty buffer of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        VlBuffer {
+            queue: VecDeque::new(),
+            used: 0,
+            capacity,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Whether `bytes` more would fit.
+    #[must_use]
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.used + bytes <= self.capacity
+    }
+
+    /// Packets queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// No packets queued?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The head packet, if any.
+    #[must_use]
+    pub fn head(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Appends a packet. Panics on overflow — the sender must have held
+    /// credits, so an overflow is a flow-control bug.
+    pub fn push(&mut self, p: Packet) {
+        assert!(
+            self.fits(u64::from(p.bytes)),
+            "VL buffer overflow: flow control violated"
+        );
+        self.used += u64::from(p.bytes);
+        self.queue.push_back(p);
+    }
+
+    /// Removes and returns the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.used -= u64::from(p.bytes);
+        Some(p)
+    }
+}
+
+/// Sender-side credit counters for one link: bytes of free space in the
+/// peer's input VL buffers. Decremented when a transfer starts,
+/// replenished when the peer drains the packet.
+#[derive(Clone, Debug)]
+pub struct Credits {
+    per_vl: [u64; 16],
+}
+
+impl Credits {
+    /// Full credits for a peer whose every VL buffer holds
+    /// `capacity_bytes`.
+    #[must_use]
+    pub fn full(capacity_bytes: u64) -> Self {
+        Credits {
+            per_vl: [capacity_bytes; 16],
+        }
+    }
+
+    /// Credits available on a VL.
+    #[must_use]
+    pub fn available(&self, vl: usize) -> u64 {
+        self.per_vl[vl]
+    }
+
+    /// Whether `bytes` may be sent on `vl`.
+    #[must_use]
+    pub fn can_send(&self, vl: usize, bytes: u64) -> bool {
+        self.per_vl[vl] >= bytes
+    }
+
+    /// Consumes credit at transfer start.
+    pub fn consume(&mut self, vl: usize, bytes: u64) {
+        assert!(self.per_vl[vl] >= bytes, "credit underflow on VL{vl}");
+        self.per_vl[vl] -= bytes;
+    }
+
+    /// Returns credit when the peer frees the space.
+    pub fn restore(&mut self, vl: usize, bytes: u64) {
+        self.per_vl[vl] += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::ServiceLevel;
+    use iba_topo::HostId;
+
+    fn pkt(bytes: u32) -> Packet {
+        Packet {
+            flow: 0,
+            seq: 0,
+            src: HostId(0),
+            dst: HostId(1),
+            sl: ServiceLevel::new(0).unwrap(),
+            bytes,
+            created: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_fifo_and_accounting() {
+        let mut b = VlBuffer::new(1024);
+        assert!(b.is_empty());
+        b.push(pkt(256));
+        b.push(pkt(512));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.used(), 768);
+        assert!(b.fits(256));
+        assert!(!b.fits(257));
+        assert_eq!(b.pop().unwrap().bytes, 256);
+        assert_eq!(b.used(), 512);
+        assert_eq!(b.head().unwrap().bytes, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn buffer_overflow_is_a_bug() {
+        let mut b = VlBuffer::new(100);
+        b.push(pkt(101));
+    }
+
+    #[test]
+    fn four_packet_rule() {
+        // Four whole packets fit, a fifth does not.
+        let mut b = VlBuffer::new(4 * 256);
+        for _ in 0..4 {
+            b.push(pkt(256));
+        }
+        assert!(!b.fits(256));
+    }
+
+    #[test]
+    fn credits_consume_restore() {
+        let mut c = Credits::full(1024);
+        assert!(c.can_send(3, 1024));
+        c.consume(3, 1000);
+        assert!(!c.can_send(3, 25));
+        assert!(c.can_send(3, 24));
+        c.restore(3, 1000);
+        assert_eq!(c.available(3), 1024);
+        // Other VLs unaffected.
+        assert_eq!(c.available(4), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn credit_underflow_is_a_bug() {
+        let mut c = Credits::full(10);
+        c.consume(0, 11);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic discrete-event queue.
+
+use crate::time::Cycles;
+use std::collections::BinaryHeap;
+
+/// An event kind processed by the fabric loop.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Event {
+    /// A flow's source emits its next packet.
+    Generate {
+        /// Index into the fabric's flow table.
+        flow: u32,
+    },
+    /// A transfer on an output port completes.
+    Complete {
+        /// Node owning the output port (encoded; see
+        /// [`crate::fabric::NodeId`]).
+        node: u32,
+        /// Output port number.
+        port: u8,
+    },
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    time: Cycles,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; wrap in Reverse at the call sites is
+        // avoided by inverting here: earliest time first, then FIFO.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking (two events at the
+/// same cycle fire in insertion order), which makes runs reproducible.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Cycles, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycles, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// No pending events?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Convenience alias used by tests.
+pub type Timestamped = (Cycles, Event);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Generate { flow: 3 });
+        q.push(10, Event::Generate { flow: 1 });
+        q.push(20, Event::Generate { flow: 2 });
+        let times: Vec<Cycles> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for flow in 0..10u32 {
+            q.push(5, Event::Generate { flow });
+        }
+        let flows: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Generate { flow } => flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, Event::Complete { node: 0, port: 1 });
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+    }
+}

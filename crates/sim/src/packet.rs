@@ -1,0 +1,134 @@
+//! Packets and traffic flows.
+
+use crate::time::Cycles;
+use iba_core::ServiceLevel;
+use iba_topo::HostId;
+
+/// A packet in flight. IBA segments messages into packets of up to one
+/// MTU; the experiments use fixed-size packets, so a packet here is one
+/// MTU-sized unit (header overhead is included in `bytes`).
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Id of the flow (connection) the packet belongs to.
+    pub flow: u32,
+    /// Sequence number within the flow (0-based).
+    pub seq: u64,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Service level stamped in the header.
+    pub sl: ServiceLevel,
+    /// Total wire size in bytes (payload + headers).
+    pub bytes: u32,
+    /// Cycle at which the source generated the packet.
+    pub created: Cycles,
+}
+
+/// Packet arrival process of a flow.
+#[derive(Clone, Debug)]
+pub enum Arrival {
+    /// Constant bit rate: one packet every `interval` cycles.
+    Cbr {
+        /// Inter-packet gap in cycles.
+        interval: Cycles,
+    },
+    /// A repeating pattern of inter-packet gaps (models VBR traffic with
+    /// a periodic rate envelope).
+    Pattern {
+        /// Successive gaps, cycled through forever.
+        intervals: Vec<Cycles>,
+    },
+}
+
+impl Arrival {
+    /// The gap before packet number `seq + 1`.
+    #[must_use]
+    pub fn gap(&self, seq: u64) -> Cycles {
+        match self {
+            Arrival::Cbr { interval } => *interval,
+            Arrival::Pattern { intervals } => {
+                intervals[(seq as usize) % intervals.len()]
+            }
+        }
+    }
+
+    /// Mean gap (cycles) of the process.
+    #[must_use]
+    pub fn mean_gap(&self) -> f64 {
+        match self {
+            Arrival::Cbr { interval } => *interval as f64,
+            Arrival::Pattern { intervals } => {
+                intervals.iter().sum::<u64>() as f64 / intervals.len() as f64
+            }
+        }
+    }
+}
+
+/// A traffic flow (one established connection).
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Unique flow id (used in delivery records).
+    pub id: u32,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Service level of every packet.
+    pub sl: ServiceLevel,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Cycle of the first packet.
+    pub start: Cycles,
+    /// Stop generating after this cycle (`None` = run forever).
+    pub stop: Option<Cycles>,
+}
+
+impl FlowSpec {
+    /// Offered load of the flow in bytes/cycle.
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.packet_bytes as f64 / self.arrival.mean_gap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_gaps_are_constant() {
+        let a = Arrival::Cbr { interval: 100 };
+        for seq in 0..5 {
+            assert_eq!(a.gap(seq), 100);
+        }
+        assert_eq!(a.mean_gap(), 100.0);
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let a = Arrival::Pattern { intervals: vec![10, 20, 30] };
+        assert_eq!(a.gap(0), 10);
+        assert_eq!(a.gap(1), 20);
+        assert_eq!(a.gap(2), 30);
+        assert_eq!(a.gap(3), 10);
+        assert_eq!(a.mean_gap(), 20.0);
+    }
+
+    #[test]
+    fn offered_load() {
+        let f = FlowSpec {
+            id: 0,
+            src: HostId(0),
+            dst: HostId(1),
+            sl: ServiceLevel::new(0).unwrap(),
+            packet_bytes: 256,
+            arrival: Arrival::Cbr { interval: 512 },
+            start: 0,
+            stop: None,
+        };
+        assert_eq!(f.offered_load(), 0.5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Input and output port state.
+
+use crate::buffer::{Credits, VlBuffer};
+use crate::packet::Packet;
+use crate::time::Cycles;
+use iba_core::VlArbEngine;
+
+/// Where a port's link leads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Peer {
+    /// Input port `port` of switch `switch`.
+    SwitchIn {
+        /// Peer switch index.
+        switch: u16,
+        /// Peer input port.
+        port: u8,
+    },
+    /// A host (consumes instantly).
+    Host(u16),
+    /// Unwired.
+    None,
+}
+
+/// Counters kept per output port.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PortStats {
+    /// Cycles the link spent transmitting.
+    pub busy_cycles: Cycles,
+    /// Total bytes put on the wire.
+    pub bytes: u64,
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Bytes granted by the high-priority table.
+    pub high_bytes: u64,
+    /// Bytes granted by the low-priority table.
+    pub low_bytes: u64,
+    /// Bytes of VL15 (management) traffic.
+    pub vl15_bytes: u64,
+    /// Bytes transmitted per VL (index = lane).
+    pub per_vl_bytes: [u64; 16],
+}
+
+impl PortStats {
+    /// Link utilisation over a window of `window` cycles at
+    /// `bytes_per_cycle` capacity, in percent.
+    #[must_use]
+    pub fn utilization(&self, window: Cycles, bytes_per_cycle: u64) -> f64 {
+        if window == 0 {
+            return 0.0;
+        }
+        100.0 * self.bytes as f64 / (window as f64 * bytes_per_cycle as f64)
+    }
+}
+
+/// A transfer currently on the wire.
+#[derive(Debug)]
+pub struct InFlight {
+    /// The packet being moved.
+    pub packet: Packet,
+    /// Input port it left from (`None` when injected by a host).
+    pub src_input: Option<u8>,
+    /// VL it travels on (downstream buffer lane).
+    pub vl: u8,
+}
+
+/// Output side of a port: arbitration engine, downstream credits, link
+/// state and statistics.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Arbitration engine over this port's `VLArbitrationTable`.
+    pub engine: VlArbEngine,
+    /// Credits for the downstream input buffers.
+    pub credits: Credits,
+    /// Where the link leads.
+    pub peer: Peer,
+    /// The transfer in progress, if any.
+    pub inflight: Option<InFlight>,
+    /// Round-robin pointer over input ports (switch outputs only).
+    pub next_input: u8,
+    /// Counters.
+    pub stats: PortStats,
+}
+
+impl OutputPort {
+    /// An idle output port.
+    #[must_use]
+    pub fn new(engine: VlArbEngine, credits: Credits, peer: Peer) -> Self {
+        OutputPort {
+            engine,
+            credits,
+            peer,
+            inflight: None,
+            next_input: 0,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// Is the link currently transmitting?
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.inflight.is_some()
+    }
+}
+
+/// Input side of a switch port: 16 VL buffers plus the crossbar busy
+/// flag ("only a VL of each input port can be transmitting at the same
+/// time").
+#[derive(Debug)]
+pub struct InputPort {
+    /// Receive buffers, one per VL.
+    pub vls: Vec<VlBuffer>,
+    /// Whether the crossbar is currently draining this port.
+    pub busy: bool,
+}
+
+impl InputPort {
+    /// Empty input port with `capacity` bytes per VL buffer.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        InputPort {
+            vls: (0..16).map(|_| VlBuffer::new(capacity)).collect(),
+            busy: false,
+        }
+    }
+
+    /// Total buffered bytes over all VLs.
+    #[must_use]
+    pub fn buffered(&self) -> u64 {
+        self.vls.iter().map(VlBuffer::used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = PortStats {
+            bytes: 500,
+            ..Default::default()
+        };
+        assert_eq!(s.utilization(1000, 1), 50.0);
+        assert_eq!(s.utilization(1000, 4), 12.5);
+        assert_eq!(s.utilization(0, 1), 0.0);
+    }
+
+    #[test]
+    fn input_port_starts_idle_and_empty() {
+        let p = InputPort::new(1024);
+        assert!(!p.busy);
+        assert_eq!(p.buffered(), 0);
+        assert_eq!(p.vls.len(), 16);
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulator-wide properties: packet conservation, in-order delivery,
+//! determinism — on random fabrics with random flow sets.
+
+use iba_core::ServiceLevel;
+use iba_sim::{Arrival, Fabric, FlowSpec, SimConfig};
+use iba_topo::irregular::{generate, IrregularConfig};
+use iba_topo::{updown, HostId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct FlowPick {
+    src: u16,
+    dst: u16,
+    sl: u8,
+    interval: u64,
+    packets: u64,
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowPick> {
+    (0u16..16, 0u16..16, 0u8..10, 300u64..4000, 1u64..40).prop_map(
+        |(src, dst, sl, interval, packets)| FlowPick {
+            src,
+            dst,
+            sl,
+            interval,
+            packets,
+        },
+    )
+}
+
+fn build(seed: u64, picks: &[FlowPick], mtu: u32) -> (Fabric, u64) {
+    let topo = generate(IrregularConfig::with_switches(4, seed));
+    let routing = updown::compute(&topo);
+    let mut fabric = Fabric::new(topo, routing, SimConfig::paper_default(mtu));
+    let mut expected = 0u64;
+    for (i, p) in picks.iter().enumerate() {
+        if p.src == p.dst {
+            continue;
+        }
+        let stop = p.interval * (p.packets - 1);
+        fabric.add_flow(FlowSpec {
+            id: i as u32,
+            src: HostId(p.src),
+            dst: HostId(p.dst),
+            sl: ServiceLevel::new(p.sl).unwrap(),
+            packet_bytes: mtu,
+            arrival: Arrival::Cbr { interval: p.interval },
+            start: 0,
+            stop: Some(stop),
+        });
+        expected += p.packets;
+    }
+    (fabric, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated packet is delivered exactly once (no loss, no
+    /// duplication) once the fabric drains.
+    #[test]
+    fn packet_conservation(
+        seed in 0u64..1000,
+        picks in prop::collection::vec(arb_flow(), 1..10),
+    ) {
+        let (mut fabric, expected) = build(seed, &picks, 256);
+        let mut obs = iba_sim::trace::VecObserver::default();
+        fabric.run_until(u64::MAX / 2, &mut obs); // run to drain
+        prop_assert_eq!(obs.records.len() as u64, expected);
+        // Exactly-once: (flow, seq) pairs are unique.
+        let mut seen = std::collections::HashSet::new();
+        for r in &obs.records {
+            prop_assert!(seen.insert((r.flow, r.seq)), "duplicate {:?}", (r.flow, r.seq));
+        }
+    }
+
+    /// Packets of one flow arrive in generation order (same SL, same
+    /// path, FIFO VL buffers).
+    #[test]
+    fn per_flow_in_order_delivery(
+        seed in 0u64..1000,
+        picks in prop::collection::vec(arb_flow(), 1..8),
+    ) {
+        let (mut fabric, _) = build(seed, &picks, 256);
+        let mut obs = iba_sim::trace::VecObserver::default();
+        fabric.run_until(u64::MAX / 2, &mut obs);
+        let mut last: std::collections::HashMap<u32, u64> = Default::default();
+        for r in &obs.records {
+            if let Some(prev) = last.insert(r.flow, r.seq) {
+                prop_assert!(r.seq > prev, "flow {} reordered", r.flow);
+            }
+        }
+    }
+
+    /// Delays are at least the ideal store-and-forward time and the
+    /// simulation is deterministic.
+    #[test]
+    fn delays_bounded_below_and_deterministic(
+        seed in 0u64..1000,
+        picks in prop::collection::vec(arb_flow(), 1..6),
+    ) {
+        let run = || {
+            let (mut fabric, _) = build(seed, &picks, 256);
+            let mut obs = iba_sim::trace::VecObserver::default();
+            fabric.run_until(u64::MAX / 2, &mut obs);
+            obs.records
+                .iter()
+                .map(|r| (r.flow, r.seq, r.created, r.delivered))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        for &(_, _, created, delivered) in &a {
+            // Minimum: two link crossings (host->switch, switch->host).
+            prop_assert!(delivered >= created + 2 * 256);
+        }
+        prop_assert_eq!(a, run());
+    }
+
+    /// The byte accounting of the fabric summary matches the observer.
+    #[test]
+    fn summary_matches_observer(
+        seed in 0u64..1000,
+        picks in prop::collection::vec(arb_flow(), 1..8),
+    ) {
+        let (mut fabric, _) = build(seed, &picks, 256);
+        let mut obs = iba_sim::trace::VecObserver::default();
+        fabric.run_until(u64::MAX / 2, &mut obs);
+        let st = fabric.summarize();
+        let observed: u64 = obs.records.iter().map(|r| u64::from(r.bytes)).sum();
+        prop_assert_eq!(st.delivered_bytes, observed);
+        prop_assert_eq!(st.injected_bytes, observed, "drained fabric");
+        prop_assert_eq!(st.delivered_packets, obs.records.len() as u64);
+    }
+}

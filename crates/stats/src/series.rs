@@ -1,0 +1,223 @@
+//! Sample series: exact quantiles and fixed-width time binning, used by
+//! ad-hoc analyses and the CLI reports.
+
+/// A growable sample series with exact (sort-based) quantiles.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Series {
+    /// Empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// No samples yet?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) with linear interpolation between
+    /// order statistics (`None` when empty).
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Convenience: median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: the (p50, p95, p99, max) summary used in reports.
+    pub fn summary(&mut self) -> Option<(f64, f64, f64, f64)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+            self.quantile(1.0)?,
+        ))
+    }
+}
+
+/// Fixed-width time bins accumulating a value per bin (e.g. delivered
+/// bytes per interval, to plot throughput over time).
+#[derive(Clone, Debug)]
+pub struct TimeBins {
+    width: u64,
+    bins: Vec<f64>,
+}
+
+impl TimeBins {
+    /// Bins of `width` time units.
+    #[must_use]
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0);
+        TimeBins {
+            width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at time `t`.
+    pub fn add(&mut self, t: u64, value: f64) {
+        let idx = (t / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The accumulated bins (last bin may be partial).
+    #[must_use]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Per-bin rates: value divided by the bin width.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        self.bins.iter().map(|v| v / self.width as f64).collect()
+    }
+
+    /// Coefficient of variation of the complete bins (excludes the last,
+    /// possibly partial, bin) — a stability metric for steady states.
+    #[must_use]
+    pub fn rate_cv(&self) -> Option<f64> {
+        if self.bins.len() < 3 {
+            return None;
+        }
+        let full = &self.bins[..self.bins.len() - 1];
+        let mean = full.iter().sum::<f64>() / full.len() as f64;
+        if mean == 0.0 {
+            return None;
+        }
+        let var = full.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / full.len() as f64;
+        Some(var.sqrt() / mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut s = Series::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.25), Some(2.0));
+        // Interpolation between order statistics.
+        assert_eq!(s.quantile(0.125), Some(1.5));
+    }
+
+    #[test]
+    fn empty_series_yields_none() {
+        let mut s = Series::new();
+        assert!(s.mean().is_none());
+        assert!(s.median().is_none());
+        assert!(s.summary().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pushes_after_quantile_resort() {
+        let mut s = Series::new();
+        s.push(10.0);
+        assert_eq!(s.median(), Some(10.0));
+        s.push(0.0);
+        assert_eq!(s.median(), Some(5.0));
+    }
+
+    #[test]
+    fn summary_is_ordered() {
+        let mut s = Series::new();
+        for i in 0..1000 {
+            s.push(f64::from(i));
+        }
+        let (p50, p95, p99, max) = s.summary().unwrap();
+        assert!(p50 < p95 && p95 < p99 && p99 <= max);
+        assert_eq!(max, 999.0);
+    }
+
+    #[test]
+    fn time_bins_accumulate() {
+        let mut b = TimeBins::new(100);
+        b.add(0, 5.0);
+        b.add(99, 5.0);
+        b.add(100, 7.0);
+        b.add(350, 1.0);
+        assert_eq!(b.bins(), &[10.0, 7.0, 0.0, 1.0]);
+        assert_eq!(b.rates(), vec![0.1, 0.07, 0.0, 0.01]);
+    }
+
+    #[test]
+    fn cv_detects_steady_vs_bursty() {
+        let mut steady = TimeBins::new(10);
+        let mut bursty = TimeBins::new(10);
+        for k in 0..20 {
+            steady.add(k * 10, 5.0);
+            bursty.add(k * 10, if k % 2 == 0 { 10.0 } else { 0.0 });
+        }
+        assert!(steady.rate_cv().unwrap() < 0.01);
+        assert!(bursty.rate_cv().unwrap() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_range_checked() {
+        let mut s = Series::new();
+        s.push(1.0);
+        let _ = s.quantile(1.5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Throughput / utilisation / reservation aggregation for Table 2.
+
+/// Streaming mean (and extrema) accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanAccumulator {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanAccumulator {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        MeanAccumulator {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples added.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// The aggregate row set of the paper's Table 2 for one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UtilizationSummary {
+    /// Injected traffic (bytes/cycle/node).
+    pub injected_per_node: f64,
+    /// Delivered traffic (bytes/cycle/node).
+    pub delivered_per_node: f64,
+    /// Mean host-interface utilisation (%).
+    pub host_utilization_pct: f64,
+    /// Mean switch-port utilisation (%).
+    pub switch_utilization_pct: f64,
+    /// Mean bandwidth reserved on host interfaces (Mbps).
+    pub host_reservation_mbps: f64,
+    /// Mean bandwidth reserved on switch ports (Mbps).
+    pub switch_reservation_mbps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_accumulator_math() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), 0.0);
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            m.add(v);
+        }
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.mean(), 4.0);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 10.0);
+        assert_eq!(m.sum(), 16.0);
+    }
+
+    #[test]
+    fn empty_extrema_are_zero() {
+        let m = MeanAccumulator::new();
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz DOT export of fabric topologies (for papers, debugging and
+//! the CLI).
+
+use crate::graph::{PortPeer, Topology};
+use crate::updown::RoutingTable;
+use std::fmt::Write as _;
+
+/// Renders the fabric as an undirected DOT graph: switches as boxes
+/// (labelled with their up*/down* level when a routing table is given),
+/// hosts as small circles.
+#[must_use]
+pub fn to_dot(topo: &Topology, routing: Option<&RoutingTable>) -> String {
+    let mut out = String::from("graph fabric {\n");
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for s in topo.switch_ids() {
+        let label = match routing {
+            Some(r) => format!("{s}\\nlevel {}", r.level(s)),
+            None => s.to_string(),
+        };
+        let root_mark = routing.is_some_and(|r| r.root() == s);
+        let _ = writeln!(
+            out,
+            "  \"{s}\" [shape=box style=filled fillcolor=\"{}\" label=\"{label}\"];",
+            if root_mark { "#ffd27f" } else { "#cfe2ff" }
+        );
+    }
+    for h in topo.host_ids() {
+        let _ = writeln!(
+            out,
+            "  \"{h}\" [shape=circle width=0.25 fontsize=8 style=filled fillcolor=\"#e6ffe6\"];"
+        );
+    }
+    // Each undirected link once: emit only from the lexicographically
+    // smaller endpoint.
+    for s in topo.switch_ids() {
+        for (p, peer) in topo
+            .switch_links(s)
+            .map(|(p, sw, pp)| (p, (sw, pp)))
+            .collect::<Vec<_>>()
+        {
+            let (peer_sw, peer_port) = peer;
+            if (s.0, p) < (peer_sw.0, peer_port) {
+                let _ = writeln!(
+                    out,
+                    "  \"{s}\" -- \"{peer_sw}\" [taillabel=\"{p}\" headlabel=\"{peer_port}\" fontsize=7];"
+                );
+            }
+        }
+        for (p, h) in topo.switch_hosts(s) {
+            let _ = writeln!(out, "  \"{s}\" -- \"{h}\" [taillabel=\"{p}\" fontsize=7];");
+        }
+    }
+    // Unwired ports are worth seeing in debugging dumps.
+    for s in topo.switch_ids() {
+        let free = (0..topo.ports_per_switch())
+            .filter(|&p| topo.peer(s, p) == PortPeer::Free)
+            .count();
+        if free > 0 {
+            let _ = writeln!(out, "  // {s}: {free} free port(s)");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irregular::{generate, IrregularConfig};
+    use crate::updown;
+
+    #[test]
+    fn dot_contains_every_node_once() {
+        let t = generate(IrregularConfig::with_switches(4, 1));
+        let dot = to_dot(&t, None);
+        assert!(dot.starts_with("graph fabric {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for s in t.switch_ids() {
+            assert_eq!(
+                dot.matches(&format!("\"{s}\" [shape=box")).count(),
+                1,
+                "{s}"
+            );
+        }
+        for h in t.host_ids() {
+            assert_eq!(dot.matches(&format!("\"{h}\" [shape=circle")).count(), 1);
+        }
+    }
+
+    #[test]
+    fn each_switch_link_emitted_once() {
+        let t = generate(IrregularConfig::with_switches(8, 2));
+        let dot = to_dot(&t, None);
+        let total_links: usize = t
+            .switch_ids()
+            .map(|s| t.switch_links(s).count())
+            .sum::<usize>()
+            / 2;
+        let edges = dot
+            .lines()
+            .filter(|l| l.contains("-- \"S"))
+            .count();
+        assert_eq!(edges, total_links);
+    }
+
+    #[test]
+    fn routing_adds_levels_and_root() {
+        let t = generate(IrregularConfig::with_switches(4, 3));
+        let r = updown::compute(&t);
+        let dot = to_dot(&t, Some(&r));
+        assert!(dot.contains("level 0"));
+        assert!(dot.contains("#ffd27f"), "root not highlighted");
+    }
+}

@@ -1,0 +1,189 @@
+//! Random irregular topologies, as used by the paper's evaluation:
+//! "all switches have 8 ports, 4 of them having a host attached, and the
+//! other 4 are used for interconnection between switches".
+
+use crate::graph::{SwitchId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random irregular generator.
+#[derive(Clone, Copy, Debug)]
+pub struct IrregularConfig {
+    /// Number of switches (the paper sweeps 8–64; headline results use 16).
+    pub switches: usize,
+    /// Host-attached ports per switch (paper: 4).
+    pub hosts_per_switch: u8,
+    /// Switch-to-switch ports per switch (paper: 4).
+    pub interconnect_ports: u8,
+    /// RNG seed — the same seed always yields the same fabric.
+    pub seed: u64,
+}
+
+impl IrregularConfig {
+    /// The paper's headline configuration: 16 switches, 64 hosts.
+    #[must_use]
+    pub fn paper_default(seed: u64) -> Self {
+        IrregularConfig {
+            switches: 16,
+            hosts_per_switch: 4,
+            interconnect_ports: 4,
+            seed,
+        }
+    }
+
+    /// A configuration with a different switch count, otherwise the
+    /// paper's shape (used by the size sweep, 8–64 switches).
+    #[must_use]
+    pub fn with_switches(switches: usize, seed: u64) -> Self {
+        IrregularConfig {
+            switches,
+            ..Self::paper_default(seed)
+        }
+    }
+}
+
+/// Generates a random connected irregular fabric.
+///
+/// Construction:
+/// 1. every switch gets `hosts_per_switch` hosts on its first ports;
+/// 2. a random spanning tree over the switches guarantees connectivity
+///    (each switch links to a random earlier switch that still has a
+///    free interconnect port);
+/// 3. remaining interconnect ports are randomly paired, avoiding
+///    self-links and (where possible) parallel links; ports that cannot
+///    be legally paired stay free.
+#[must_use]
+pub fn generate(config: IrregularConfig) -> Topology {
+    assert!(config.switches >= 1);
+    assert!(
+        config.switches == 1 || config.interconnect_ports >= 1,
+        "need interconnect ports to connect multiple switches"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ports = config.hosts_per_switch + config.interconnect_ports;
+    let mut topo = Topology::new(config.switches, ports);
+
+    // Hosts first: ports 0..hosts_per_switch of each switch.
+    for s in 0..config.switches {
+        for p in 0..config.hosts_per_switch {
+            topo.attach_host(SwitchId(s as u16), p);
+        }
+    }
+
+    // Spanning tree: connect switch i (i >= 1) to a random earlier
+    // switch with a free port. With k >= 2 interconnect ports such a
+    // switch always exists (an earlier tree node has used at most i-1
+    // of them... not guaranteed in general, so we search).
+    for i in 1..config.switches {
+        let candidates: Vec<u16> = (0..i as u16)
+            .filter(|&j| topo.free_port(SwitchId(j)).is_some())
+            .collect();
+        let &j = candidates
+            .choose(&mut rng)
+            .expect("spanning tree always finds a free earlier port");
+        let pa = topo.free_port(SwitchId(i as u16)).unwrap();
+        let pb = topo.free_port(SwitchId(j)).unwrap();
+        topo.connect_switches(SwitchId(i as u16), pa, SwitchId(j), pb);
+    }
+
+    // Random pairing of the remaining free interconnect ports.
+    let mut free: Vec<(u16, u8)> = Vec::new();
+    for s in topo.switch_ids() {
+        for p in config.hosts_per_switch..ports {
+            if matches!(topo.peer(s, p), crate::graph::PortPeer::Free) {
+                free.push((s.0, p));
+            }
+        }
+    }
+    free.shuffle(&mut rng);
+    while free.len() >= 2 {
+        let (sa, pa) = free.pop().unwrap();
+        // Prefer a partner on a different switch without an existing
+        // parallel link; fall back to any different switch; give up on
+        // the port otherwise.
+        let already_linked: Vec<u16> = topo
+            .switch_links(SwitchId(sa))
+            .map(|(_, peer, _)| peer.0)
+            .collect();
+        let pick = free
+            .iter()
+            .position(|&(sb, _)| sb != sa && !already_linked.contains(&sb))
+            .or_else(|| free.iter().position(|&(sb, _)| sb != sa));
+        let Some(k) = pick else { continue };
+        let (sb, pb) = free.remove(k);
+        topo.connect_switches(SwitchId(sa), pa, SwitchId(sb), pb);
+        // Shuffle occasionally to avoid positional bias from `remove`.
+        if free.len() > 2 && rng.gen_bool(0.25) {
+            free.shuffle(&mut rng);
+        }
+    }
+
+    debug_assert!(topo.check_integrity().is_ok());
+    debug_assert!(topo.is_connected());
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let t = generate(IrregularConfig::paper_default(42));
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_hosts(), 64);
+        assert_eq!(t.ports_per_switch(), 8);
+        assert!(t.is_connected());
+        t.check_integrity().unwrap();
+        for s in t.switch_ids() {
+            assert_eq!(t.switch_hosts(s).count(), 4);
+            assert!(t.switch_links(s).count() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(IrregularConfig::paper_default(7));
+        let b = generate(IrregularConfig::paper_default(7));
+        for s in a.switch_ids() {
+            let la: Vec<_> = a.switch_links(s).collect();
+            let lb: Vec<_> = b.switch_links(s).collect();
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(IrregularConfig::paper_default(1));
+        let b = generate(IrregularConfig::paper_default(2));
+        let links = |t: &Topology| -> Vec<Vec<(u8, SwitchId, u8)>> {
+            t.switch_ids().map(|s| t.switch_links(s).collect()).collect()
+        };
+        assert_ne!(links(&a), links(&b), "seeds 1 and 2 gave identical fabrics");
+    }
+
+    #[test]
+    fn size_sweep_all_connected() {
+        for n in [1, 2, 4, 8, 16, 32, 64] {
+            for seed in 0..5 {
+                let t = generate(IrregularConfig::with_switches(n, seed));
+                assert!(t.is_connected(), "n={n} seed={seed} disconnected");
+                t.check_integrity().unwrap();
+                assert_eq!(t.num_hosts(), 4 * n);
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_links() {
+        for seed in 0..10 {
+            let t = generate(IrregularConfig::paper_default(seed));
+            for s in t.switch_ids() {
+                for (_, peer, _) in t.switch_links(s) {
+                    assert_ne!(peer, s, "self link at {s} (seed {seed})");
+                }
+            }
+        }
+    }
+}

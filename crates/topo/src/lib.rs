@@ -1,0 +1,29 @@
+//! # iba-topo — fabric topologies and deadlock-free routing
+//!
+//! The paper evaluates on *irregular networks randomly generated*, with
+//! 8-port switches (4 ports host-attached, 4 for switch-to-switch
+//! links). This crate provides:
+//!
+//! * the topology data model ([`graph`]),
+//! * the random irregular generator ([`irregular`]) and a regular 2-D
+//!   mesh for examples ([`regular`]),
+//! * **up*/down*** routing — the standard deadlock-free routing for
+//!   irregular NOWs — producing per-switch forwarding tables
+//!   ([`updown`]),
+//! * validation: connectivity, routing completeness, and a channel
+//!   dependency graph acyclicity check that certifies deadlock freedom
+//!   ([`validate`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dot;
+pub mod graph;
+pub mod irregular;
+pub mod regular;
+pub mod updown;
+pub mod validate;
+
+pub use graph::{HostId, PortPeer, SwitchId, Topology};
+pub use irregular::IrregularConfig;
+pub use updown::RoutingTable;

@@ -1,0 +1,78 @@
+//! Regular topologies for examples and sanity baselines: a 2-D mesh of
+//! switches with hosts on every switch.
+
+use crate::graph::{SwitchId, Topology};
+
+/// Builds an `rows × cols` 2-D mesh. Each switch gets
+/// `hosts_per_switch` hosts plus up to four mesh links; ports are laid
+/// out hosts-first, then +X, -X, +Y, -Y as present.
+#[must_use]
+pub fn mesh2d(rows: usize, cols: usize, hosts_per_switch: u8) -> Topology {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    // Enough ports: hosts + 4 mesh directions.
+    let ports = hosts_per_switch + 4;
+    let mut t = Topology::new(n, ports);
+    let id = |r: usize, c: usize| SwitchId((r * cols + c) as u16);
+
+    for r in 0..rows {
+        for c in 0..cols {
+            for p in 0..hosts_per_switch {
+                t.attach_host(id(r, c), p);
+            }
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let pa = t.free_port(id(r, c)).unwrap();
+                let pb = t.free_port(id(r, c + 1)).unwrap();
+                t.connect_switches(id(r, c), pa, id(r, c + 1), pb);
+            }
+            if r + 1 < rows {
+                let pa = t.free_port(id(r, c)).unwrap();
+                let pb = t.free_port(id(r + 1, c)).unwrap();
+                t.connect_switches(id(r, c), pa, id(r + 1, c), pb);
+            }
+        }
+    }
+    debug_assert!(t.check_integrity().is_ok());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updown;
+
+    #[test]
+    fn mesh_shape() {
+        let t = mesh2d(3, 3, 2);
+        assert_eq!(t.num_switches(), 9);
+        assert_eq!(t.num_hosts(), 18);
+        assert!(t.is_connected());
+        // Corner switch has 2 links, centre has 4.
+        assert_eq!(t.switch_links(SwitchId(0)).count(), 2);
+        assert_eq!(t.switch_links(SwitchId(4)).count(), 4);
+    }
+
+    #[test]
+    fn mesh_routes_everywhere() {
+        let t = mesh2d(4, 4, 1);
+        let r = updown::compute(&t);
+        for a in t.host_ids() {
+            for b in t.host_ids() {
+                assert!(r.path_hops(&t, a, b).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_1x1() {
+        let t = mesh2d(1, 1, 3);
+        assert_eq!(t.num_switches(), 1);
+        assert_eq!(t.num_hosts(), 3);
+        let r = updown::compute(&t);
+        assert_eq!(r.path_hops(&t, crate::HostId(0), crate::HostId(2)), Some(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: any randomly generated fabric must be connected,
+//! fully routable and deadlock-free.
+
+use iba_topo::irregular::{generate, IrregularConfig};
+use iba_topo::validate::{check_deadlock_freedom, check_routing_completeness};
+use iba_topo::{updown, Topology};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = IrregularConfig> {
+    (1usize..=24, 1u8..=4, 2u8..=5, any::<u64>()).prop_map(
+        |(switches, hosts, inter, seed)| IrregularConfig {
+            switches,
+            hosts_per_switch: hosts,
+            interconnect_ports: inter,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_fabrics_are_well_formed(config in arb_config()) {
+        let t = generate(config);
+        prop_assert_eq!(t.num_switches(), config.switches);
+        prop_assert_eq!(
+            t.num_hosts(),
+            config.switches * config.hosts_per_switch as usize
+        );
+        t.check_integrity().unwrap();
+        prop_assert!(t.is_connected());
+    }
+
+    #[test]
+    fn routing_is_complete_and_deadlock_free(config in arb_config()) {
+        let t = generate(config);
+        let r = updown::compute(&t);
+        check_routing_completeness(&t, &r).unwrap();
+        check_deadlock_freedom(&t, &r).unwrap();
+    }
+
+    #[test]
+    fn paths_are_bounded(config in arb_config()) {
+        let t = generate(config);
+        let r = updown::compute(&t);
+        // An up*/down* path visits each switch at most once, plus the
+        // two host links.
+        let bound = t.num_switches() + 1;
+        for src in t.host_ids() {
+            for dest in t.host_ids() {
+                let hops = r.path_hops(&t, src, dest).unwrap();
+                prop_assert!(hops <= bound, "{src}->{dest} took {hops} links");
+            }
+        }
+    }
+
+    /// Same-seed determinism over arbitrary seeds (experiments depend on
+    /// reproducible fabrics).
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let digest = |t: &Topology| -> Vec<(u16, u8, u16, u8)> {
+            t.switch_ids()
+                .flat_map(|s| {
+                    t.switch_links(s)
+                        .map(move |(p, peer, pp)| (s.0, p, peer.0, pp))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let a = generate(IrregularConfig::paper_default(seed));
+        let b = generate(IrregularConfig::paper_default(seed));
+        prop_assert_eq!(digest(&a), digest(&b));
+    }
+}

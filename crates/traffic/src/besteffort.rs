@@ -1,0 +1,138 @@
+//! Best-effort background traffic (PBE / BE / CH), served from the
+//! low-priority table. The paper reserves 20% of link bandwidth for
+//! these classes and gives them no guarantees.
+
+use iba_core::{ServiceLevel, sl};
+use iba_sim::{Arrival, FlowSpec};
+use iba_topo::{HostId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the best-effort background.
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundConfig {
+    /// Aggregate offered load per host, as a fraction of link capacity
+    /// (the paper leaves 20% of capacity for these classes).
+    pub load_fraction: f64,
+    /// Packet size (bytes).
+    pub packet_bytes: u32,
+    /// Split between PBE : BE : CH (weights, normalised internally).
+    pub class_mix: [f64; 3],
+    /// RNG seed for destinations and phases.
+    pub seed: u64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            load_fraction: 0.15,
+            packet_bytes: 256,
+            class_mix: [2.0, 1.5, 0.5],
+            seed: 0xBE57,
+        }
+    }
+}
+
+/// Builds one background flow per host and class: uniform random
+/// destination, CBR at the class's share of the background load.
+///
+/// Flow ids start at `first_id` and increase densely.
+#[must_use]
+pub fn background_flows(
+    topo: &Topology,
+    config: &BackgroundConfig,
+    first_id: u32,
+) -> Vec<FlowSpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = topo.num_hosts();
+    assert!(n >= 2, "background traffic needs at least two hosts");
+    let mix_total: f64 = config.class_mix.iter().sum();
+    let classes = [
+        ServiceLevel::new(sl::SL_PBE).unwrap(),
+        ServiceLevel::new(sl::SL_BE).unwrap(),
+        ServiceLevel::new(sl::SL_CH).unwrap(),
+    ];
+
+    let mut flows = Vec::with_capacity(n * classes.len());
+    let mut id = first_id;
+    for src in topo.host_ids() {
+        for (ci, &sl_id) in classes.iter().enumerate() {
+            let share = config.load_fraction * config.class_mix[ci] / mix_total;
+            if share <= 0.0 {
+                continue;
+            }
+            // bytes/cycle -> interarrival in cycles.
+            let interval = (f64::from(config.packet_bytes) / share).round().max(1.0) as u64;
+            let dst = loop {
+                let d = HostId(rng.gen_range(0..n as u16));
+                if d != src {
+                    break d;
+                }
+            };
+            flows.push(FlowSpec {
+                id,
+                src,
+                dst,
+                sl: sl_id,
+                packet_bytes: config.packet_bytes,
+                arrival: Arrival::Cbr { interval },
+                start: rng.gen_range(0..interval),
+                stop: None,
+            });
+            id += 1;
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topo::irregular::{generate, IrregularConfig};
+
+    #[test]
+    fn one_flow_per_host_per_class() {
+        let topo = generate(IrregularConfig::paper_default(1));
+        let flows = background_flows(&topo, &BackgroundConfig::default(), 1000);
+        assert_eq!(flows.len(), 64 * 3);
+        assert_eq!(flows[0].id, 1000);
+        assert_eq!(flows.last().unwrap().id, 1000 + 64 * 3 - 1);
+    }
+
+    #[test]
+    fn aggregate_load_matches_fraction() {
+        let topo = generate(IrregularConfig::paper_default(2));
+        let cfg = BackgroundConfig {
+            load_fraction: 0.2,
+            ..Default::default()
+        };
+        let flows = background_flows(&topo, &cfg, 0);
+        for src in topo.host_ids() {
+            let load: f64 = flows
+                .iter()
+                .filter(|f| f.src == src)
+                .map(FlowSpec::offered_load)
+                .sum();
+            assert!(
+                (load - 0.2).abs() < 0.01,
+                "host {src} offers {load} bytes/cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn never_self_addressed() {
+        let topo = generate(IrregularConfig::paper_default(3));
+        for f in background_flows(&topo, &BackgroundConfig::default(), 0) {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn classes_use_best_effort_sls() {
+        let topo = generate(IrregularConfig::paper_default(4));
+        for f in background_flows(&topo, &BackgroundConfig::default(), 0) {
+            assert!(matches!(f.sl.raw(), 10..=12));
+        }
+    }
+}

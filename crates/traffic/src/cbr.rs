@@ -1,0 +1,100 @@
+//! CBR flow construction for admitted connections.
+
+use crate::request::ConnectionRequest;
+use iba_sim::{Arrival, FlowSpec};
+
+/// Builds the CBR [`FlowSpec`] of an admitted connection.
+///
+/// The `phase` offsets the first packet so that independently admitted
+/// connections do not all fire on the same cycle (the workload generator
+/// draws it uniformly from the interarrival interval).
+#[must_use]
+pub fn flow_for_connection(req: &ConnectionRequest, phase: u64) -> FlowSpec {
+    let interval = req.interarrival();
+    FlowSpec {
+        id: req.id,
+        src: req.src,
+        dst: req.dst,
+        sl: req.sl,
+        packet_bytes: req.packet_bytes,
+        arrival: Arrival::Cbr { interval },
+        start: phase % interval.max(1),
+        stop: None,
+    }
+}
+
+/// Scales a flow's offered rate by `factor` (used by the over-sending
+/// ablation: a misbehaving source transmits `factor ×` what it
+/// reserved).
+#[must_use]
+pub fn scale_rate(flow: &FlowSpec, factor: f64) -> FlowSpec {
+    assert!(factor > 0.0);
+    let arrival = match &flow.arrival {
+        Arrival::Cbr { interval } => Arrival::Cbr {
+            interval: ((*interval as f64 / factor).round() as u64).max(1),
+        },
+        Arrival::Pattern { intervals } => Arrival::Pattern {
+            intervals: intervals
+                .iter()
+                .map(|&i| ((i as f64 / factor).round() as u64).max(1))
+                .collect(),
+        },
+    };
+    FlowSpec {
+        arrival,
+        ..flow.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::{Distance, ServiceLevel};
+    use iba_topo::HostId;
+
+    fn req() -> ConnectionRequest {
+        ConnectionRequest {
+            id: 9,
+            src: HostId(2),
+            dst: HostId(5),
+            sl: ServiceLevel::new(4).unwrap(),
+            distance: Distance::D32,
+            mean_bw_mbps: 25.0,
+            packet_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn flow_mirrors_request() {
+        let f = flow_for_connection(&req(), 100);
+        assert_eq!(f.id, 9);
+        assert_eq!(f.src, HostId(2));
+        assert_eq!(f.dst, HostId(5));
+        assert_eq!(f.packet_bytes, 256);
+        let Arrival::Cbr { interval } = f.arrival else {
+            panic!("CBR expected")
+        };
+        assert_eq!(interval, 25600); // 256B at 25 Mbps
+        assert_eq!(f.start, 100);
+    }
+
+    #[test]
+    fn phase_wraps_into_interval() {
+        let f = flow_for_connection(&req(), 25600 * 3 + 17);
+        assert_eq!(f.start, 17);
+    }
+
+    #[test]
+    fn offered_load_matches_reservation() {
+        let f = flow_for_connection(&req(), 0);
+        // 25 Mbps on the 2500 Mbps time base = 0.01 bytes/cycle.
+        assert!((f.offered_load() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scale_rate_doubles() {
+        let f = flow_for_connection(&req(), 0);
+        let g = scale_rate(&f, 2.0);
+        assert!((g.offered_load() - 0.02).abs() < 1e-4);
+    }
+}

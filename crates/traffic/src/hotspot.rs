@@ -1,0 +1,133 @@
+//! Stress patterns beyond the paper's uniform workload: hotspot (all
+//! hosts hammer one destination) and permutation traffic. Used by the
+//! robustness tests — QoS guarantees must survive hostile best-effort
+//! patterns.
+
+use iba_core::ServiceLevel;
+use iba_sim::{Arrival, FlowSpec};
+use iba_topo::{HostId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One flow from every other host towards `target`, each offering
+/// `load_fraction` of a link (so the hotspot port is oversubscribed
+/// `(hosts-1) · load_fraction` times).
+#[must_use]
+pub fn hotspot_flows(
+    topo: &Topology,
+    target: HostId,
+    sl: ServiceLevel,
+    load_fraction: f64,
+    packet_bytes: u32,
+    first_id: u32,
+) -> Vec<FlowSpec> {
+    assert!(load_fraction > 0.0 && load_fraction <= 1.0);
+    let interval = (f64::from(packet_bytes) / load_fraction).round().max(1.0) as u64;
+    topo.host_ids()
+        .filter(|&h| h != target)
+        .enumerate()
+        .map(|(k, src)| FlowSpec {
+            id: first_id + k as u32,
+            src,
+            dst: target,
+            sl,
+            packet_bytes,
+            arrival: Arrival::Cbr { interval },
+            start: (k as u64 * 97) % interval,
+            stop: None,
+        })
+        .collect()
+}
+
+/// A random permutation pattern: every host sends to exactly one other
+/// host and receives from exactly one (no convergence anywhere).
+#[must_use]
+pub fn permutation_flows(
+    topo: &Topology,
+    sl: ServiceLevel,
+    load_fraction: f64,
+    packet_bytes: u32,
+    seed: u64,
+    first_id: u32,
+) -> Vec<FlowSpec> {
+    assert!(load_fraction > 0.0 && load_fraction <= 1.0);
+    let n = topo.num_hosts();
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A derangement-ish permutation: shuffle until no fixed points
+    // (guaranteed to terminate quickly for n >= 2).
+    let mut perm: Vec<u16> = (0..n as u16).collect();
+    loop {
+        perm.shuffle(&mut rng);
+        if perm.iter().enumerate().all(|(i, &p)| i as u16 != p) {
+            break;
+        }
+    }
+    let interval = (f64::from(packet_bytes) / load_fraction).round().max(1.0) as u64;
+    perm.into_iter()
+        .enumerate()
+        .map(|(src, dst)| FlowSpec {
+            id: first_id + src as u32,
+            src: HostId(src as u16),
+            dst: HostId(dst),
+            sl,
+            packet_bytes,
+            arrival: Arrival::Cbr { interval },
+            start: (src as u64 * 131) % interval,
+            stop: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_topo::irregular::{generate, IrregularConfig};
+
+    fn sl(i: u8) -> ServiceLevel {
+        ServiceLevel::new(i).unwrap()
+    }
+
+    #[test]
+    fn hotspot_covers_all_other_hosts() {
+        let topo = generate(IrregularConfig::with_switches(4, 1));
+        let flows = hotspot_flows(&topo, HostId(3), sl(11), 0.5, 256, 100);
+        assert_eq!(flows.len(), topo.num_hosts() - 1);
+        assert!(flows.iter().all(|f| f.dst == HostId(3) && f.src != HostId(3)));
+        // Aggregate oversubscription of the hotspot link.
+        let total: f64 = flows.iter().map(FlowSpec::offered_load).sum();
+        assert!(total > 7.0, "{total}");
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let topo = generate(IrregularConfig::with_switches(4, 2));
+        let flows = permutation_flows(&topo, sl(11), 0.3, 256, 9, 0);
+        assert_eq!(flows.len(), topo.num_hosts());
+        let mut dst_seen = vec![false; topo.num_hosts()];
+        for f in &flows {
+            assert_ne!(f.src, f.dst, "fixed point");
+            assert!(!std::mem::replace(&mut dst_seen[f.dst.index()], true));
+        }
+        assert!(dst_seen.iter().all(|&b| b), "not a permutation");
+    }
+
+    #[test]
+    fn permutation_deterministic_by_seed() {
+        let topo = generate(IrregularConfig::with_switches(4, 3));
+        let a = permutation_flows(&topo, sl(10), 0.2, 256, 7, 0);
+        let b = permutation_flows(&topo, sl(10), 0.2, 256, 7, 0);
+        let pairs = |v: &[FlowSpec]| v.iter().map(|f| (f.src, f.dst)).collect::<Vec<_>>();
+        assert_eq!(pairs(&a), pairs(&b));
+    }
+
+    #[test]
+    fn load_fraction_sets_interval() {
+        let topo = generate(IrregularConfig::with_switches(2, 4));
+        let flows = hotspot_flows(&topo, HostId(0), sl(12), 0.25, 256, 0);
+        for f in &flows {
+            assert!((f.offered_load() - 0.25).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # iba-traffic — traffic models for the QoS evaluation
+//!
+//! Generates the workloads of the paper's evaluation:
+//!
+//! * QoS **connection requests** drawn per service level from Table 1's
+//!   distance / bandwidth strata ([`request`], [`workload`]);
+//! * **CBR** packet flows for accepted connections ([`cbr`]);
+//! * a periodic-envelope **VBR** extension ([`vbr`]) — the authors
+//!   evaluated VBR traffic in their CCECE'02 companion paper;
+//! * **best-effort background** (PBE/BE/CH) flows that live in the
+//!   low-priority table ([`besteffort`]).
+//!
+//! This crate only *describes* traffic; admission is decided by
+//! `iba-qos` and packet movement by `iba-sim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod besteffort;
+pub mod cbr;
+pub mod hotspot;
+pub mod request;
+pub mod vbr;
+pub mod workload;
+
+pub use cbr::flow_for_connection;
+pub use request::{deadline_for, ConnectionRequest, SERVICE_QUANTUM_CYCLES};
+pub use workload::{RequestGenerator, WorkloadConfig};

@@ -1,0 +1,99 @@
+//! VBR traffic: a periodic-envelope variable bit rate source.
+//!
+//! The authors evaluated VBR (MPEG-like) traffic over their tables in a
+//! companion paper (CCECE'02); this module provides the equivalent
+//! generator: the flow's instantaneous rate follows a repeating envelope
+//! around the declared mean, so the *mean* reservation still holds while
+//! packets burst.
+
+use crate::request::ConnectionRequest;
+use iba_sim::{Arrival, FlowSpec};
+
+/// Builds a VBR [`FlowSpec`]: the inter-packet gap cycles through a
+/// pattern whose mean equals the CBR gap of the declared bandwidth,
+/// with peak rate `burstiness ×` the mean (`burstiness >= 1`).
+///
+/// The envelope alternates a burst phase (gap / burstiness) and a quiet
+/// phase chosen so the long-run mean gap is preserved.
+#[must_use]
+pub fn vbr_flow(req: &ConnectionRequest, burstiness: f64, phase: u64) -> FlowSpec {
+    assert!(burstiness >= 1.0, "burstiness is a peak-to-mean ratio");
+    let mean_gap = req.interarrival() as f64;
+    // `n` packets at the peak rate, one long gap to restore the mean:
+    // n*g_peak + g_quiet = (n+1)*mean_gap.
+    let n = 4usize;
+    let g_peak = (mean_gap / burstiness).round().max(1.0);
+    let g_quiet = ((n as f64 + 1.0) * mean_gap - n as f64 * g_peak)
+        .round()
+        .max(1.0);
+    let mut intervals = vec![g_peak as u64; n];
+    intervals.push(g_quiet as u64);
+    FlowSpec {
+        id: req.id,
+        src: req.src,
+        dst: req.dst,
+        sl: req.sl,
+        packet_bytes: req.packet_bytes,
+        arrival: Arrival::Pattern { intervals },
+        start: phase % (mean_gap as u64).max(1),
+        stop: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::{Distance, ServiceLevel};
+    use iba_topo::HostId;
+
+    fn req(mbps: f64) -> ConnectionRequest {
+        ConnectionRequest {
+            id: 1,
+            src: HostId(0),
+            dst: HostId(3),
+            sl: ServiceLevel::new(5).unwrap(),
+            distance: Distance::D32,
+            mean_bw_mbps: mbps,
+            packet_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_preserved() {
+        for burst in [1.0, 1.5, 2.0, 4.0] {
+            let f = vbr_flow(&req(16.0), burst, 0);
+            let cbr_gap = req(16.0).interarrival() as f64;
+            let err = (f.arrival.mean_gap() - cbr_gap).abs() / cbr_gap;
+            assert!(err < 0.01, "burst {burst}: mean gap off by {err}");
+        }
+    }
+
+    #[test]
+    fn burstiness_one_is_cbr_like() {
+        let f = vbr_flow(&req(16.0), 1.0, 0);
+        let Arrival::Pattern { intervals } = &f.arrival else {
+            panic!()
+        };
+        let first = intervals[0];
+        assert!(intervals.iter().all(|&i| i.abs_diff(first) <= 1));
+    }
+
+    #[test]
+    fn peak_rate_scales() {
+        let f = vbr_flow(&req(16.0), 4.0, 0);
+        let Arrival::Pattern { intervals } = &f.arrival else {
+            panic!()
+        };
+        let cbr_gap = req(16.0).interarrival();
+        // Burst gaps are a quarter of the mean gap.
+        assert_eq!(intervals[0], cbr_gap / 4);
+        // The quiet gap restores the mean.
+        assert!(*intervals.last().unwrap() > cbr_gap);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak-to-mean")]
+    fn burstiness_below_one_rejected() {
+        let _ = vbr_flow(&req(16.0), 0.5, 0);
+    }
+}

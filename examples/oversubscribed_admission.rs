@@ -1,0 +1,104 @@
+//! Oversubscribed admission: what happens when applications ask for
+//! more than the fabric can guarantee — requests are *rejected at
+//! admission time* (and the rest keep their guarantees) instead of
+//! degrading everyone, which is the whole point of the arbitration-table
+//! frame.
+//!
+//! Also demonstrates teardown + defragmentation: after connections
+//! finish, the freed entries recombine and previously-rejected strict
+//! requests become admissible again.
+//!
+//! ```sh
+//! cargo run --example oversubscribed_admission
+//! ```
+
+use infiniband_qos::core::Distance;
+use infiniband_qos::prelude::*;
+
+fn main() {
+    let topo = generate(IrregularConfig::with_switches(2, 5));
+    let routing = compute_routing(&topo);
+    let mut frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        SlTable::paper_table1(),
+        SimConfig::paper_default(256),
+    );
+
+    // Saturate one destination with big DB connections (SL 9).
+    let dst = HostId(7);
+    let mut ids = Vec::new();
+    let mut next = 0u32;
+    loop {
+        let src = HostId((next % 6) as u16); // hosts 0..5 all target host 7
+        let req = ConnectionRequest {
+            id: next,
+            src,
+            dst,
+            sl: ServiceLevel::new(9).unwrap(),
+            distance: Distance::D64,
+            mean_bw_mbps: 120.0,
+            packet_bytes: 256,
+        };
+        match frame.manager.request(&req) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                println!(
+                    "after {} x 120 Mbps connections the fabric says no: {e}",
+                    ids.len()
+                );
+                break;
+            }
+        }
+        next += 1;
+    }
+    let (host_res, _) = frame.manager.reservation_summary();
+    println!("mean host-link reservation now {host_res:.0} Mbps (cap is 80% of 2500)");
+
+    // A strict low-latency request also fails now: its distance-2
+    // sequence needs 32 entries spread over a saturated table.
+    let strict = ConnectionRequest {
+        id: 9999,
+        src: HostId(0),
+        dst,
+        sl: ServiceLevel::new(0).unwrap(),
+        distance: Distance::D2,
+        mean_bw_mbps: 2.0,
+        packet_bytes: 256,
+    };
+    match frame.manager.request(&strict) {
+        Ok(_) => println!("strict request admitted (fabric had room)"),
+        Err(e) => println!("strict request rejected while saturated: {e}"),
+    }
+
+    // Tear half the bulk connections down; defragmentation inside each
+    // table re-packs the survivors so the freed entries are usable by
+    // the strictest requests.
+    let n = ids.len();
+    for id in ids.drain(..n / 2) {
+        frame.manager.teardown(id);
+    }
+    println!("tore down {} connections; retrying the strict request…", n / 2);
+    match frame.manager.request(&strict) {
+        Ok(id) => {
+            let conn = frame.manager.connection(id).unwrap();
+            println!(
+                "admitted: distance {} over {} hops, deadline {} cycles ✓",
+                conn.request.distance,
+                conn.hop_count(),
+                conn.deadline
+            );
+        }
+        Err(e) => panic!("defragmentation should have made room: {e}"),
+    }
+
+    // The guarantees of the surviving bulk connections are intact.
+    let (mut fabric, mut obs) = frame.build_fabric(11, None);
+    fabric.run_until(8_000_000, &mut obs);
+    let misses: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
+    println!(
+        "simulated: {} packets delivered, {misses} deadline misses",
+        obs.qos_packets
+    );
+    assert_eq!(misses, 0);
+}

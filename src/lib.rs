@@ -1,0 +1,80 @@
+//! # infiniband-qos
+//!
+//! A complete reproduction of *Alfaro, Sánchez, Duato — "A New Proposal
+//! to Fill in the InfiniBand Arbitration Tables" (ICPP 2003)*: the
+//! bit-reversal arbitration-table filling algorithm, a full InfiniBand
+//! fabric simulator, and the end-to-end QoS provisioning frame the
+//! paper evaluates.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] (`iba-core`) — arbitration tables, the filling and
+//!   defragmentation algorithms, service levels, the WRR engine;
+//! * [`topo`] (`iba-topo`) — random irregular topologies and
+//!   deadlock-free up*/down* routing;
+//! * [`sim`] (`iba-sim`) — the discrete-event fabric simulator;
+//! * [`traffic`] (`iba-traffic`) — CBR/VBR sources and workloads;
+//! * [`qos`] (`iba-qos`) — admission control and the global QoS frame;
+//! * [`stats`] (`iba-stats`) — delay/jitter/utilisation measurement.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use infiniband_qos::prelude::*;
+//!
+//! // A random irregular fabric: 4 switches, 16 hosts.
+//! let topo = generate(IrregularConfig::with_switches(4, 7));
+//! let routing = compute_routing(&topo);
+//!
+//! // The paper's QoS frame with its Table 1 service levels.
+//! let mut frame = QosFrame::new(
+//!     topo,
+//!     routing,
+//!     SlTable::paper_table1(),
+//!     SimConfig::paper_default(256),
+//! );
+//!
+//! // Ask for a connection: 8 Mbps with a latency guarantee.
+//! let req = frame
+//!     .manager
+//!     .classify_request(0, HostId(0), HostId(9), 2_000_000, 8.0, 256)
+//!     .expect("classifiable");
+//! let id = frame.manager.request(&req).expect("admitted");
+//! assert!(frame.manager.connection(id).unwrap().deadline > 0);
+//!
+//! // Simulate it.
+//! let (mut fabric, mut obs) = frame.build_fabric(1, None);
+//! fabric.run_until(3_000_000, &mut obs);
+//! assert!(obs.qos_packets > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use iba_core as core;
+pub use iba_qos as qos;
+pub use iba_sim as sim;
+pub use iba_stats as stats;
+pub use iba_topo as topo;
+pub use iba_traffic as traffic;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use iba_core::{
+        AllocatorKind, Distance, HighPriorityTable, ServiceLevel, SlTable, SlToVlMap,
+        TrafficClass, VirtualLane, VlArbConfig, VlArbEngine,
+    };
+    pub use iba_qos::{QosFrame, QosManager, QosObserver, RejectReason};
+    pub use iba_sim::{Arrival, Fabric, FlowSpec, NodeId, SimConfig};
+    pub use iba_stats::{DelayCollector, JitterCollector, Table};
+    pub use iba_topo::irregular::generate;
+    pub use iba_topo::{HostId, IrregularConfig, SwitchId, Topology};
+    pub use iba_traffic::besteffort::BackgroundConfig;
+    pub use iba_traffic::{ConnectionRequest, RequestGenerator, WorkloadConfig};
+
+    /// Computes up*/down* routing (alias of `iba_topo::updown::compute`).
+    #[must_use]
+    pub fn compute_routing(topo: &Topology) -> iba_topo::RoutingTable {
+        iba_topo::updown::compute(topo)
+    }
+}

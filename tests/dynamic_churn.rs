@@ -1,0 +1,86 @@
+//! Dynamic behaviour across crates: connections arriving and departing
+//! while the fabric runs must keep every live guarantee and leave the
+//! tables consistent and canonical.
+
+use infiniband_qos::prelude::*;
+use infiniband_qos::qos::{ChurnEvent, ChurnRunner};
+
+fn build(seed: u64) -> (QosFrame, RequestGenerator) {
+    let topo = generate(IrregularConfig::with_switches(4, seed));
+    let routing = compute_routing(&topo);
+    let frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        SlTable::paper_table1(),
+        SimConfig::paper_default(256),
+    );
+    let gen = RequestGenerator::new(
+        &topo,
+        &SlTable::paper_table1(),
+        &WorkloadConfig::new(256, seed ^ 0xC0FFEE),
+    );
+    (frame, gen)
+}
+
+#[test]
+fn churn_preserves_guarantees_and_consistency() {
+    let (mut frame, mut gen) = build(31);
+    let mut events = Vec::new();
+    for k in 0..120u64 {
+        events.push(ChurnEvent::Arrive {
+            at: k * 40_000,
+            request: gen.next_request(),
+        });
+        if k % 3 == 2 {
+            events.push(ChurnEvent::DepartOldest { at: k * 40_000 + 20_000 });
+        }
+    }
+    let (mut fabric, mut obs) = frame.build_fabric(1, None);
+    let stats = ChurnRunner::new(events).run(&mut frame, &mut fabric, &mut obs, 12_000_000);
+
+    assert!(stats.admitted > 60, "only {} admitted", stats.admitted);
+    assert_eq!(stats.departed, 40);
+    assert!(obs.qos_packets > 500);
+    let misses: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
+    assert_eq!(misses, 0, "churn broke a live guarantee");
+    frame.manager.port_tables().check_all().unwrap();
+
+    // Every table is still canonical: frees + defrag kept the layouts
+    // optimal for future strict requests.
+    for (_, table) in frame.manager.port_tables().tables() {
+        assert!(
+            infiniband_qos::core::is_canonical(table.occupancy()),
+            "non-canonical table after churn"
+        );
+    }
+}
+
+#[test]
+fn full_drain_returns_every_table_to_empty() {
+    let (mut frame, mut gen) = build(32);
+    let mut events = Vec::new();
+    for k in 0..40u64 {
+        events.push(ChurnEvent::Arrive {
+            at: k * 10_000,
+            request: gen.next_request(),
+        });
+    }
+    for k in 0..40u64 {
+        events.push(ChurnEvent::DepartOldest {
+            at: 400_000 + k * 10_000,
+        });
+    }
+    let (mut fabric, mut obs) = frame.build_fabric(2, None);
+    let stats = ChurnRunner::new(events).run(&mut frame, &mut fabric, &mut obs, 2_000_000);
+    assert_eq!(stats.admitted + stats.rejected, 40);
+    assert_eq!(
+        stats.departed + stats.empty_departures,
+        40,
+        "every departure event consumed"
+    );
+    assert_eq!(frame.manager.live_connections(), 0);
+    for (_, table) in frame.manager.port_tables().tables() {
+        assert_eq!(table.reserved_weight(), 0);
+        assert_eq!(table.free_entries(), 64);
+    }
+}

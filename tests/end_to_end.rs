@@ -1,0 +1,160 @@
+//! Cross-crate integration: the paper's full pipeline on a scaled-down
+//! fabric — generate topology, route, classify, admit to saturation,
+//! simulate, and check the QoS guarantees hold.
+
+use infiniband_qos::prelude::*;
+
+/// Builds a loaded frame on an 8-switch fabric and returns it with its
+/// fill statistics.
+fn loaded_frame(seed: u64, mtu: u32) -> (QosFrame, u32) {
+    let topo = generate(IrregularConfig::with_switches(8, seed));
+    let routing = compute_routing(&topo);
+    let mut frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        SlTable::paper_table1(),
+        SimConfig::paper_default(mtu),
+    );
+    let mut gen = RequestGenerator::new(
+        &topo,
+        &SlTable::paper_table1(),
+        &WorkloadConfig::new(mtu, seed ^ 0xFEED),
+    );
+    let report = frame.fill(&mut gen, 30, 2000);
+    (frame, report.accepted)
+}
+
+#[test]
+fn loaded_fabric_meets_every_deadline() {
+    let (frame, accepted) = loaded_frame(11, 256);
+    assert!(accepted > 40, "only {accepted} connections admitted");
+
+    let (mut fabric, mut obs) = frame.build_fabric(3, None);
+    // Transient period, then measure.
+    let transient = 2_000_000;
+    fabric.run_until(transient, &mut obs);
+    obs.reset_samples();
+    fabric.reset_stats();
+    fabric.run_until(transient + 6_000_000, &mut obs);
+
+    assert!(obs.qos_packets > 1000, "too few packets: {}", obs.qos_packets);
+    // The paper's headline claim: all packets of all SLs arrive before
+    // their deadlines.
+    for (sl, dist) in obs.delay_by_sl.groups() {
+        assert_eq!(
+            dist.missed(),
+            0,
+            "SL{sl} missed {} of {} deadlines (max ratio {:.3})",
+            dist.missed(),
+            dist.total(),
+            dist.max_ratio()
+        );
+    }
+}
+
+#[test]
+fn background_traffic_does_not_break_guarantees() {
+    let (frame, _) = loaded_frame(12, 256);
+    let bg = BackgroundConfig {
+        load_fraction: 0.15,
+        ..Default::default()
+    };
+    let (mut fabric, mut obs) = frame.build_fabric(4, Some(&bg));
+    fabric.run_until(2_000_000, &mut obs);
+    obs.reset_samples();
+    fabric.reset_stats();
+    fabric.run_until(8_000_000, &mut obs);
+
+    assert!(obs.be_packets > 0, "background never delivered");
+    for (sl, dist) in obs.delay_by_sl.groups() {
+        assert_eq!(dist.missed(), 0, "SL{sl} missed deadlines under background load");
+    }
+}
+
+#[test]
+fn jitter_never_exceeds_iat_for_low_bandwidth_sls() {
+    let (frame, _) = loaded_frame(13, 256);
+    let (mut fabric, mut obs) = frame.build_fabric(5, None);
+    fabric.run_until(2_000_000, &mut obs);
+    obs.reset_samples();
+    fabric.run_until(10_000_000, &mut obs);
+
+    // Low-bandwidth SLs (0-4, 6) have huge IATs relative to network
+    // delays: every gap lands in the central interval (paper Fig. 5).
+    for sl in [0usize, 1, 2, 3] {
+        if let Some(h) = obs.jitter.group(sl) {
+            if h.total() > 10 {
+                assert!(
+                    h.central_pct() > 99.0,
+                    "SL{sl} central jitter only {:.1}%",
+                    h.central_pct()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn large_packets_behave_like_small() {
+    let (frame, accepted) = loaded_frame(14, 4096);
+    assert!(accepted > 40);
+    let (mut fabric, mut obs) = frame.build_fabric(6, None);
+    fabric.run_until(4_000_000, &mut obs);
+    obs.reset_samples();
+    fabric.run_until(16_000_000, &mut obs);
+    for (sl, dist) in obs.delay_by_sl.groups() {
+        assert_eq!(dist.missed(), 0, "SL{sl} missed deadlines at 4KB MTU");
+    }
+}
+
+#[test]
+fn teardown_frees_capacity_for_new_connections() {
+    let (mut frame, _) = loaded_frame(15, 256);
+    // Tear down every connection.
+    let ids: Vec<_> = frame.manager.connections().map(|(id, _)| id).collect();
+    let n = ids.len();
+    for id in ids {
+        assert!(frame.manager.teardown(id));
+    }
+    assert_eq!(frame.manager.live_connections(), 0);
+    frame.manager.port_tables().check_all().unwrap();
+
+    // The fabric accepts a comparable load again.
+    let topo = frame.manager.topology().clone();
+    let mut gen = RequestGenerator::new(
+        &topo,
+        &SlTable::paper_table1(),
+        &WorkloadConfig::new(256, 999),
+    );
+    let report = frame.fill(&mut gen, 30, 2000);
+    assert!(
+        report.accepted as usize >= n / 2,
+        "refill admitted only {} vs {} before",
+        report.accepted,
+        n
+    );
+}
+
+#[test]
+fn utilization_stays_below_qos_cap() {
+    let (frame, _) = loaded_frame(16, 256);
+    let (mut fabric, mut obs) = frame.build_fabric(8, None);
+    fabric.run_until(2_000_000, &mut obs);
+    fabric.reset_stats();
+    fabric.run_until(8_000_000, &mut obs);
+    let st = fabric.summarize();
+    // QoS admission reserves at most 80% of any link; with only QoS
+    // traffic no link class can exceed it.
+    assert!(
+        st.host_link_utilization <= 82.0,
+        "host links at {:.1}%",
+        st.host_link_utilization
+    );
+    assert!(
+        st.switch_link_utilization <= 82.0,
+        "switch links at {:.1}%",
+        st.switch_link_utilization
+    );
+    // And traffic actually flows.
+    assert!(st.delivered_bytes > 0);
+}

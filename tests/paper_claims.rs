@@ -1,0 +1,174 @@
+//! Direct tests of the paper's prose claims, at the integration level.
+
+use infiniband_qos::core::Distance;
+use infiniband_qos::prelude::*;
+use infiniband_qos::sim::Arrival;
+
+fn loaded_frame(seed: u64) -> QosFrame {
+    let topo = generate(IrregularConfig::with_switches(8, seed));
+    let routing = compute_routing(&topo);
+    let mut frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        SlTable::paper_table1(),
+        SimConfig::paper_default(256),
+    );
+    let mut gen = RequestGenerator::new(
+        &topo,
+        &SlTable::paper_table1(),
+        &WorkloadConfig::new(256, seed ^ 1),
+    );
+    frame.fill(&mut gen, 30, 2000);
+    frame
+}
+
+/// "If some source sends more than it previously requested this will
+/// affect only the connections sharing the same VL, but the rest of the
+/// traffic in others VLs will achieve what they requested."
+#[test]
+fn oversending_damage_is_confined_to_its_vl() {
+    let frame = loaded_frame(21);
+    let (mut fabric, mut obs) = frame.build_fabric(2, None);
+
+    // An unregistered rogue source floods SL7 (VL7) from host 0 at a
+    // rate far beyond anything reserved on that lane.
+    let rogue_dst = frame
+        .manager
+        .connections()
+        .find(|(_, c)| c.request.sl.raw() == 7)
+        .map_or(HostId(9), |(_, c)| c.request.dst);
+    fabric.add_flow(FlowSpec {
+        id: 5_000_000,
+        src: HostId(0),
+        dst: rogue_dst,
+        sl: ServiceLevel::new(7).unwrap(),
+        packet_bytes: 256,
+        arrival: Arrival::Cbr { interval: 300 }, // ~85% of a link by itself
+        start: 0,
+        stop: None,
+    });
+
+    fabric.run_until(2_000_000, &mut obs);
+    obs.reset_samples();
+    fabric.run_until(10_000_000, &mut obs);
+
+    // Every other SL keeps its guarantee.
+    for (sl, d) in obs.delay_by_sl.groups() {
+        if sl == 7 {
+            continue; // the victimised lane may suffer — that's the point
+        }
+        assert_eq!(
+            d.missed(),
+            0,
+            "SL{sl} on a different VL lost its guarantee to the rogue"
+        );
+    }
+}
+
+/// "B traffic could be considered as BTS traffic with a big enough time
+/// deadline" — a pure-bandwidth request classifies into a d=64 DB SL.
+#[test]
+fn db_is_bts_with_loose_deadline() {
+    let topo = generate(IrregularConfig::with_switches(4, 4));
+    let routing = compute_routing(&topo);
+    let manager = QosManager::new(topo, routing, SlTable::paper_table1());
+    // An enormous deadline with real bandwidth: lands in SL 6..=9.
+    let req = manager
+        .classify_request(0, HostId(0), HostId(9), u64::MAX / 4, 40.0, 256)
+        .unwrap();
+    assert!(req.sl.raw() >= 6, "{} is not a DB level", req.sl);
+    assert_eq!(req.distance, Distance::D64);
+}
+
+/// "for a certain connection that requests a maximum distance d and a
+/// mean bandwidth that turns in a weight w, the number of entries
+/// needed is max{64/d, w/255}" — visible through the table state.
+#[test]
+fn entry_count_formula_is_respected() {
+    let topo = generate(IrregularConfig::with_switches(2, 5));
+    let routing = compute_routing(&topo);
+    let mut manager = QosManager::new(topo, routing, SlTable::paper_table1());
+
+    // Latency-dominated: 2 Mbps at d=2 -> 32 entries.
+    let strict = ConnectionRequest {
+        id: 0,
+        src: HostId(0),
+        dst: HostId(7),
+        sl: ServiceLevel::new(0).unwrap(),
+        distance: Distance::D2,
+        mean_bw_mbps: 2.0,
+        packet_bytes: 256,
+    };
+    let id = manager.request(&strict).unwrap();
+    let conn = manager.connection(id).unwrap();
+    let hop = conn.hops[0];
+    let info = manager
+        .port_tables()
+        .sequence_info(
+            manager.path_ports(strict.src, strict.dst)[0],
+            hop.sequence,
+        )
+        .unwrap();
+    assert_eq!(info.eset.len(), 32);
+
+    // Bandwidth-dominated: 128 Mbps at d=64 -> weight 836 -> 4 entries.
+    let bulky = ConnectionRequest {
+        id: 1,
+        src: HostId(1),
+        dst: HostId(6),
+        sl: ServiceLevel::new(9).unwrap(),
+        distance: Distance::D64,
+        mean_bw_mbps: 128.0,
+        packet_bytes: 256,
+    };
+    let id = manager.request(&bulky).unwrap();
+    let conn = manager.connection(id).unwrap();
+    let info = manager
+        .port_tables()
+        .sequence_info(
+            manager.path_ports(bulky.src, bulky.dst)[0],
+            conn.hops[0].sequence,
+        )
+        .unwrap();
+    assert_eq!(conn.weight, 836);
+    assert_eq!(info.eset.len(), 4);
+}
+
+/// "several connections, with the same VL, shared the entries in the
+/// arbitration tables ... until they fill in the maximum weight of
+/// their entries" — acceptance is bandwidth-limited, not entry-limited.
+#[test]
+fn admission_is_not_limited_by_64_entries() {
+    let topo = generate(IrregularConfig::with_switches(2, 6));
+    let routing = compute_routing(&topo);
+    let mut manager = QosManager::new(topo, routing, SlTable::paper_table1());
+    // Many tiny same-SL connections between the same pair: far more than
+    // the table's 64 entries could hold one-per-connection.
+    let mut accepted = 0;
+    for i in 0..300 {
+        let req = ConnectionRequest {
+            id: i,
+            src: HostId(0),
+            dst: HostId(7),
+            sl: ServiceLevel::new(6).unwrap(),
+            distance: Distance::D64,
+            mean_bw_mbps: 1.0,
+            packet_bytes: 256,
+        };
+        if manager.request(&req).is_ok() {
+            accepted += 1;
+        }
+    }
+    assert!(accepted > 64, "only {accepted} accepted — entry-limited?");
+    manager.port_tables().check_all().unwrap();
+}
+
+/// "When no more connections can be established" the reservation is
+/// bounded by the 80% cap on every port.
+#[test]
+fn no_port_exceeds_the_qos_share() {
+    let frame = loaded_frame(22);
+    for (_, table) in frame.manager.port_tables().tables() {
+        assert!(table.reserved_weight() <= table.capacity_limit());
+    }
+}

@@ -2,7 +2,7 @@
 //! allocation, release + defragmentation, and the canonical-plan
 //! computation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iba_bench::microbench::{black_box, Harness};
 use iba_core::alloc::AllocatorKind;
 use iba_core::defrag::canonical_plan;
 use iba_core::{Distance, ESet, HighPriorityTable, SequenceId, ServiceLevel, VirtualLane};
@@ -15,11 +15,11 @@ fn vl(i: u8) -> VirtualLane {
     VirtualLane::data(i)
 }
 
-fn bench_admit_release(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table");
+fn bench_admit_release(h: &mut Harness) {
     for kind in [AllocatorKind::BitReversal, AllocatorKind::FirstFit] {
-        g.bench_function(format!("admit_release_cycle/{}", kind.name()), |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("table/admit_release_cycle/{}", kind.name()),
+            || {
                 let mut t = HighPriorityTable::with_allocator(kind);
                 let mut ids = Vec::with_capacity(16);
                 // 10 singles + a d8 + a d2, then tear down. Rejections
@@ -40,77 +40,71 @@ fn bench_admit_release(c: &mut Criterion) {
                     t.release(id, w).unwrap();
                 }
                 black_box(t.free_entries())
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_single_admit(c: &mut Criterion) {
-    c.bench_function("table/single_admit_on_loaded", |b| {
-        // Pre-load a table, measure one admission + release.
-        let mut t = HighPriorityTable::new();
-        for i in 0..8u8 {
-            t.admit(sl(i), vl(i), Distance::D64, 255).unwrap();
-        }
-        b.iter(|| {
-            let adm = t.admit(sl(9), vl(9), Distance::D16, 30).unwrap();
-            t.release(adm.sequence, 30).unwrap();
-            black_box(adm.sequence)
-        })
+fn bench_single_admit(h: &mut Harness) {
+    // Pre-load a table, measure one admission + release.
+    let mut t = HighPriorityTable::new();
+    for i in 0..8u8 {
+        t.admit(sl(i), vl(i), Distance::D64, 255).unwrap();
+    }
+    h.bench("table/single_admit_on_loaded", || {
+        let adm = t.admit(sl(9), vl(9), Distance::D16, 30).unwrap();
+        t.release(adm.sequence, 30).unwrap();
+        black_box(adm.sequence)
     });
 }
 
-fn bench_defrag(c: &mut Criterion) {
-    c.bench_function("defrag/canonical_plan_12_sequences", |b| {
-        // A representative fragmented layout.
-        let mut occ = 0u64;
-        let mut live = Vec::new();
-        let picks = [
-            (Distance::D64, 5),
-            (Distance::D64, 9),
-            (Distance::D32, 3),
-            (Distance::D64, 20),
-            (Distance::D16, 2),
-            (Distance::D64, 33),
-            (Distance::D8, 1),
-            (Distance::D64, 40),
-            (Distance::D64, 51),
-            (Distance::D32, 11),
-            (Distance::D64, 60),
-            (Distance::D64, 62),
-        ];
-        for (i, (d, j)) in picks.iter().enumerate() {
-            let e = ESet::new(*d, j % d.slots());
-            if e.is_free_in(occ) {
-                occ |= e.mask();
-                live.push((SequenceId::new(i as u32), e));
-            }
+fn bench_defrag(h: &mut Harness) {
+    // A representative fragmented layout.
+    let mut occ = 0u64;
+    let mut live = Vec::new();
+    let picks = [
+        (Distance::D64, 5),
+        (Distance::D64, 9),
+        (Distance::D32, 3),
+        (Distance::D64, 20),
+        (Distance::D16, 2),
+        (Distance::D64, 33),
+        (Distance::D8, 1),
+        (Distance::D64, 40),
+        (Distance::D64, 51),
+        (Distance::D32, 11),
+        (Distance::D64, 60),
+        (Distance::D64, 62),
+    ];
+    for (i, (d, j)) in picks.iter().enumerate() {
+        let e = ESet::new(*d, j % d.slots());
+        if e.is_free_in(occ) {
+            occ = e.occupy(occ);
+            live.push((SequenceId::new(i as u32), e));
         }
-        b.iter(|| black_box(canonical_plan(black_box(&live))))
+    }
+    h.bench("defrag/canonical_plan_12_sequences", || {
+        black_box(canonical_plan(black_box(&live)))
     });
 }
 
-fn bench_bit_reversal_select(c: &mut Criterion) {
-    c.bench_function("alloc/bitrev_select_worst_case", |b| {
-        // Nearly full table: the probe scans most offsets.
-        let mut t = HighPriorityTable::new();
-        for i in 0..31u8 {
-            t.admit(sl(i % 10), vl(i % 10), Distance::D64, 255).unwrap();
-        }
-        let occ = t.occupancy();
-        b.iter(|| {
-            black_box(AllocatorKind::BitReversal.select(black_box(occ), Distance::D2))
-        })
+fn bench_bit_reversal_select(h: &mut Harness) {
+    // Nearly full table: the probe scans most offsets.
+    let mut t = HighPriorityTable::new();
+    for i in 0..31u8 {
+        t.admit(sl(i % 10), vl(i % 10), Distance::D64, 255).unwrap();
+    }
+    let occ = t.occupancy();
+    h.bench("alloc/bitrev_select_worst_case", || {
+        black_box(AllocatorKind::BitReversal.select(black_box(occ), Distance::D2))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_admit_release, bench_single_admit, bench_defrag, bench_bit_reversal_select
+fn main() {
+    let mut h = Harness::from_env();
+    bench_admit_release(&mut h);
+    bench_single_admit(&mut h);
+    bench_defrag(&mut h);
+    bench_bit_reversal_select(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

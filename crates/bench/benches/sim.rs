@@ -2,7 +2,7 @@
 //! 4-switch fabric (the knob that bounds how long the paper's
 //! experiments take to regenerate).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iba_bench::microbench::{black_box, Harness};
 use iba_core::{ServiceLevel, SlTable};
 use iba_qos::QosFrame;
 use iba_sim::{Arrival, Fabric, FlowSpec, NullObserver, SimConfig};
@@ -10,61 +10,54 @@ use iba_topo::irregular::{generate, IrregularConfig};
 use iba_topo::{updown, HostId};
 use iba_traffic::{RequestGenerator, WorkloadConfig};
 
-fn bench_raw_fabric(c: &mut Criterion) {
-    c.bench_function("sim/raw_fabric_100k_cycles", |b| {
-        let topo = generate(IrregularConfig::with_switches(4, 7));
-        let routing = updown::compute(&topo);
-        b.iter(|| {
-            let mut fabric = Fabric::new(topo.clone(), routing.clone(), SimConfig::paper_default(256));
-            for i in 0..16u16 {
-                fabric.add_flow(FlowSpec {
-                    id: u32::from(i),
-                    src: HostId(i),
-                    dst: HostId((i + 7) % 16),
-                    sl: ServiceLevel::new((i % 10) as u8).unwrap(),
-                    packet_bytes: 256,
-                    arrival: Arrival::Cbr { interval: 1024 },
-                    start: u64::from(i) * 64,
-                    stop: None,
-                });
-            }
-            let mut obs = NullObserver;
-            fabric.run_until(100_000, &mut obs);
-            black_box(fabric.events_processed())
-        })
+fn bench_raw_fabric(h: &mut Harness) {
+    let topo = generate(IrregularConfig::with_switches(4, 7));
+    let routing = updown::compute(&topo);
+    h.bench("sim/raw_fabric_100k_cycles", || {
+        let mut fabric = Fabric::new(topo.clone(), routing.clone(), SimConfig::paper_default(256));
+        for i in 0..16u16 {
+            fabric.add_flow(FlowSpec {
+                id: u32::from(i),
+                src: HostId(i),
+                dst: HostId((i + 7) % 16),
+                sl: ServiceLevel::new((i % 10) as u8).unwrap(),
+                packet_bytes: 256,
+                arrival: Arrival::Cbr { interval: 1024 },
+                start: u64::from(i) * 64,
+                stop: None,
+            });
+        }
+        let mut obs = NullObserver;
+        fabric.run_until(100_000, &mut obs);
+        black_box(fabric.events_processed())
     });
 }
 
-fn bench_qos_pipeline(c: &mut Criterion) {
-    c.bench_function("sim/qos_frame_fill_and_short_run", |b| {
-        let topo = generate(IrregularConfig::with_switches(4, 3));
-        let routing = updown::compute(&topo);
-        b.iter(|| {
-            let mut frame = QosFrame::new(
-                topo.clone(),
-                routing.clone(),
-                SlTable::paper_table1(),
-                SimConfig::paper_default(256),
-            );
-            let mut gen = RequestGenerator::new(
-                &topo,
-                &SlTable::paper_table1(),
-                &WorkloadConfig::new(256, 5),
-            );
-            frame.fill(&mut gen, 20, 500);
-            let (mut fabric, mut obs) = frame.build_fabric(1, None);
-            fabric.run_until(200_000, &mut obs);
-            black_box(obs.qos_packets)
-        })
+fn bench_qos_pipeline(h: &mut Harness) {
+    let topo = generate(IrregularConfig::with_switches(4, 3));
+    let routing = updown::compute(&topo);
+    h.bench("sim/qos_frame_fill_and_short_run", || {
+        let mut frame = QosFrame::new(
+            topo.clone(),
+            routing.clone(),
+            SlTable::paper_table1(),
+            SimConfig::paper_default(256),
+        );
+        let mut gen = RequestGenerator::new(
+            &topo,
+            &SlTable::paper_table1(),
+            &WorkloadConfig::new(256, 5),
+        );
+        frame.fill(&mut gen, 20, 500);
+        let (mut fabric, mut obs) = frame.build_fabric(1, None);
+        fabric.run_until(200_000, &mut obs);
+        black_box(obs.qos_packets)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_raw_fabric, bench_qos_pipeline
+fn main() {
+    let mut h = Harness::from_env();
+    bench_raw_fabric(&mut h);
+    bench_qos_pipeline(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,41 +1,24 @@
 //! Micro-benchmarks of topology generation and up*/down* routing
 //! computation across the paper's network sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iba_bench::microbench::{black_box, Harness};
 use iba_topo::irregular::{generate, IrregularConfig};
 use iba_topo::updown;
 
-fn bench_generate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("topo_generate");
+fn main() {
+    let mut h = Harness::from_env();
     for switches in [8usize, 16, 64] {
-        g.bench_function(format!("{switches}_switches"), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(generate(IrregularConfig::with_switches(switches, seed)))
-            })
+        let mut seed = 0u64;
+        h.bench(&format!("topo_generate/{switches}_switches"), || {
+            seed += 1;
+            black_box(generate(IrregularConfig::with_switches(switches, seed)))
         });
     }
-    g.finish();
-}
-
-fn bench_routing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("updown_compute");
     for switches in [8usize, 16, 64] {
         let topo = generate(IrregularConfig::with_switches(switches, 42));
-        g.bench_function(format!("{switches}_switches"), |b| {
-            b.iter(|| black_box(updown::compute(black_box(&topo))))
+        h.bench(&format!("updown_compute/{switches}_switches"), || {
+            black_box(updown::compute(black_box(&topo)))
         });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_generate, bench_routing
-}
-criterion_main!(benches);

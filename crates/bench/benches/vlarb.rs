@@ -1,7 +1,7 @@
 //! Micro-benchmark of the weighted-round-robin arbitration engine: the
 //! per-packet `select` cost that every output port pays.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iba_bench::microbench::{black_box, Harness};
 use iba_core::{ArbEntry, VirtualLane, VlArbConfig, VlArbEngine};
 
 fn config(high_entries: usize) -> VlArbConfig {
@@ -14,39 +14,42 @@ fn config(high_entries: usize) -> VlArbConfig {
     VlArbConfig {
         high,
         low: vec![
-            ArbEntry { vl: VirtualLane::data(10), weight: 64 },
-            ArbEntry { vl: VirtualLane::data(11), weight: 16 },
+            ArbEntry {
+                vl: VirtualLane::data(10),
+                weight: 64,
+            },
+            ArbEntry {
+                vl: VirtualLane::data(11),
+                weight: 16,
+            },
         ],
         limit_of_high_priority: 100,
     }
 }
 
-fn bench_select(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vlarb");
+fn main() {
+    let mut h = Harness::from_env();
     for entries in [4usize, 16, 64] {
-        g.bench_function(format!("select_all_ready/{entries}_entries"), |b| {
+        {
             let mut e = VlArbEngine::new(config(entries));
-            b.iter(|| black_box(e.select(|_| Some(256))))
-        });
-        g.bench_function(format!("select_one_ready/{entries}_entries"), |b| {
+            h.bench(&format!("vlarb/select_all_ready/{entries}_entries"), || {
+                black_box(e.select(|_| Some(256)))
+            });
+        }
+        {
             // Only VL7 ever ready: the scan walks the table.
             let mut e = VlArbEngine::new(config(entries));
-            b.iter(|| black_box(e.select(|vl| (vl.raw() == 7).then_some(256))))
-        });
-        g.bench_function(format!("select_none_ready/{entries}_entries"), |b| {
+            h.bench(&format!("vlarb/select_one_ready/{entries}_entries"), || {
+                black_box(e.select(|vl| (vl.raw() == 7).then_some(256)))
+            });
+        }
+        {
             let mut e = VlArbEngine::new(config(entries));
-            b.iter(|| black_box(e.select(|_| None)))
-        });
+            h.bench(
+                &format!("vlarb/select_none_ready/{entries}_entries"),
+                || black_box(e.select(|_| None)),
+            );
+        }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_select
-}
-criterion_main!(benches);

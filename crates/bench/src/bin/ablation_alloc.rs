@@ -9,24 +9,31 @@
 //!   can no longer serve the most restrictive feasible request),
 //! * the effect of disabling defragmentation.
 
+#![forbid(unsafe_code)]
+
 use iba_core::alloc::AllocatorKind;
 use iba_core::defrag::is_canonical;
+use iba_core::rng::SplitMix64;
 use iba_core::{Distance, HighPriorityTable, ServiceLevel, VirtualLane};
 use iba_stats::Table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 struct Trace {
     ops: Vec<Op>,
 }
 
 enum Op {
-    Admit { sl: u8, distance: Distance, weight: u32 },
-    Release { victim: usize },
+    Admit {
+        sl: u8,
+        distance: Distance,
+        weight: u32,
+    },
+    Release {
+        victim: usize,
+    },
 }
 
 fn make_trace(seed: u64, len: usize) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let distances = Distance::ALL;
     let ops = (0..len)
         .map(|_| {
@@ -67,7 +74,11 @@ fn replay(trace: &Trace, kind: AllocatorKind, defrag: bool) -> Outcome {
     };
     for op in &trace.ops {
         match op {
-            Op::Admit { sl, distance, weight } => {
+            Op::Admit {
+                sl,
+                distance,
+                weight,
+            } => {
                 let sl = ServiceLevel::new(*sl).unwrap();
                 let vl = VirtualLane::data(sl.raw());
                 match table.admit(sl, vl, *distance, *weight) {
@@ -106,9 +117,7 @@ fn main() {
     let seeds = 20u64;
     let len = 400usize;
     let mut t = Table::new(
-        &format!(
-            "Ablation A1: allocator comparison ({seeds} traces x {len} ops, weights 1-510)"
-        ),
+        &format!("Ablation A1: allocator comparison ({seeds} traces x {len} ops, weights 1-510)"),
         &[
             "Policy",
             "Accepted",
@@ -119,7 +128,11 @@ fn main() {
     );
 
     let configs: [(&str, AllocatorKind, bool); 4] = [
-        ("bit-reversal + defrag (paper)", AllocatorKind::BitReversal, true),
+        (
+            "bit-reversal + defrag (paper)",
+            AllocatorKind::BitReversal,
+            true,
+        ),
         ("bit-reversal, no defrag", AllocatorKind::BitReversal, false),
         ("first-fit, no defrag", AllocatorKind::FirstFit, false),
         ("reverse-fit, no defrag", AllocatorKind::ReverseFit, false),

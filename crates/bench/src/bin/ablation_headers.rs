@@ -8,6 +8,8 @@
 //! throughput vs goodput per MTU, reproducing that effect: small
 //! packets put more total bytes on the wire for the same goodput.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::env_u64;
 use iba_core::SlTable;
 use iba_qos::{QosFrame, QosManager};
@@ -27,9 +29,7 @@ fn main() {
     let sl_table = SlTable::paper_table1();
 
     let mut t = Table::new(
-        &format!(
-            "Ablation A3: explicit {IBA_HEADER_BYTES}-byte packet headers (wire vs goodput)"
-        ),
+        &format!("Ablation A3: explicit {IBA_HEADER_BYTES}-byte packet headers (wire vs goodput)"),
         &[
             "MTU (B)",
             "Header overhead (%)",
@@ -53,19 +53,24 @@ fn main() {
         let transient = frame.steady_state_cycles(2);
         fabric.run_until(transient, &mut obs);
         obs.reset_samples();
-        fabric.run_until(transient + frame.steady_state_cycles(steady_packets), &mut obs);
+        fabric.run_until(
+            transient + frame.steady_state_cycles(steady_packets),
+            &mut obs,
+        );
 
         let hosts = topo.num_hosts() as f64;
         let window = frame.steady_state_cycles(steady_packets) as f64;
         let wire = obs.qos_bytes as f64 / window / hosts;
         // Goodput: wire bytes minus per-packet headers.
-        let goodput = (obs.qos_bytes - obs.qos_packets * u64::from(IBA_HEADER_BYTES)) as f64
-            / window
-            / hosts;
+        let goodput =
+            (obs.qos_bytes - obs.qos_packets * u64::from(IBA_HEADER_BYTES)) as f64 / window / hosts;
         let misses: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
         t.row(vec![
             mtu.to_string(),
-            format!("{:.2}", 100.0 * f64::from(IBA_HEADER_BYTES) / f64::from(mtu + IBA_HEADER_BYTES)),
+            format!(
+                "{:.2}",
+                100.0 * f64::from(IBA_HEADER_BYTES) / f64::from(mtu + IBA_HEADER_BYTES)
+            ),
             format!("{wire:.4}"),
             format!("{goodput:.4}"),
             format!("{misses} / {}", obs.qos_packets),

@@ -8,6 +8,8 @@
 //! their deadlines. The extension reserves inputs that hold
 //! transmittable high-priority work, eliminating the effect.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::env_u64;
 use iba_core::{ServiceLevel, SlTable};
 use iba_qos::QosFrame;
@@ -63,7 +65,10 @@ fn main() {
             "BE packets",
         ],
     );
-    for (name, on) in [("plain (paper's model)", false), ("priority-aware (extension)", true)] {
+    for (name, on) in [
+        ("plain (paper's model)", false),
+        ("priority-aware (extension)", true),
+    ] {
         let (missed, qos, be) = run(on, seed, switches);
         t.row(vec![
             name.to_string(),

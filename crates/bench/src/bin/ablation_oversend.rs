@@ -12,6 +12,8 @@
 //! old model the DB connection is starved of its guaranteed bandwidth;
 //! under the new model only the offender's own VL suffers.
 
+#![forbid(unsafe_code)]
+
 use iba_core::{
     weight_for_bandwidth, ArbEntry, Distance, ServiceLevel, SlTable, VirtualLane, VlArbConfig,
 };
@@ -134,7 +136,10 @@ fn main() {
             "DB gets its guarantee?",
         ],
     );
-    for (name, old) in [("old (DB in low-priority)", true), ("new (all in high-priority)", false)] {
+    for (name, old) in [
+        ("old (DB in low-priority)", true),
+        ("new (all in high-priority)", false),
+    ] {
         let (bts_mbps, db_mbps) = run_model(old, 4.0);
         t.row(vec![
             name.to_string(),

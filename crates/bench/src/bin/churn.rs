@@ -7,6 +7,8 @@
 //! The run reports admission statistics and verifies no live connection
 //! ever misses a deadline.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::env_u64;
 use iba_core::SlTable;
 use iba_qos::{ChurnEvent, ChurnRunner, QosFrame};
@@ -57,7 +59,10 @@ fn main() {
         "connections live at end".into(),
         frame.manager.live_connections().to_string(),
     ]);
-    t.row(vec!["QoS packets delivered".into(), obs.qos_packets.to_string()]);
+    t.row(vec![
+        "QoS packets delivered".into(),
+        obs.qos_packets.to_string(),
+    ]);
     let misses: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
     t.row(vec!["deadline misses".into(), misses.to_string()]);
     let worst = obs
@@ -68,6 +73,10 @@ fn main() {
     t.row(vec!["worst delay/D".into(), format!("{worst:.3}")]);
     println!("{}", t.render());
 
-    frame.manager.port_tables().check_all().expect("tables consistent");
+    frame
+        .manager
+        .port_tables()
+        .check_all()
+        .expect("tables consistent");
     println!("all tables internally consistent after churn ✓");
 }

@@ -5,11 +5,16 @@
 //! where thresholds are fractions of each connection's own guaranteed
 //! deadline D (from D/30 up to D).
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment, run_measured, threshold_label};
 use iba_stats::Table;
 
 fn main() {
-    for (fig, mtu) in [("(a) small packets (256B)", 256u32), ("(b) large packets (4KB)", 4096)] {
+    for (fig, mtu) in [
+        ("(a) small packets (256B)", 256u32),
+        ("(b) large packets (4KB)", 4096),
+    ] {
         eprintln!("== Figure 4 {fig} ==");
         let exp = build_experiment(mtu);
         let m = run_measured(&exp, false);

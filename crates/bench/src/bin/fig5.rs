@@ -4,6 +4,8 @@
 //! Per SL, the percentage of packets received within each interarrival
 //! interval (deviation from the nominal IAT in fractions of the IAT).
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment, run_measured};
 use iba_stats::{Table, JITTER_BIN_LABELS};
 
@@ -22,11 +24,7 @@ fn main() {
         for (bin, label) in JITTER_BIN_LABELS.iter().enumerate() {
             let mut row = vec![label.to_string()];
             for sl in sls.clone() {
-                let v = m
-                    .obs
-                    .jitter
-                    .group(sl)
-                    .map_or(0.0, |h| h.percentages()[bin]);
+                let v = m.obs.jitter.group(sl).map_or(0.0, |h| h.percentages()[bin]);
                 row.push(format!("{v:.2}"));
             }
             t.row(row);

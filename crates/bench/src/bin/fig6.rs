@@ -5,6 +5,8 @@
 //! lowest and the highest percentage of packets before the tight
 //! threshold (D/30) and prints both delay CDFs.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment, run_measured, threshold_label};
 use iba_stats::Table;
 

@@ -5,6 +5,8 @@
 //! each, confirming the guarantees are MTU-independent while the delay
 //! headroom shrinks as packets grow.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment, rate, run_measured};
 use iba_stats::Table;
 

@@ -6,6 +6,8 @@
 //! every size fills to a comparable per-node load and misses no
 //! deadline.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment_sized, env_u64, rate, run_measured};
 use iba_stats::Table;
 

@@ -7,6 +7,8 @@
 //! fewer lanes ⇒ stricter (more entry-hungry) reservations ⇒ fewer
 //! admitted connections, while the guarantees continue to hold.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::env_u64;
 use iba_core::{SlTable, SlToVlMap};
 use iba_qos::{QosFrame, QosManager};
@@ -57,7 +59,10 @@ fn main() {
         let transient = frame.steady_state_cycles(2);
         fabric.run_until(transient, &mut obs);
         obs.reset_samples();
-        fabric.run_until(transient + frame.steady_state_cycles(steady_packets), &mut obs);
+        fabric.run_until(
+            transient + frame.steady_state_cycles(steady_packets),
+            &mut obs,
+        );
 
         let misses: u64 = obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
         t.row(vec![

@@ -4,6 +4,8 @@
 //! distance between consecutive high-priority entries and the mean-
 //! bandwidth stratum of each SL (values reconstructed; see DESIGN.md §4).
 
+#![forbid(unsafe_code)]
+
 use iba_core::SlTable;
 use iba_stats::Table;
 
@@ -22,12 +24,7 @@ fn main() {
         } else {
             format!("{} - {}", p.bandwidth_mbps.0, p.bandwidth_mbps.1)
         };
-        t.row(vec![
-            p.sl.to_string(),
-            p.class.to_string(),
-            dist,
-            bw,
-        ]);
+        t.row(vec![p.sl.to_string(), p.class.to_string(), dist, bw]);
     }
     println!("{}", t.render());
 }

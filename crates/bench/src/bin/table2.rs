@@ -5,6 +5,8 @@
 //! reservation (Mbps) for host interfaces and switch ports, for small
 //! (256 B) and large (4 KB) packets.
 
+#![forbid(unsafe_code)]
+
 use iba_bench::{build_experiment, pct, rate, run_measured};
 use iba_stats::Table;
 

@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod microbench;
+
 use iba_core::SlTable;
 use iba_qos::{FillReport, QosFrame, QosObserver};
 use iba_sim::{FabricStats, SimConfig};

@@ -140,10 +140,7 @@ impl Args {
             }
         }
         if args.switches == 0 {
-            return Err(ParseError::BadValue(
-                "--switches".into(),
-                "0".into(),
-            ));
+            return Err(ParseError::BadValue("--switches".into(), "0".into()));
         }
         Ok(args)
     }

@@ -40,7 +40,10 @@ pub fn topo(args: &Args) -> String {
         validate::mean_path_switches(&topo, &routing)
     );
     if let Some((s, p, load)) = validate::hottest_channel(&topo, &routing) {
-        let _ = writeln!(out, "hottest channel: {s} port {p} ({load} pairs route through)");
+        let _ = writeln!(
+            out,
+            "hottest channel: {s} port {p} ({load} pairs route through)"
+        );
     }
     match validate::check_deadlock_freedom(&topo, &routing) {
         Ok(()) => {
@@ -79,8 +82,14 @@ pub fn fill(args: &Args) -> String {
         format!("{:.3}", report.offered_load),
     ]);
     let (h, s) = frame.manager.reservation_summary();
-    t.row(vec!["mean host-link reservation (Mbps)".into(), format!("{h:.1}")]);
-    t.row(vec!["mean switch-link reservation (Mbps)".into(), format!("{s:.1}")]);
+    t.row(vec![
+        "mean host-link reservation (Mbps)".into(),
+        format!("{h:.1}"),
+    ]);
+    t.row(vec![
+        "mean switch-link reservation (Mbps)".into(),
+        format!("{s:.1}"),
+    ]);
 
     let mut out = t.render();
     let mut per_sl = Table::new("\nConnections per SL", &["SL", "count"]);
@@ -130,8 +139,14 @@ pub fn run_experiment(args: &Args) -> String {
 
     let mut t = Table::new("Experiment summary", &["Metric", "Value"]);
     t.row(vec!["connections".into(), fill.accepted.to_string()]);
-    t.row(vec!["QoS packets delivered".into(), obs.qos_packets.to_string()]);
-    t.row(vec!["best-effort packets".into(), obs.be_packets.to_string()]);
+    t.row(vec![
+        "QoS packets delivered".into(),
+        obs.qos_packets.to_string(),
+    ]);
+    t.row(vec![
+        "best-effort packets".into(),
+        obs.be_packets.to_string(),
+    ]);
     t.row(vec![
         "QoS delivered (bytes/cycle/node)".into(),
         format!(
@@ -192,9 +207,24 @@ pub fn demo() -> String {
     let script: &[(u8, Distance, u32, &str)] = &[
         (0, Distance::D2, 64, "strict video: entries every 2 slots"),
         (6, Distance::D64, 200, "bulk transfer: a single entry"),
-        (6, Distance::D64, 55, "second bulk connection joins the same entry"),
-        (2, Distance::D8, 80, "interactive stream: entries every 8 slots"),
-        (6, Distance::D64, 30, "third bulk connection forces a new entry"),
+        (
+            6,
+            Distance::D64,
+            55,
+            "second bulk connection joins the same entry",
+        ),
+        (
+            2,
+            Distance::D8,
+            80,
+            "interactive stream: entries every 8 slots",
+        ),
+        (
+            6,
+            Distance::D64,
+            30,
+            "third bulk connection forces a new entry",
+        ),
     ];
     let mut live = Vec::new();
     for &(sl_id, d, w, note) in script {
@@ -216,7 +246,10 @@ pub fn demo() -> String {
         let _ = writeln!(out, "{}", render_occupancy(&table));
     }
 
-    let _ = writeln!(out, "\nnow release the strict d=2 connection — defragmentation re-packs:");
+    let _ = writeln!(
+        out,
+        "\nnow release the strict d=2 connection — defragmentation re-packs:"
+    );
     let (first, w) = live.remove(0);
     let moves = table.release(first, w).unwrap();
     let _ = writeln!(out, "{} sequence(s) relocated", moves.len());
@@ -231,11 +264,10 @@ pub fn demo() -> String {
 }
 
 fn render_occupancy(table: &HighPriorityTable) -> String {
-    let occ = table.occupancy();
     let mut s = String::with_capacity(70);
     s.push_str("  [");
-    for i in 0..64 {
-        s.push(if occ & (1 << i) != 0 { '#' } else { '.' });
+    for slot in table.slots() {
+        s.push(if slot.is_free() { '.' } else { '#' });
     }
     s.push(']');
     s

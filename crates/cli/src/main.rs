@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match iba_cli::run(&argv) {

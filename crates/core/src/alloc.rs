@@ -88,24 +88,27 @@ pub enum AllocatorKind {
 }
 
 impl AllocatorKind {
+    /// The policy as a trait object (the single dispatch point — every
+    /// other method delegates through it).
+    #[must_use]
+    pub fn as_allocator(self) -> &'static dyn SequenceAllocator {
+        match self {
+            AllocatorKind::BitReversal => &BitReversalAllocator,
+            AllocatorKind::FirstFit => &FirstFitAllocator,
+            AllocatorKind::ReverseFit => &ReverseFitAllocator,
+        }
+    }
+
     /// Applies the selected policy.
     #[must_use]
     pub fn select(self, occupancy: u64, distance: Distance) -> Option<ESet> {
-        match self {
-            AllocatorKind::BitReversal => BitReversalAllocator.select(occupancy, distance),
-            AllocatorKind::FirstFit => FirstFitAllocator.select(occupancy, distance),
-            AllocatorKind::ReverseFit => ReverseFitAllocator.select(occupancy, distance),
-        }
+        self.as_allocator().select(occupancy, distance)
     }
 
     /// Policy name for reports.
     #[must_use]
     pub fn name(self) -> &'static str {
-        match self {
-            AllocatorKind::BitReversal => BitReversalAllocator.name(),
-            AllocatorKind::FirstFit => FirstFitAllocator.name(),
-            AllocatorKind::ReverseFit => ReverseFitAllocator.name(),
-        }
+        self.as_allocator().name()
     }
 
     /// All selectable policies.
@@ -138,6 +141,19 @@ mod tests {
         // first-fit would take offset 1 instead.
         let e = FirstFitAllocator.select(occ, Distance::D8).unwrap();
         assert_eq!(e.offset(), 1);
+    }
+
+    #[test]
+    fn kind_dispatch_matches_concrete_allocators() {
+        for kind in AllocatorKind::ALL {
+            assert_eq!(kind.name(), kind.as_allocator().name());
+            for d in Distance::ALL {
+                assert_eq!(
+                    kind.select(0x5A5A, d),
+                    kind.as_allocator().select(0x5A5A, d)
+                );
+            }
+        }
     }
 
     #[test]

@@ -70,9 +70,9 @@ pub fn canonical_plan(live: &[(SequenceId, ESet)]) -> Option<Vec<Relocation>> {
 pub fn is_canonical(occupancy: u64) -> bool {
     use crate::distance::Distance;
     let free = 64 - occupancy.count_ones() as usize;
-    Distance::ALL.iter().all(|&d| {
-        d.entries() > free || ESet::all(d).any(|e| e.is_free_in(occupancy))
-    })
+    Distance::ALL
+        .iter()
+        .all(|&d| d.entries() > free || ESet::all(d).any(|e| e.is_free_in(occupancy)))
 }
 
 #[cfg(test)]

@@ -95,14 +95,15 @@ impl Distance {
     /// The next more restrictive distance (smaller `d`), if any.
     #[must_use]
     pub fn tighter(self) -> Option<Distance> {
-        let i = Distance::ALL.iter().position(|&d| d == self).unwrap();
+        // ALL is sorted by log2: D2 is index 0, D64 index 5.
+        let i = self.log2() as usize - 1;
         (i > 0).then(|| Distance::ALL[i - 1])
     }
 
     /// The next less restrictive distance (larger `d`), if any.
     #[must_use]
     pub fn looser(self) -> Option<Distance> {
-        let i = Distance::ALL.iter().position(|&d| d == self).unwrap();
+        let i = self.log2() as usize - 1;
         Distance::ALL.get(i + 1).copied()
     }
 

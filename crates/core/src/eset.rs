@@ -85,6 +85,14 @@ impl ESet {
         self.mask() & occupancy == 0
     }
 
+    /// `occupancy` with this set's slots additionally marked busy.
+    /// Keeps the bit twiddling inside this crate so callers building a
+    /// scenario never manipulate raw occupancy masks.
+    #[must_use]
+    pub fn occupy(self, occupancy: u64) -> u64 {
+        occupancy | self.mask()
+    }
+
     /// Splits this set into its two child sets at double the distance:
     /// `E_{i,j} = E_{i+1,j} ∪ E_{i+1,j+2^i}`.
     ///

@@ -6,6 +6,7 @@ use crate::defrag::is_canonical;
 use crate::distance::Distance;
 use crate::eset::ESet;
 use crate::table::HighPriorityTable;
+use crate::weight::{Weight, MAX_ENTRY_WEIGHT};
 
 /// The most restrictive distance for which a completely free `E_{i,j}`
 /// still exists under `occupancy`, if any.
@@ -23,6 +24,21 @@ pub fn most_restrictive_admissible(occupancy: u64) -> Option<Distance> {
 #[must_use]
 pub fn optimal_placement_holds(occupancy: u64) -> bool {
     is_canonical(occupancy)
+}
+
+/// A sequence's accumulated weight always divides over its entries
+/// without exceeding the 255-per-entry cap (enforced at admission by
+/// [`crate::sequence::Sequence::fits`]).
+#[must_use]
+pub fn per_slot_weight_in_range(total: Weight, entries: usize) -> bool {
+    entries > 0 && total.div_ceil(entries as u32) <= MAX_ENTRY_WEIGHT as u32
+}
+
+/// Weight accounting balances per connection: a sequence whose last
+/// connection has gone must have zero accumulated weight.
+#[must_use]
+pub fn released_sequence_is_drained(connections: u32, total_weight: Weight) -> bool {
+    connections != 0 || total_weight == 0
 }
 
 /// Full-table invariant bundle: internal consistency plus the canonical

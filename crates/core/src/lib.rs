@@ -35,23 +35,25 @@ pub mod entry;
 pub mod eset;
 pub mod invariants;
 pub mod model;
+pub mod rng;
 pub mod sequence;
 pub mod sl;
 pub mod table;
 pub mod vlarb;
-pub mod wire;
 pub mod weight;
+pub mod wire;
 
 pub use alloc::{AllocatorKind, BitReversalAllocator, FirstFitAllocator, SequenceAllocator};
 pub use defrag::{is_canonical, Relocation};
 pub use distance::{effective_request, entries_needed, Distance};
 pub use entry::{TableSlot, VirtualLane, MAX_DATA_VLS, TABLE_ENTRIES};
 pub use eset::ESet;
+pub use rng::SplitMix64;
 pub use sequence::{SequenceId, SequenceInfo};
 pub use sl::{ServiceLevel, SlProfile, SlTable, SlToVlMap, TrafficClass};
 pub use table::{Admission, HighPriorityTable, TableError};
 pub use vlarb::{ArbEntry, Grant, ServedBy, VlArbConfig, VlArbEngine};
 pub use weight::{
-    bandwidth_for_weight, bytes_to_weight_units, weight_for_bandwidth, Weight,
-    MAX_ENTRY_WEIGHT, MAX_TABLE_WEIGHT, WEIGHT_UNIT_BYTES,
+    bandwidth_for_weight, bytes_to_weight_units, weight_for_bandwidth, Weight, MAX_ENTRY_WEIGHT,
+    MAX_TABLE_WEIGHT, WEIGHT_UNIT_BYTES,
 };

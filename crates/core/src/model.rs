@@ -33,6 +33,9 @@ pub struct ExplorationReport {
     pub transitions: usize,
     /// States violating the canonical invariant (with the state).
     pub violations: Vec<ModelState>,
+    /// True when the exploration hit its state bound before the
+    /// frontier drained — the report then covers a prefix of the space.
+    pub truncated: bool,
 }
 
 /// The scaled-down table model.
@@ -77,6 +80,14 @@ impl MiniTable {
         state.iter().fold(0, |m, &s| m | self.mask(s))
     }
 
+    /// `occupancy` with `seq`'s slots additionally marked busy. Keeps
+    /// the bit twiddling inside this crate so callers (the verify
+    /// crate's cross-validation) never touch raw occupancy masks.
+    #[must_use]
+    pub fn occupancy_with(self, occupancy: u64, seq: ModelSeq) -> u64 {
+        occupancy | self.mask(seq)
+    }
+
     /// The canonical invariant at this table size.
     #[must_use]
     pub fn is_canonical(self, occupancy: u64) -> bool {
@@ -111,11 +122,14 @@ impl MiniTable {
         let mut occ = 0u64;
         let mut out = Vec::with_capacity(order.len());
         for (d, _) in order {
-            let s = self
-                .alloc(occ, u32::from(d))
-                .expect("descending-size packing always fits");
-            occ |= self.mask(s);
-            out.push(s);
+            let s = self.alloc(occ, u32::from(d));
+            // Theorem (TR DIAB-03-01): largest-first re-placement of a
+            // feasible sequence set always fits.
+            assert!(s.is_some(), "descending-size packing must fit (d={d})");
+            if let Some(s) = s {
+                occ |= self.mask(s);
+                out.push(s);
+            }
         }
         out.sort_unstable();
         out
@@ -124,6 +138,10 @@ impl MiniTable {
     /// Explores every reachable state of the dynamic system
     /// (alloc at any distance, free any sequence then defrag if
     /// `with_defrag`), checking the invariant everywhere.
+    ///
+    /// Exploration stops after `max_states` states; the report's
+    /// `truncated` flag says whether the bound was hit (callers that
+    /// need exhaustiveness must assert it is false).
     #[must_use]
     pub fn explore(self, with_defrag: bool, max_states: usize) -> ExplorationReport {
         let mut report = ExplorationReport::default();
@@ -134,13 +152,11 @@ impl MiniTable {
         queue.push_back(empty);
 
         while let Some(state) = queue.pop_front() {
-            report.states += 1;
-            if report.states > max_states {
-                panic!(
-                    "state-space explosion: > {max_states} states at size {}",
-                    self.size
-                );
+            if report.states >= max_states {
+                report.truncated = true;
+                break;
             }
+            report.states += 1;
             let occ = self.occupancy(&state);
             if !self.is_canonical(occ) {
                 report.violations.push(state.clone());
@@ -198,6 +214,7 @@ mod tests {
     fn theorem_size8_dynamic_system_is_always_canonical() {
         let t = MiniTable::new(8);
         let report = t.explore(true, 100_000);
+        assert!(!report.truncated, "state bound hit");
         assert!(
             report.violations.is_empty(),
             "violations: {:?}",
@@ -210,6 +227,7 @@ mod tests {
     fn theorem_size16_dynamic_system_is_always_canonical() {
         let t = MiniTable::new(16);
         let report = t.explore(true, 2_000_000);
+        assert!(!report.truncated, "state bound hit");
         assert!(
             report.violations.is_empty(),
             "first violation: {:?}",

@@ -49,10 +49,11 @@ impl Sequence {
     /// paper's equal-treatment goal).
     #[must_use]
     pub fn per_slot_weight(total: Weight, entries: usize) -> u16 {
-        debug_assert!(entries > 0);
-        let w = total.div_ceil(entries as u32);
-        debug_assert!(w <= MAX_ENTRY_WEIGHT as u32);
-        w as u16
+        debug_assert!(
+            crate::invariants::per_slot_weight_in_range(total, entries),
+            "per-slot weight out of range: total={total} entries={entries}"
+        );
+        total.div_ceil((entries as u32).max(1)) as u16
     }
 
     /// Whether a further connection of weight `extra` still fits under

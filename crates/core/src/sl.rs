@@ -127,21 +127,87 @@ impl SlTable {
     /// best-effort levels served from the low-priority table.
     #[must_use]
     pub fn paper_table1() -> Self {
-        let sl = |i: u8| ServiceLevel::new(i).unwrap();
+        // Literal SL ids, all <= 12 (in-module access to the private field).
+        let sl = |i: u8| ServiceLevel(i);
         let profiles = vec![
-            SlProfile { sl: sl(0), class: TrafficClass::Bts, distance: Some(Distance::D2), bandwidth_mbps: (1.0, 4.0) },
-            SlProfile { sl: sl(1), class: TrafficClass::Bts, distance: Some(Distance::D4), bandwidth_mbps: (1.0, 4.0) },
-            SlProfile { sl: sl(2), class: TrafficClass::Bts, distance: Some(Distance::D8), bandwidth_mbps: (1.0, 8.0) },
-            SlProfile { sl: sl(3), class: TrafficClass::Bts, distance: Some(Distance::D16), bandwidth_mbps: (1.0, 8.0) },
-            SlProfile { sl: sl(4), class: TrafficClass::Bts, distance: Some(Distance::D32), bandwidth_mbps: (1.0, 8.0) },
-            SlProfile { sl: sl(5), class: TrafficClass::Bts, distance: Some(Distance::D32), bandwidth_mbps: (8.0, 32.0) },
-            SlProfile { sl: sl(6), class: TrafficClass::Db, distance: Some(Distance::D64), bandwidth_mbps: (1.0, 8.0) },
-            SlProfile { sl: sl(7), class: TrafficClass::Db, distance: Some(Distance::D64), bandwidth_mbps: (8.0, 32.0) },
-            SlProfile { sl: sl(8), class: TrafficClass::Db, distance: Some(Distance::D64), bandwidth_mbps: (32.0, 64.0) },
-            SlProfile { sl: sl(9), class: TrafficClass::Db, distance: Some(Distance::D64), bandwidth_mbps: (64.0, 128.0) },
-            SlProfile { sl: sl(SL_PBE), class: TrafficClass::Pbe, distance: None, bandwidth_mbps: (0.0, f64::INFINITY) },
-            SlProfile { sl: sl(SL_BE), class: TrafficClass::Be, distance: None, bandwidth_mbps: (0.0, f64::INFINITY) },
-            SlProfile { sl: sl(SL_CH), class: TrafficClass::Ch, distance: None, bandwidth_mbps: (0.0, f64::INFINITY) },
+            SlProfile {
+                sl: sl(0),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D2),
+                bandwidth_mbps: (1.0, 4.0),
+            },
+            SlProfile {
+                sl: sl(1),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D4),
+                bandwidth_mbps: (1.0, 4.0),
+            },
+            SlProfile {
+                sl: sl(2),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D8),
+                bandwidth_mbps: (1.0, 8.0),
+            },
+            SlProfile {
+                sl: sl(3),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D16),
+                bandwidth_mbps: (1.0, 8.0),
+            },
+            SlProfile {
+                sl: sl(4),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D32),
+                bandwidth_mbps: (1.0, 8.0),
+            },
+            SlProfile {
+                sl: sl(5),
+                class: TrafficClass::Bts,
+                distance: Some(Distance::D32),
+                bandwidth_mbps: (8.0, 32.0),
+            },
+            SlProfile {
+                sl: sl(6),
+                class: TrafficClass::Db,
+                distance: Some(Distance::D64),
+                bandwidth_mbps: (1.0, 8.0),
+            },
+            SlProfile {
+                sl: sl(7),
+                class: TrafficClass::Db,
+                distance: Some(Distance::D64),
+                bandwidth_mbps: (8.0, 32.0),
+            },
+            SlProfile {
+                sl: sl(8),
+                class: TrafficClass::Db,
+                distance: Some(Distance::D64),
+                bandwidth_mbps: (32.0, 64.0),
+            },
+            SlProfile {
+                sl: sl(9),
+                class: TrafficClass::Db,
+                distance: Some(Distance::D64),
+                bandwidth_mbps: (64.0, 128.0),
+            },
+            SlProfile {
+                sl: sl(SL_PBE),
+                class: TrafficClass::Pbe,
+                distance: None,
+                bandwidth_mbps: (0.0, f64::INFINITY),
+            },
+            SlProfile {
+                sl: sl(SL_BE),
+                class: TrafficClass::Be,
+                distance: None,
+                bandwidth_mbps: (0.0, f64::INFINITY),
+            },
+            SlProfile {
+                sl: sl(SL_CH),
+                class: TrafficClass::Ch,
+                distance: None,
+                bandwidth_mbps: (0.0, f64::INFINITY),
+            },
         ];
         SlTable { profiles }
     }
@@ -188,16 +254,16 @@ impl SlTable {
     #[must_use]
     pub fn classify(&self, required: Distance, mbps: f64) -> Option<ServiceLevel> {
         let candidates = || {
-            self.qos_profiles().filter(move |p| {
-                p.distance
-                    .is_some_and(|d| d.at_least_as_strict(required))
+            self.qos_profiles().filter_map(move |p| {
+                let d = p.distance?;
+                d.at_least_as_strict(required).then_some((p, d))
             })
         };
         candidates()
-            .filter(|p| p.bandwidth_in_range(mbps))
-            .max_by_key(|p| p.distance.unwrap().slots())
-            .or_else(|| candidates().max_by_key(|p| p.distance.unwrap().slots()))
-            .map(|p| p.sl)
+            .filter(|(p, _)| p.bandwidth_in_range(mbps))
+            .max_by_key(|(_, d)| d.slots())
+            .or_else(|| candidates().max_by_key(|(_, d)| d.slots()))
+            .map(|(p, _)| p.sl)
     }
 }
 
@@ -296,8 +362,18 @@ mod tests {
             );
         }
         // The most used distances are subdivided by bandwidth.
-        assert_eq!(t.qos_profiles().filter(|p| p.distance == Some(Distance::D32)).count(), 2);
-        assert_eq!(t.qos_profiles().filter(|p| p.distance == Some(Distance::D64)).count(), 4);
+        assert_eq!(
+            t.qos_profiles()
+                .filter(|p| p.distance == Some(Distance::D32))
+                .count(),
+            2
+        );
+        assert_eq!(
+            t.qos_profiles()
+                .filter(|p| p.distance == Some(Distance::D64))
+                .count(),
+            4
+        );
     }
 
     #[test]

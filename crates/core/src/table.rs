@@ -175,10 +175,10 @@ impl HighPriorityTable {
 
     /// Live sequences with their public info.
     pub fn sequences(&self) -> impl Iterator<Item = (SequenceId, SequenceInfo)> + '_ {
-        self.sequences
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|s| (SequenceId(i as u32), SequenceInfo::from(s))))
+        self.sequences.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .map(|s| (SequenceId(i as u32), SequenceInfo::from(s)))
+        })
     }
 
     /// Info for one sequence.
@@ -192,12 +192,7 @@ impl HighPriorityTable {
 
     /// Non-mutating admission check: would `admit` succeed?
     #[must_use]
-    pub fn can_admit(
-        &self,
-        sl: ServiceLevel,
-        distance: Distance,
-        weight: Weight,
-    ) -> bool {
+    pub fn can_admit(&self, sl: ServiceLevel, distance: Distance, weight: Weight) -> bool {
         if self.reserved_weight + weight > self.capacity_limit {
             return false;
         }
@@ -223,7 +218,10 @@ impl HighPriorityTable {
         distance: Distance,
         weight: Weight,
     ) -> Result<Admission, TableError> {
-        assert!(!vl.is_management(), "VL15 never enters the arbitration table");
+        assert!(
+            !vl.is_management(),
+            "VL15 never enters the arbitration table"
+        );
         if weight == 0 {
             return Err(TableError::WeightUnderflow);
         }
@@ -234,7 +232,10 @@ impl HighPriorityTable {
         }
 
         if let Some(id) = self.find_joinable(sl, distance, weight) {
-            let seq = self.sequences[id.0 as usize].as_mut().expect("live");
+            // find_joinable only returns live ids.
+            let Some(seq) = self.sequences[id.0 as usize].as_mut() else {
+                return Err(TableError::UnknownSequence);
+            };
             seq.total_weight += weight;
             seq.connections += 1;
             self.reserved_weight += weight;
@@ -289,7 +290,10 @@ impl HighPriorityTable {
         self.reserved_weight -= weight;
 
         if seq.connections == 0 {
-            debug_assert_eq!(seq.total_weight, 0, "weights must balance per connection");
+            debug_assert!(
+                crate::invariants::released_sequence_is_drained(seq.connections, seq.total_weight),
+                "weights must balance per connection"
+            );
             let mask = seq.eset.mask();
             self.sequences[id.0 as usize] = None;
             self.occupancy &= !mask;
@@ -319,12 +323,12 @@ impl HighPriorityTable {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|s| (SequenceId(i as u32), s.eset)))
             .collect();
-        let plan = canonical_plan(&live).expect("live sequences always re-pack");
-        let moves: Vec<Relocation> = plan
-            .iter()
-            .filter(|r| r.from != r.to)
-            .cloned()
-            .collect();
+        let plan = canonical_plan(&live);
+        // Theorem: descending-size re-placement of a feasible live set
+        // always fits.
+        assert!(plan.is_some(), "live sequences always re-pack");
+        let Some(plan) = plan else { return Vec::new() };
+        let moves: Vec<Relocation> = plan.iter().filter(|r| r.from != r.to).cloned().collect();
         if moves.is_empty() {
             return moves;
         }
@@ -332,11 +336,11 @@ impl HighPriorityTable {
         self.occupancy = 0;
         self.slots = [TableSlot::FREE; TABLE_ENTRIES];
         for r in &plan {
-            let seq = self.sequences[r.sequence.0 as usize]
-                .as_mut()
-                .expect("planned sequence is live");
-            seq.eset = r.to;
-            self.occupancy |= r.to.mask();
+            // The plan only names live sequences.
+            if let Some(seq) = self.sequences[r.sequence.0 as usize].as_mut() {
+                seq.eset = r.to;
+                self.occupancy |= r.to.mask();
+            }
         }
         let ids: Vec<SequenceId> = plan.iter().map(|r| r.sequence).collect();
         for id in ids {
@@ -372,7 +376,10 @@ impl HighPriorityTable {
     }
 
     fn rewrite_sequence_slots(&mut self, id: SequenceId) {
-        let seq = self.sequences[id.0 as usize].as_ref().expect("live");
+        // Callers only pass live ids; a dead id has no slots to rewrite.
+        let Some(seq) = self.sequences[id.0 as usize].as_ref() else {
+            return;
+        };
         let w = Sequence::per_slot_weight(seq.total_weight, seq.eset.len());
         let vl = seq.vl.raw();
         let eset = seq.eset;
@@ -541,7 +548,8 @@ mod tests {
     fn oversized_weight_rejected() {
         let mut t = HighPriorityTable::new();
         assert_eq!(
-            t.admit(sl(9), vl(9), Distance::D64, 32 * 255 + 1).unwrap_err(),
+            t.admit(sl(9), vl(9), Distance::D64, 32 * 255 + 1)
+                .unwrap_err(),
             TableError::RequestTooLarge
         );
     }
@@ -570,9 +578,7 @@ mod tests {
         let mut ids = Vec::new();
         for k in 0..32 {
             let s = sl((k % 10) as u8);
-            let adm = t
-                .admit(s, vl((k % 10) as u8), Distance::D64, 255)
-                .unwrap();
+            let adm = t.admit(s, vl((k % 10) as u8), Distance::D64, 255).unwrap();
             ids.push(adm.sequence);
         }
         // All even slots busy. Free every second sequence.

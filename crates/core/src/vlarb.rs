@@ -52,7 +52,8 @@ impl VlArbConfig {
         let high = high
             .iter()
             .map(|s| ArbEntry {
-                vl: VirtualLane::new(s.vl).expect("slot vl is valid"),
+                // Table slots only ever carry data VLs (asserts if not).
+                vl: VirtualLane::data(s.vl),
                 weight: s.weight,
             })
             .collect();
@@ -163,8 +164,14 @@ impl VlArbEngine {
         let hl_budget = Self::limit_bytes(config.limit_of_high_priority);
         VlArbEngine {
             config,
-            high: WrrState { index: 0, credit: 0 },
-            low: WrrState { index: 0, credit: 0 },
+            high: WrrState {
+                index: 0,
+                credit: 0,
+            },
+            low: WrrState {
+                index: 0,
+                credit: 0,
+            },
             hl_budget,
         }
     }
@@ -203,8 +210,7 @@ impl VlArbEngine {
         let low_ready = Self::wrr_peek(&self.config.low, &self.low, &mut ready);
 
         match (high_ready, low_ready) {
-            (Some(_), None) | (Some(_), Some(_)) if self.hl_budget > 0 || low_ready.is_none() => {
-                let (idx, vl, bytes) = high_ready.expect("checked");
+            (Some((idx, vl, bytes)), _) if self.hl_budget > 0 || low_ready.is_none() => {
                 Self::wrr_commit(&self.config.high, &mut self.high, idx, bytes);
                 self.hl_budget = self.hl_budget.saturating_sub(bytes);
                 Some(Grant {
@@ -281,7 +287,10 @@ mod tests {
     }
 
     fn entry(v: u8, w: u8) -> ArbEntry {
-        ArbEntry { vl: vl(v), weight: w }
+        ArbEntry {
+            vl: vl(v),
+            weight: w,
+        }
     }
 
     /// Runs `n` arbitration rounds with every listed VL always ready
@@ -289,9 +298,7 @@ mod tests {
     fn run(engine: &mut VlArbEngine, always_ready: &[u8], pkt: u64, n: usize) -> [usize; 16] {
         let mut counts = [0usize; 16];
         for _ in 0..n {
-            let grant = engine.select(|v| {
-                always_ready.contains(&v.raw()).then_some(pkt)
-            });
+            let grant = engine.select(|v| always_ready.contains(&v.raw()).then_some(pkt));
             match grant {
                 Some(g) => counts[g.vl.index()] += 1,
                 None => break,
@@ -433,7 +440,10 @@ mod tests {
     #[should_panic(expected = "VL15 must not appear")]
     fn vl15_rejected() {
         let _ = VlArbEngine::new(VlArbConfig {
-            high: vec![ArbEntry { vl: VirtualLane::VL15, weight: 1 }],
+            high: vec![ArbEntry {
+                vl: VirtualLane::VL15,
+                weight: 1,
+            }],
             low: vec![],
             limit_of_high_priority: 0,
         });

@@ -38,7 +38,11 @@ pub fn bytes_to_weight_units(bytes: u64) -> u64 {
 /// Returns `None` when the request exceeds the link capacity.
 #[must_use]
 pub fn weight_for_bandwidth(bandwidth_mbps: f64, link_mbps: f64) -> Option<Weight> {
-    if bandwidth_mbps <= 0.0 || link_mbps <= 0.0 || bandwidth_mbps > link_mbps || bandwidth_mbps.is_nan() {
+    if bandwidth_mbps <= 0.0
+        || link_mbps <= 0.0
+        || bandwidth_mbps > link_mbps
+        || bandwidth_mbps.is_nan()
+    {
         return None;
     }
     let fraction = bandwidth_mbps / link_mbps;

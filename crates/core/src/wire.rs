@@ -163,7 +163,9 @@ mod tests {
 
     fn sample() -> VlArbConfig {
         VlArbConfig {
-            high: (0..40).map(|i| entry((i % 10) as u8, 100 + (i % 50) as u8)).collect(),
+            high: (0..40)
+                .map(|i| entry((i % 10) as u8, 100 + (i % 50) as u8))
+                .collect(),
             low: vec![entry(10, 64), entry(11, 16), entry(12, 2)],
             limit_of_high_priority: 7,
         }
@@ -221,10 +223,7 @@ mod tests {
         let mut blocks = encode_all(&sample());
         blocks[2][0] = 15;
         blocks[2][1] = 9;
-        assert_eq!(
-            decode_all(&blocks, 0).unwrap_err(),
-            WireError::Vl15Entry(0)
-        );
+        assert_eq!(decode_all(&blocks, 0).unwrap_err(), WireError::Vl15Entry(0));
     }
 
     #[test]

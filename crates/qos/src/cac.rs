@@ -30,6 +30,8 @@ pub enum RejectReason {
     CapacityExceeded(PortKey),
     /// The request is too large for any single sequence.
     RequestTooLarge,
+    /// The request was malformed (zero weight or a stale sequence id).
+    InvalidRequest,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -42,6 +44,7 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "reservation cap reached at {:?} port {}", k.node, k.port)
             }
             RejectReason::RequestTooLarge => f.write_str("request exceeds one sequence"),
+            RejectReason::InvalidRequest => f.write_str("malformed admission request"),
         }
     }
 }
@@ -129,7 +132,7 @@ impl PortTables {
                         TableError::NoFreeSequence => RejectReason::NoFreeSequence(key),
                         TableError::CapacityExceeded => RejectReason::CapacityExceeded(key),
                         TableError::RequestTooLarge => RejectReason::RequestTooLarge,
-                        other => panic!("unexpected admission error: {other}"),
+                        _ => RejectReason::InvalidRequest,
                     });
                 }
             }
@@ -143,9 +146,12 @@ impl PortTables {
             node: hop.node,
             port: hop.port,
         };
-        self.table_mut(key)
-            .release(hop.sequence, weight)
-            .expect("release must match a prior admit");
+        let released = self.table_mut(key).release(hop.sequence, weight);
+        assert!(
+            released.is_ok(),
+            "release must match a prior admit: {:?}",
+            released.err()
+        );
     }
 
     /// Releases a whole path.
@@ -165,9 +171,9 @@ impl PortTables {
         let total: f64 = keys
             .iter()
             .map(|k| {
-                self.tables
-                    .get(k)
-                    .map_or(0.0, |t| iba_core::bandwidth_for_weight(t.reserved_weight(), link_mbps))
+                self.tables.get(k).map_or(0.0, |t| {
+                    iba_core::bandwidth_for_weight(t.reserved_weight(), link_mbps)
+                })
             })
             .sum();
         total / keys.len() as f64
@@ -184,11 +190,7 @@ impl PortTables {
 
     /// Returns a sequence's info at a port, for assertions.
     #[must_use]
-    pub fn sequence_info(
-        &self,
-        key: PortKey,
-        id: SequenceId,
-    ) -> Option<iba_core::SequenceInfo> {
+    pub fn sequence_info(&self, key: PortKey, id: SequenceId) -> Option<iba_core::SequenceInfo> {
         self.tables.get(&key)?.sequence(id)
     }
 }
@@ -244,8 +246,7 @@ mod tests {
         // Hops 0 and 2 were rolled back.
         assert_eq!(pt.table(key(0, 1)).unwrap().reserved_weight(), 0);
         assert!(
-            pt.table(key(2, 0)).is_none()
-                || pt.table(key(2, 0)).unwrap().reserved_weight() == 0
+            pt.table(key(2, 0)).is_none() || pt.table(key(2, 0)).unwrap().reserved_weight() == 0
         );
         pt.check_all().unwrap();
     }

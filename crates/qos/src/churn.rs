@@ -12,7 +12,7 @@
 use crate::connection::ConnectionId;
 use crate::frame::QosFrame;
 use crate::measure::QosObserver;
-use iba_sim::{Fabric, Cycles};
+use iba_sim::{Cycles, Fabric};
 use iba_traffic::{flow_for_connection, ConnectionRequest};
 
 /// One scheduled churn event.
@@ -92,7 +92,9 @@ impl ChurnRunner {
                     match frame.manager.request(&request) {
                         Ok(id) => {
                             self.stats.admitted += 1;
-                            let conn = frame.manager.connection(id).unwrap();
+                            let conn = frame.manager.connection(id);
+                            assert!(conn.is_some(), "admitted connection must exist");
+                            let Some(conn) = conn else { continue };
                             observer.register(
                                 request.id,
                                 request.sl.raw(),
@@ -102,8 +104,8 @@ impl ChurnRunner {
                             // Subnet-management download, then start the
                             // source.
                             frame.manager.apply_tables(fabric);
-                            let phase = fabric.now() + (u64::from(request.id) * 97)
-                                % conn.interarrival.max(1);
+                            let phase = fabric.now()
+                                + (u64::from(request.id) * 97) % conn.interarrival.max(1);
                             fabric.add_flow(flow_for_connection(&request, 0).with_start(phase));
                             self.live.push((id, request.id));
                         }
@@ -176,10 +178,19 @@ mod tests {
         let mut f = frame(1);
         let (mut fabric, mut obs) = f.build_fabric(0, None);
         let events = vec![
-            ChurnEvent::Arrive { at: 0, request: req(0, 0, 9) },
-            ChurnEvent::Arrive { at: 100_000, request: req(1, 1, 8) },
+            ChurnEvent::Arrive {
+                at: 0,
+                request: req(0, 0, 9),
+            },
+            ChurnEvent::Arrive {
+                at: 100_000,
+                request: req(1, 1, 8),
+            },
             ChurnEvent::DepartOldest { at: 500_000 },
-            ChurnEvent::Arrive { at: 600_000, request: req(2, 2, 7) },
+            ChurnEvent::Arrive {
+                at: 600_000,
+                request: req(2, 2, 7),
+            },
             ChurnEvent::DepartOldest { at: 900_000 },
             ChurnEvent::DepartOldest { at: 950_000 },
         ];
@@ -207,8 +218,14 @@ mod tests {
         let (mut fabric, mut obs) = f.build_fabric(0, None);
         // Deliberately unsorted input.
         let events = vec![
-            ChurnEvent::Arrive { at: 500_000, request: req(1, 1, 8) },
-            ChurnEvent::Arrive { at: 0, request: req(0, 0, 9) },
+            ChurnEvent::Arrive {
+                at: 500_000,
+                request: req(1, 1, 8),
+            },
+            ChurnEvent::Arrive {
+                at: 0,
+                request: req(0, 0, 9),
+            },
         ];
         let stats = ChurnRunner::new(events).run(&mut f, &mut fabric, &mut obs, 1_000_000);
         assert_eq!(stats.admitted, 2);

@@ -4,13 +4,12 @@
 
 use crate::manager::QosManager;
 use crate::measure::QosObserver;
+use iba_core::rng::SplitMix64;
 use iba_core::SlTable;
 use iba_sim::{Fabric, FlowSpec, SimConfig};
 use iba_topo::{RoutingTable, Topology};
 use iba_traffic::besteffort::{background_flows, BackgroundConfig};
 use iba_traffic::{flow_for_connection, RequestGenerator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// First flow id used for background traffic (QoS connection ids are
 /// dense from 0, so this never collides).
@@ -93,9 +92,7 @@ impl QosFrame {
         report.offered_load = self
             .manager
             .connections()
-            .map(|(_, c)| {
-                f64::from(c.request.packet_bytes) / c.interarrival as f64
-            })
+            .map(|(_, c)| f64::from(c.request.packet_bytes) / c.interarrival as f64)
             .sum();
         report
     }
@@ -104,7 +101,7 @@ impl QosFrame {
     /// random phases.
     #[must_use]
     pub fn qos_flows(&self, phase_seed: u64) -> Vec<FlowSpec> {
-        let mut rng = StdRng::seed_from_u64(phase_seed);
+        let mut rng = SplitMix64::seed_from_u64(phase_seed);
         self.manager
             .connections()
             .map(|(_, c)| {
@@ -159,8 +156,8 @@ impl QosFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iba_traffic::WorkloadConfig;
     use iba_topo::{irregular, updown};
+    use iba_traffic::WorkloadConfig;
 
     fn small_frame(seed: u64) -> QosFrame {
         let topo = irregular::generate(irregular::IrregularConfig::with_switches(4, seed));

@@ -4,9 +4,7 @@
 
 use crate::cac::{PortKey, PortTables, RejectReason};
 use crate::connection::{Connection, ConnectionId};
-use iba_core::{
-    sl, AllocatorKind, ArbEntry, SlTable, SlToVlMap, VlArbConfig,
-};
+use iba_core::{sl, AllocatorKind, ArbEntry, SlTable, SlToVlMap, VlArbConfig};
 use iba_sim::{Fabric, NodeId, LINK_1X_MBPS};
 use iba_topo::{HostId, PortPeer, RoutingTable, SwitchId, Topology};
 use iba_traffic::ConnectionRequest;
@@ -36,7 +34,12 @@ impl LowPriorityPolicy {
     /// assigns those SLs.
     #[must_use]
     pub fn for_map(map: &SlToVlMap) -> Self {
-        let vl_of = |s: u8| map.vl(iba_core::ServiceLevel::new(s).unwrap());
+        // The best-effort SL constants are all valid (<= 12).
+        let vl_of = |s: u8| {
+            iba_core::ServiceLevel::new(s)
+                .map(|sl| map.vl(sl))
+                .unwrap_or(iba_core::VirtualLane::VL15)
+        };
         LowPriorityPolicy {
             entries: vec![
                 ArbEntry {
@@ -204,11 +207,9 @@ impl QosManager {
             node: NodeId::Host(src.0),
             port: 0,
         }];
-        let path = self
-            .routing
-            .switch_path(&self.topo, src, dst)
-            .expect("routing is complete");
-        for s in path {
+        let path = self.routing.switch_path(&self.topo, src, dst);
+        assert!(path.is_some(), "routing is complete: {src} -> {dst}");
+        for s in path.into_iter().flatten() {
             ports.push(PortKey {
                 node: NodeId::Switch(s.0),
                 port: self.routing.port(s, dst),
@@ -224,11 +225,9 @@ impl QosManager {
         // Reserve for the gross (wire) rate when headers are modelled.
         let gross_factor =
             f64::from(req.packet_bytes + self.header_bytes) / f64::from(req.packet_bytes);
-        let weight = iba_core::weight_for_bandwidth(
-            req.mean_bw_mbps * gross_factor,
-            self.link_mbps,
-        )
-        .ok_or(RejectReason::RequestTooLarge)?;
+        let weight =
+            iba_core::weight_for_bandwidth(req.mean_bw_mbps * gross_factor, self.link_mbps)
+                .ok_or(RejectReason::RequestTooLarge)?;
         let vl = self.sl_to_vl.vl(req.sl);
         // The reserved distance is the request's own, tightened when the
         // SL shares its VL with stricter SLs (see `set_sl_to_vl`).
@@ -237,10 +236,7 @@ impl QosManager {
             _ => req.distance,
         };
         let path = self.path_ports(req.src, req.dst);
-        let hops = match self
-            .tables
-            .admit_path(&path, req.sl, vl, distance, weight)
-        {
+        let hops = match self.tables.admit_path(&path, req.sl, vl, distance, weight) {
             Ok(h) => h,
             Err(e) => {
                 self.rejected += 1;
@@ -388,7 +384,8 @@ impl QosManager {
             }
         }
         (
-            self.tables.mean_reservation_mbps(&host_keys, self.link_mbps),
+            self.tables
+                .mean_reservation_mbps(&host_keys, self.link_mbps),
             self.tables
                 .mean_reservation_mbps(&switch_keys, self.link_mbps),
         )
@@ -468,11 +465,7 @@ mod tests {
         assert!(conn.hop_count() >= 2, "host hop + at least one switch");
         assert_eq!(
             conn.deadline,
-            iba_traffic::request::deadline_with_transmission(
-                Distance::D8,
-                conn.hop_count(),
-                256
-            )
+            iba_traffic::request::deadline_with_transmission(Distance::D8, conn.hop_count(), 256)
         );
         assert!(m.teardown(id));
         assert!(!m.teardown(id), "double teardown rejected");
@@ -492,7 +485,11 @@ mod tests {
             assert!(matches!(p.node, NodeId::Switch(_)));
         }
         // Last port faces the destination host.
-        let PortKey { node: NodeId::Switch(s), port } = *ports.last().unwrap() else {
+        let PortKey {
+            node: NodeId::Switch(s),
+            port,
+        } = *ports.last().unwrap()
+        else {
             panic!()
         };
         assert_eq!(
@@ -579,7 +576,14 @@ mod tests {
         let (h0, s0) = m.reservation_summary();
         assert_eq!((h0, s0), (0.0, 0.0));
         for i in 0..20 {
-            let _ = m.request(&req(i, (i % 16) as u16, ((i + 5) % 16) as u16, 7, Distance::D64, 16.0));
+            let _ = m.request(&req(
+                i,
+                (i % 16) as u16,
+                ((i + 5) % 16) as u16,
+                7,
+                Distance::D64,
+                16.0,
+            ));
         }
         let (h1, _s1) = m.reservation_summary();
         assert!(h1 > 0.0);

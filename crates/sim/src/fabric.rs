@@ -3,6 +3,7 @@
 use crate::buffer::Credits;
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
+use crate::invariants;
 use crate::packet::{FlowSpec, Packet};
 use crate::port::{InFlight, InputPort, OutputPort, Peer, PortStats};
 use crate::time::{cycles_for_bytes, Cycles};
@@ -311,8 +312,14 @@ impl Fabric {
             if t > t_end {
                 break;
             }
-            let (t, event) = self.queue.pop().expect("peeked");
-            debug_assert!(t >= self.now, "time went backwards");
+            let Some((t, event)) = self.queue.pop() else {
+                break;
+            };
+            debug_assert!(
+                invariants::time_monotone(self.now, t),
+                "time went backwards: now={} event={t}",
+                self.now
+            );
             self.now = t;
             self.events_processed += 1;
             match event {
@@ -458,7 +465,8 @@ impl Fabric {
             h.queues[vl].push_back(packet);
         }
         if !stopped {
-            self.queue.push(self.now + gap, Event::Generate { flow: flow as u32 });
+            self.queue
+                .push(self.now + gap, Event::Generate { flow: flow as u32 });
         }
         self.kick(NodeId::Host(src.0), 0);
     }
@@ -467,13 +475,18 @@ impl Fabric {
         let (inflight, peer) = match node {
             NodeId::Switch(s) => {
                 let out = &mut self.switches[s as usize].outputs[port as usize];
-                (out.inflight.take().expect("complete without transfer"), out.peer)
+                (out.inflight.take(), out.peer)
             }
             NodeId::Host(h) => {
                 let out = &mut self.hosts[h as usize].out;
-                (out.inflight.take().expect("complete without transfer"), out.peer)
+                (out.inflight.take(), out.peer)
             }
         };
+        assert!(
+            inflight.is_some(),
+            "complete event without an in-flight transfer"
+        );
+        let Some(inflight) = inflight else { return };
 
         // Free the crossbar input the packet came from.
         if let (NodeId::Switch(s), Some(q)) = (node, inflight.src_input) {
@@ -508,7 +521,10 @@ impl Fabric {
                         .restore(inflight.vl as usize, u64::from(p.bytes)),
                 }
             }
-            Peer::SwitchIn { switch, port: in_port } => {
+            Peer::SwitchIn {
+                switch,
+                port: in_port,
+            } => {
                 let dst = inflight.packet.dst;
                 let vl = inflight.vl as usize;
                 self.switches[switch as usize].inputs[in_port as usize].vls[vl]
@@ -599,8 +615,7 @@ impl Fabric {
                     // for other outputs are reserved for that work —
                     // this output may still take its *own* high-table
                     // VLs from them, but not low-priority packets.
-                    let protected =
-                        protect_inputs && self.input_has_foreign_high_work(s, q, port);
+                    let protected = protect_inputs && self.input_has_foreign_high_work(s, q, port);
                     for (vl, buf) in input.vls.iter().enumerate() {
                         if cand[vl].is_some() {
                             continue;
@@ -628,13 +643,16 @@ impl Fabric {
                 let out = &mut self.switches[s].outputs[port];
                 out.engine
                     .select(|vl| cand[vl.index()].map(|(_, b)| u64::from(b)))
-                    .map(|g| {
-                        let (q, bytes) = cand[g.vl.index()].expect("granted candidate");
-                        (g.vl.raw(), q, bytes, Some(g.served_by))
+                    .and_then(|g| {
+                        // The engine only grants VLs offered by the closure.
+                        cand[g.vl.index()]
+                            .map(|(q, bytes)| (g.vl.raw(), q, bytes, Some(g.served_by)))
                     })
             };
 
-            let Some((vl, q, bytes, served)) = grant else { return };
+            let Some((vl, q, bytes, served)) = grant else {
+                return;
+            };
             self.start_switch_transfer(s, port, q as usize, vl, bytes, served);
             // The port is now busy; the loop exits on the next pass.
         }
@@ -649,10 +667,17 @@ impl Fabric {
         bytes: u32,
         served: Option<ServedBy>,
     ) {
-        let packet = self.switches[s].inputs[q].vls[vl as usize]
-            .pop()
-            .expect("candidate vanished");
-        debug_assert_eq!(packet.bytes, bytes);
+        let packet = self.switches[s].inputs[q].vls[vl as usize].pop();
+        assert!(
+            packet.is_some(),
+            "granted candidate vanished from input buffer"
+        );
+        let Some(packet) = packet else { return };
+        debug_assert!(
+            invariants::grant_matches_head(packet.bytes, bytes),
+            "granted size {bytes} differs from head packet {}",
+            packet.bytes
+        );
         self.switches[s].inputs[q].busy = true;
 
         // Return the buffer credit to whoever feeds this input port.
@@ -716,13 +741,18 @@ impl Fabric {
                 .out
                 .engine
                 .select(|vl| cand[vl.index()].map(u64::from))
-                .map(|g| (g.vl.raw(), cand[g.vl.index()].unwrap(), Some(g.served_by)))
+                .and_then(|g| cand[g.vl.index()].map(|b| (g.vl.raw(), b, Some(g.served_by))))
         };
 
-        let Some((vl, bytes, served)) = grant else { return };
-        let packet = self.hosts[h].queues[vl as usize]
-            .pop_front()
-            .expect("candidate vanished");
+        let Some((vl, bytes, served)) = grant else {
+            return;
+        };
+        let packet = self.hosts[h].queues[vl as usize].pop_front();
+        assert!(
+            packet.is_some(),
+            "granted candidate vanished from host queue"
+        );
+        let Some(packet) = packet else { return };
         let duration = cycles_for_bytes(u64::from(bytes), self.config.link_bytes_per_cycle);
         let out = &mut self.hosts[h].out;
         out.credits.consume(vl as usize, u64::from(bytes));
@@ -741,7 +771,13 @@ impl Fabric {
         );
     }
 
-    fn account(stats: &mut PortStats, bytes: u32, duration: Cycles, vl: u8, served: Option<ServedBy>) {
+    fn account(
+        stats: &mut PortStats,
+        bytes: u32,
+        duration: Cycles,
+        vl: u8,
+        served: Option<ServedBy>,
+    ) {
         stats.busy_cycles += duration;
         stats.bytes += u64::from(bytes);
         stats.packets += 1;
@@ -750,7 +786,10 @@ impl Fabric {
             Some(ServedBy::High) => stats.high_bytes += u64::from(bytes),
             Some(ServedBy::Low) => stats.low_bytes += u64::from(bytes),
             None => {
-                debug_assert_eq!(vl, 15);
+                debug_assert!(
+                    invariants::unarbitrated_is_management(vl),
+                    "only VL15 bypasses arbitration, got VL{vl}"
+                );
                 stats.vl15_bytes += u64::from(bytes);
             }
         }
@@ -854,8 +893,14 @@ mod tests {
         // Table on the receiver-facing output: VL1 weight 3, VL2 weight 1.
         let cfg = VlArbConfig {
             high: vec![
-                ArbEntry { vl: VirtualLane::data(1), weight: 12 },
-                ArbEntry { vl: VirtualLane::data(2), weight: 4 },
+                ArbEntry {
+                    vl: VirtualLane::data(1),
+                    weight: 12,
+                },
+                ArbEntry {
+                    vl: VirtualLane::data(2),
+                    weight: 4,
+                },
             ],
             low: vec![],
             limit_of_high_priority: 255,

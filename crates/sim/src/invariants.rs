@@ -1,0 +1,46 @@
+//! Named runtime invariants of the event-driven fabric model.
+//!
+//! Each predicate states one property the simulator maintains by
+//! construction. `fabric.rs` checks them in `debug_assert!`s on the hot
+//! path; the verification crate and the test suites call them directly
+//! so a violation names the broken property instead of a bare boolean.
+
+use crate::time::Cycles;
+
+/// Event times never move backwards: the queue is a priority queue and
+/// every scheduled event lies at or after the current simulation time.
+#[must_use]
+pub fn time_monotone(now: Cycles, event_time: Cycles) -> bool {
+    event_time >= now
+}
+
+/// An arbitration grant always matches the head packet it was issued
+/// for — the candidate table and the VL buffer stay in lock-step during
+/// one `kick` pass.
+#[must_use]
+pub fn grant_matches_head(head_bytes: u32, granted_bytes: u32) -> bool {
+    head_bytes == granted_bytes
+}
+
+/// Only the management lane (VL15) may be served without passing the
+/// VL arbitration engine.
+#[must_use]
+pub fn unarbitrated_is_management(vl: u8) -> bool {
+    vl == 15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_hold_on_their_domains() {
+        assert!(time_monotone(5, 5));
+        assert!(time_monotone(5, 9));
+        assert!(!time_monotone(5, 4));
+        assert!(grant_matches_head(256, 256));
+        assert!(!grant_matches_head(256, 64));
+        assert!(unarbitrated_is_management(15));
+        assert!(!unarbitrated_is_management(0));
+    }
+}

@@ -28,6 +28,7 @@ pub mod buffer;
 pub mod config;
 pub mod event;
 pub mod fabric;
+pub mod invariants;
 pub mod packet;
 pub mod port;
 pub mod time;
@@ -35,7 +36,7 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use fabric::{Fabric, FabricStats, NodeId};
-pub use port::PortStats;
 pub use packet::{Arrival, FlowSpec, Packet};
+pub use port::PortStats;
 pub use time::{cycles_for_bytes, interval_for_rate, Cycles, LINK_1X_MBPS};
 pub use trace::{DeliveryRecord, NullObserver, Observer};

@@ -47,9 +47,7 @@ impl Arrival {
     pub fn gap(&self, seq: u64) -> Cycles {
         match self {
             Arrival::Cbr { interval } => *interval,
-            Arrival::Pattern { intervals } => {
-                intervals[(seq as usize) % intervals.len()]
-            }
+            Arrival::Pattern { intervals } => intervals[(seq as usize) % intervals.len()],
         }
     }
 
@@ -109,7 +107,9 @@ mod tests {
 
     #[test]
     fn pattern_cycles() {
-        let a = Arrival::Pattern { intervals: vec![10, 20, 30] };
+        let a = Arrival::Pattern {
+            intervals: vec![10, 20, 30],
+        };
         assert_eq!(a.gap(0), 10);
         assert_eq!(a.gap(1), 20);
         assert_eq!(a.gap(2), 30);

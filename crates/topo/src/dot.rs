@@ -96,10 +96,7 @@ mod tests {
             .map(|s| t.switch_links(s).count())
             .sum::<usize>()
             / 2;
-        let edges = dot
-            .lines()
-            .filter(|l| l.contains("-- \"S"))
-            .count();
+        let edges = dot.lines().filter(|l| l.contains("-- \"S")).count();
         assert_eq!(edges, total_links);
     }
 

@@ -158,10 +158,7 @@ impl Topology {
 
     /// A switch's ports wired to other switches, as
     /// `(local_port, peer_switch, peer_port)`.
-    pub fn switch_links(
-        &self,
-        switch: SwitchId,
-    ) -> impl Iterator<Item = (u8, SwitchId, u8)> + '_ {
+    pub fn switch_links(&self, switch: SwitchId) -> impl Iterator<Item = (u8, SwitchId, u8)> + '_ {
         self.switches[switch.index()]
             .ports
             .iter()
@@ -216,8 +213,14 @@ impl Topology {
             matches!(self.peer(b, pb), PortPeer::Free),
             "{b} port {pb} is taken"
         );
-        self.switches[a.index()].ports[pa as usize] = PortPeer::Switch { switch: b, port: pb };
-        self.switches[b.index()].ports[pb as usize] = PortPeer::Switch { switch: a, port: pa };
+        self.switches[a.index()].ports[pa as usize] = PortPeer::Switch {
+            switch: b,
+            port: pb,
+        };
+        self.switches[b.index()].ports[pb as usize] = PortPeer::Switch {
+            switch: a,
+            port: pa,
+        };
     }
 
     /// Attaches a new host to a free switch port; returns its id.
@@ -260,15 +263,23 @@ impl Topology {
                 match *peer {
                     PortPeer::Switch { switch, port } => {
                         let back = self.peer(switch, port);
-                        if back != (PortPeer::Switch { switch: s, port: p as u8 }) {
-                            return Err(format!(
-                                "asymmetric link {s}:{p} -> {switch}:{port}"
-                            ));
+                        if back
+                            != (PortPeer::Switch {
+                                switch: s,
+                                port: p as u8,
+                            })
+                        {
+                            return Err(format!("asymmetric link {s}:{p} -> {switch}:{port}"));
                         }
                     }
                     PortPeer::Host(h) => {
                         let host = self.hosts.get(h.index()).copied();
-                        if host != Some(Host { switch: s, port: p as u8 }) {
+                        if host
+                            != Some(Host {
+                                switch: s,
+                                port: p as u8,
+                            })
+                        {
                             return Err(format!("host {h} back-pointer broken at {s}:{p}"));
                         }
                     }
@@ -278,7 +289,10 @@ impl Topology {
         }
         for (i, h) in self.hosts.iter().enumerate() {
             if self.peer(h.switch, h.port) != PortPeer::Host(HostId(i as u16)) {
-                return Err(format!("host H{i} not present on {0}:{1}", h.switch, h.port));
+                return Err(format!(
+                    "host H{i} not present on {0}:{1}",
+                    h.switch, h.port
+                ));
             }
         }
         Ok(())
@@ -302,11 +316,17 @@ mod tests {
         let t = two_switch();
         assert_eq!(
             t.peer(SwitchId(0), 0),
-            PortPeer::Switch { switch: SwitchId(1), port: 0 }
+            PortPeer::Switch {
+                switch: SwitchId(1),
+                port: 0
+            }
         );
         assert_eq!(
             t.peer(SwitchId(1), 0),
-            PortPeer::Switch { switch: SwitchId(0), port: 0 }
+            PortPeer::Switch {
+                switch: SwitchId(0),
+                port: 0
+            }
         );
         t.check_integrity().unwrap();
     }

@@ -3,9 +3,7 @@
 //! other 4 are used for interconnection between switches".
 
 use crate::graph::{SwitchId, Topology};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use iba_core::rng::SplitMix64;
 
 /// Parameters of the random irregular generator.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +58,7 @@ pub fn generate(config: IrregularConfig) -> Topology {
         config.switches == 1 || config.interconnect_ports >= 1,
         "need interconnect ports to connect multiple switches"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let ports = config.hosts_per_switch + config.interconnect_ports;
     let mut topo = Topology::new(config.switches, ports);
 
@@ -79,8 +77,8 @@ pub fn generate(config: IrregularConfig) -> Topology {
         let candidates: Vec<u16> = (0..i as u16)
             .filter(|&j| topo.free_port(SwitchId(j)).is_some())
             .collect();
-        let &j = candidates
-            .choose(&mut rng)
+        let &j = rng
+            .choose(&candidates)
             .expect("spanning tree always finds a free earlier port");
         let pa = topo.free_port(SwitchId(i as u16)).unwrap();
         let pb = topo.free_port(SwitchId(j)).unwrap();
@@ -96,7 +94,7 @@ pub fn generate(config: IrregularConfig) -> Topology {
             }
         }
     }
-    free.shuffle(&mut rng);
+    rng.shuffle(&mut free);
     while free.len() >= 2 {
         let (sa, pa) = free.pop().unwrap();
         // Prefer a partner on a different switch without an existing
@@ -115,12 +113,11 @@ pub fn generate(config: IrregularConfig) -> Topology {
         topo.connect_switches(SwitchId(sa), pa, SwitchId(sb), pb);
         // Shuffle occasionally to avoid positional bias from `remove`.
         if free.len() > 2 && rng.gen_bool(0.25) {
-            free.shuffle(&mut rng);
+            rng.shuffle(&mut free);
         }
     }
 
-    debug_assert!(topo.check_integrity().is_ok());
-    debug_assert!(topo.is_connected());
+    debug_assert!(crate::validate::check_well_formed(&topo).is_ok());
     topo
 }
 
@@ -158,7 +155,9 @@ mod tests {
         let a = generate(IrregularConfig::paper_default(1));
         let b = generate(IrregularConfig::paper_default(2));
         let links = |t: &Topology| -> Vec<Vec<(u8, SwitchId, u8)>> {
-            t.switch_ids().map(|s| t.switch_links(s).collect()).collect()
+            t.switch_ids()
+                .map(|s| t.switch_links(s).collect())
+                .collect()
         };
         assert_ne!(links(&a), links(&b), "seeds 1 and 2 gave identical fabrics");
     }

@@ -36,7 +36,7 @@ pub fn mesh2d(rows: usize, cols: usize, hosts_per_switch: u8) -> Topology {
             }
         }
     }
-    debug_assert!(t.check_integrity().is_ok());
+    debug_assert!(crate::validate::check_well_formed(&t).is_ok());
     t
 }
 

@@ -152,12 +152,20 @@ pub fn compute(topo: &Topology) -> RoutingTable {
                 let preds: &[usize] = if hop_up {
                     // An up hop keeps the up phase and requires the
                     // successor state to still be in the up phase.
-                    if phase == 0 { &[0] } else { &[] }
+                    if phase == 0 {
+                        &[0]
+                    } else {
+                        &[]
+                    }
                 } else {
                     // A down hop: predecessor in up phase (first down)
                     // or already in down phase — successor state must be
                     // the down phase.
-                    if phase == 1 { &[0, 1] } else { &[] }
+                    if phase == 1 {
+                        &[0, 1]
+                    } else {
+                        &[]
+                    }
                 };
                 for &p in preds {
                     if dist[s.index()][p] == INF {
@@ -199,9 +207,7 @@ pub fn compute(topo: &Topology) -> RoutingTable {
             for (port, t, _) in topo.switch_links(s) {
                 let hop_up = is_up(&levels, s, t);
                 let good = if down_distance != INF {
-                    !hop_up
-                        && dist[t.index()][1] != INF
-                        && dist[t.index()][1] + 1 == down_distance
+                    !hop_up && dist[t.index()][1] != INF && dist[t.index()][1] + 1 == down_distance
                 } else {
                     hop_up
                         && dist[t.index()][0] != INF
@@ -212,12 +218,15 @@ pub fn compute(topo: &Topology) -> RoutingTable {
                     break;
                 }
             }
-            ports[s.index()][dest.index()] =
-                chosen.expect("some neighbour lies on a legal path");
+            ports[s.index()][dest.index()] = chosen.expect("some neighbour lies on a legal path");
         }
     }
 
-    RoutingTable { ports, levels, root }
+    RoutingTable {
+        ports,
+        levels,
+        root,
+    }
 }
 
 #[cfg(test)]

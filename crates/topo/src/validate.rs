@@ -18,6 +18,18 @@ struct Channel {
     port: u8,
 }
 
+/// Structural invariant of every generated fabric: internally
+/// consistent wiring (symmetric links, no dangling ports) and a single
+/// connected component. Both generators assert this on their output;
+/// the verification crate and property tests call it directly.
+pub fn check_well_formed(topo: &Topology) -> Result<(), String> {
+    topo.check_integrity()?;
+    if !topo.is_connected() {
+        return Err("topology is not connected".to_string());
+    }
+    Ok(())
+}
+
 /// Builds the channel dependency graph induced by `routing` and checks
 /// it for cycles. Returns `Ok(())` when deadlock-free, or a description
 /// of a cyclic dependency.
@@ -27,7 +39,10 @@ pub fn check_deadlock_freedom(topo: &Topology, routing: &RoutingTable) -> Result
     let mut channels: Vec<Channel> = Vec::new();
     for s in topo.switch_ids() {
         for (p, _, _) in topo.switch_links(s) {
-            let c = Channel { switch: s.0, port: p };
+            let c = Channel {
+                switch: s.0,
+                port: p,
+            };
             index.insert(c, channels.len());
             channels.push(c);
         }

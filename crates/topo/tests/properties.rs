@@ -1,47 +1,54 @@
 //! Property tests: any randomly generated fabric must be connected,
-//! fully routable and deadlock-free.
+//! fully routable and deadlock-free. Cases come from the workspace's
+//! deterministic [`SplitMix64`] generator.
 
+use iba_core::rng::SplitMix64;
 use iba_topo::irregular::{generate, IrregularConfig};
 use iba_topo::validate::{check_deadlock_freedom, check_routing_completeness};
 use iba_topo::{updown, Topology};
-use proptest::prelude::*;
 
-fn arb_config() -> impl Strategy<Value = IrregularConfig> {
-    (1usize..=24, 1u8..=4, 2u8..=5, any::<u64>()).prop_map(
-        |(switches, hosts, inter, seed)| IrregularConfig {
-            switches,
-            hosts_per_switch: hosts,
-            interconnect_ports: inter,
-            seed,
-        },
-    )
+fn arb_config(rng: &mut SplitMix64) -> IrregularConfig {
+    IrregularConfig {
+        switches: rng.gen_range(1usize..=24),
+        hosts_per_switch: rng.gen_range(1u8..=4),
+        interconnect_ports: rng.gen_range(2u8..=5),
+        seed: rng.next_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_fabrics_are_well_formed(config in arb_config()) {
+#[test]
+fn generated_fabrics_are_well_formed() {
+    let mut rng = SplitMix64::seed_from_u64(0xA0);
+    for case in 0..48 {
+        let config = arb_config(&mut rng);
         let t = generate(config);
-        prop_assert_eq!(t.num_switches(), config.switches);
-        prop_assert_eq!(
+        assert_eq!(t.num_switches(), config.switches, "case {case}");
+        assert_eq!(
             t.num_hosts(),
             config.switches * config.hosts_per_switch as usize
         );
         t.check_integrity().unwrap();
-        prop_assert!(t.is_connected());
+        assert!(t.is_connected(), "case {case}: {config:?}");
     }
+}
 
-    #[test]
-    fn routing_is_complete_and_deadlock_free(config in arb_config()) {
+#[test]
+fn routing_is_complete_and_deadlock_free() {
+    let mut rng = SplitMix64::seed_from_u64(0xB0);
+    for _ in 0..48 {
+        let config = arb_config(&mut rng);
         let t = generate(config);
         let r = updown::compute(&t);
         check_routing_completeness(&t, &r).unwrap();
         check_deadlock_freedom(&t, &r).unwrap();
     }
+}
 
-    #[test]
-    fn paths_are_bounded(config in arb_config()) {
+#[test]
+fn paths_are_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0);
+    for _ in 0..20 {
+        let config = arb_config(&mut rng);
         let t = generate(config);
         let r = updown::compute(&t);
         // An up*/down* path visits each switch at most once, plus the
@@ -50,15 +57,19 @@ proptest! {
         for src in t.host_ids() {
             for dest in t.host_ids() {
                 let hops = r.path_hops(&t, src, dest).unwrap();
-                prop_assert!(hops <= bound, "{src}->{dest} took {hops} links");
+                assert!(hops <= bound, "{src}->{dest} took {hops} links");
             }
         }
     }
+}
 
-    /// Same-seed determinism over arbitrary seeds (experiments depend on
-    /// reproducible fabrics).
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>()) {
+/// Same-seed determinism over arbitrary seeds (experiments depend on
+/// reproducible fabrics).
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0xD0);
+    for _ in 0..48 {
+        let seed = rng.next_u64();
         let digest = |t: &Topology| -> Vec<(u16, u8, u16, u8)> {
             t.switch_ids()
                 .flat_map(|s| {
@@ -70,6 +81,6 @@ proptest! {
         };
         let a = generate(IrregularConfig::paper_default(seed));
         let b = generate(IrregularConfig::paper_default(seed));
-        prop_assert_eq!(digest(&a), digest(&b));
+        assert_eq!(digest(&a), digest(&b));
     }
 }

@@ -2,11 +2,10 @@
 //! low-priority table. The paper reserves 20% of link bandwidth for
 //! these classes and gives them no guarantees.
 
-use iba_core::{ServiceLevel, sl};
+use iba_core::rng::SplitMix64;
+use iba_core::{sl, ServiceLevel};
 use iba_sim::{Arrival, FlowSpec};
 use iba_topo::{HostId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the best-effort background.
 #[derive(Clone, Copy, Debug)]
@@ -43,7 +42,7 @@ pub fn background_flows(
     config: &BackgroundConfig,
     first_id: u32,
 ) -> Vec<FlowSpec> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let n = topo.num_hosts();
     assert!(n >= 2, "background traffic needs at least two hosts");
     let mix_total: f64 = config.class_mix.iter().sum();

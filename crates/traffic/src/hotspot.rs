@@ -3,12 +3,10 @@
 //! robustness tests — QoS guarantees must survive hostile best-effort
 //! patterns.
 
+use iba_core::rng::SplitMix64;
 use iba_core::ServiceLevel;
 use iba_sim::{Arrival, FlowSpec};
 use iba_topo::{HostId, Topology};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// One flow from every other host towards `target`, each offering
 /// `load_fraction` of a link (so the hotspot port is oversubscribed
@@ -54,12 +52,12 @@ pub fn permutation_flows(
     assert!(load_fraction > 0.0 && load_fraction <= 1.0);
     let n = topo.num_hosts();
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // A derangement-ish permutation: shuffle until no fixed points
     // (guaranteed to terminate quickly for n >= 2).
     let mut perm: Vec<u16> = (0..n as u16).collect();
     loop {
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         if perm.iter().enumerate().all(|(i, &p)| i as u16 != p) {
             break;
         }
@@ -94,7 +92,9 @@ mod tests {
         let topo = generate(IrregularConfig::with_switches(4, 1));
         let flows = hotspot_flows(&topo, HostId(3), sl(11), 0.5, 256, 100);
         assert_eq!(flows.len(), topo.num_hosts() - 1);
-        assert!(flows.iter().all(|f| f.dst == HostId(3) && f.src != HostId(3)));
+        assert!(flows
+            .iter()
+            .all(|f| f.dst == HostId(3) && f.src != HostId(3)));
         // Aggregate oversubscription of the hotspot link.
         let total: f64 = flows.iter().map(FlowSpec::offered_load).sum();
         assert!(total > 7.0, "{total}");

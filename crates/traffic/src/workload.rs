@@ -4,10 +4,9 @@
 //! until no more fit under the 80% reservation cap).
 
 use crate::request::ConnectionRequest;
+use iba_core::rng::SplitMix64;
 use iba_core::{SlProfile, SlTable};
 use iba_topo::{HostId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the request stream.
 #[derive(Clone, Debug)]
@@ -36,7 +35,7 @@ pub struct RequestGenerator {
     profiles: Vec<SlProfile>,
     hosts: u16,
     packet_bytes: u32,
-    rng: StdRng,
+    rng: SplitMix64,
     next_id: u32,
     next_profile: usize,
 }
@@ -52,7 +51,7 @@ impl RequestGenerator {
             profiles,
             hosts: topo.num_hosts() as u16,
             packet_bytes: config.packet_bytes,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SplitMix64::seed_from_u64(config.seed),
             next_id: 0,
             next_profile: 0,
         }
@@ -115,7 +114,11 @@ mod tests {
 
     fn gen() -> RequestGenerator {
         let topo = generate(IrregularConfig::paper_default(0));
-        RequestGenerator::new(&topo, &SlTable::paper_table1(), &WorkloadConfig::new(256, 7))
+        RequestGenerator::new(
+            &topo,
+            &SlTable::paper_table1(),
+            &WorkloadConfig::new(256, 7),
+        )
     }
 
     #[test]

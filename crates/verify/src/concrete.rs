@@ -1,0 +1,266 @@
+//! Concrete (non-quotient) exploration with operation traces.
+//!
+//! The multiset reduction of [`crate::quotient`] is only a bisimulation
+//! for bit-reversal + defrag; for the first-fit and reverse-fit
+//! baselines the occupancy is path-dependent, so this module explores
+//! raw table states breadth-first and carries the `admit`/`release`
+//! script to every node. When a reachable state violates the canonical
+//! property, the shortest such script pops out as a **mechanical
+//! counterexample** — replayable with [`replay`] — showing exactly how
+//! the baseline strands free entries the paper's policy would have kept
+//! usable.
+
+use iba_core::invariants::check_table;
+use iba_core::{
+    AllocatorKind, Distance, HighPriorityTable, SequenceId, ServiceLevel, VirtualLane, Weight,
+};
+use std::collections::{HashSet, VecDeque};
+
+/// One step of a counterexample script.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Admit a fresh full-weight sequence of the given distance.
+    Admit(Distance),
+    /// Release the `n`-th oldest live sequence.
+    Release(usize),
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Admit(d) => write!(f, "admit({d})"),
+            Op::Release(n) => write!(f, "release(#{n})"),
+        }
+    }
+}
+
+/// A mechanically found canonicity violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The allocator the trace indicts.
+    pub allocator: AllocatorKind,
+    /// Shortest script from the empty table to the violation.
+    pub trace: Vec<Op>,
+    /// Occupancy at the violating state.
+    pub occupancy: u64,
+    /// Free entries at the violating state.
+    pub free_entries: usize,
+    /// A distance whose entry count fits the free entries yet has no
+    /// free set (the canonical property's witness).
+    pub unservable: Distance,
+    /// The checker's description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let script: Vec<String> = self.trace.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "{}: [{}] -> occupancy {:#018x}, {} entries free but d={} unservable",
+            self.allocator.name(),
+            script.join(", "),
+            self.occupancy,
+            self.free_entries,
+            self.unservable.slots(),
+        )
+    }
+}
+
+/// Outcome of a concrete search.
+#[derive(Clone, Debug, Default)]
+pub struct SearchReport {
+    /// Distinct concrete states visited.
+    pub states: usize,
+    /// Whether the state bound stopped the search.
+    pub truncated: bool,
+    /// The shortest violation found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+fn sl_of(k: usize) -> ServiceLevel {
+    ServiceLevel::new((k % 10) as u8).expect("k % 10 is a valid SL")
+}
+
+fn vl_of(k: usize) -> VirtualLane {
+    VirtualLane::data((k % 10) as u8)
+}
+
+fn full_weight(d: Distance) -> Weight {
+    (d.entries() * 255) as Weight
+}
+
+/// Structural key of a table state: the sorted live `(log2 d, offset)`
+/// pairs. Two tables with the same key behave identically under every
+/// future script (weights are always full, so joining never occurs and
+/// service levels are irrelevant).
+fn state_key(table: &HighPriorityTable) -> Vec<(u8, u8)> {
+    let mut key: Vec<(u8, u8)> = table
+        .sequences()
+        .map(|(_, info)| (info.eset.distance().log2() as u8, info.eset.offset() as u8))
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// The most restrictive distance that *should* be servable by the free
+/// entry count but is not — `None` when the state is canonical.
+fn unservable_distance(table: &HighPriorityTable) -> Option<Distance> {
+    let free = table.free_entries();
+    let occ = table.occupancy();
+    Distance::ALL
+        .into_iter()
+        .find(|d| d.entries() <= free && table.allocator().select(occ, *d).is_none())
+}
+
+/// Breadth-first search over concrete states of a table driven by
+/// `allocator`, up to `max_states` distinct states. Returns the
+/// shortest canonicity violation, if one is reachable in the bound.
+///
+/// Auto-defrag stays at the production default (on): even with the
+/// canonical re-packing running after every emptying release, the
+/// baseline allocators *still* reach non-canonical states through
+/// admissions alone — which is the paper's argument for bit-reversal.
+#[must_use]
+pub fn search(allocator: AllocatorKind, max_states: usize) -> SearchReport {
+    /// BFS node: the table, its live sequences, and the script that built it.
+    type Node = (HighPriorityTable, Vec<(SequenceId, Weight)>, Vec<Op>);
+    let mut report = SearchReport::default();
+    let mut seen: HashSet<Vec<(u8, u8)>> = HashSet::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+
+    let empty = HighPriorityTable::with_allocator(allocator);
+    seen.insert(state_key(&empty));
+    queue.push_back((empty, Vec::new(), Vec::new()));
+
+    while let Some((table, live, trace)) = queue.pop_front() {
+        if report.states >= max_states {
+            report.truncated = true;
+            break;
+        }
+        report.states += 1;
+
+        if let Err(detail) = check_table(&table) {
+            let unservable = unservable_distance(&table).unwrap_or(Distance::D2);
+            report.counterexample = Some(Counterexample {
+                allocator,
+                trace,
+                occupancy: table.occupancy(),
+                free_entries: table.free_entries(),
+                unservable,
+                detail,
+            });
+            break; // BFS: the first violation found is a shortest one.
+        }
+
+        // Admissions.
+        for d in Distance::ALL {
+            let mut next = table.clone();
+            let k = live.len();
+            if let Ok(adm) = next.admit(sl_of(k), vl_of(k), d, full_weight(d)) {
+                if seen.insert(state_key(&next)) {
+                    let mut live2 = live.clone();
+                    live2.push((adm.sequence, full_weight(d)));
+                    let mut trace2 = trace.clone();
+                    trace2.push(Op::Admit(d));
+                    queue.push_back((next, live2, trace2));
+                }
+            }
+        }
+        // Releases.
+        for (n, &(id, w)) in live.iter().enumerate() {
+            let mut next = table.clone();
+            if next.release(id, w).is_ok() && seen.insert(state_key(&next)) {
+                let mut live2 = live.clone();
+                live2.remove(n);
+                let mut trace2 = trace.clone();
+                trace2.push(Op::Release(n));
+                queue.push_back((next, live2, trace2));
+            }
+        }
+    }
+    report
+}
+
+/// Replays a counterexample script on a fresh table of the given
+/// allocator and returns the final table (every op must apply cleanly).
+pub fn replay(allocator: AllocatorKind, trace: &[Op]) -> Result<HighPriorityTable, String> {
+    let mut table = HighPriorityTable::with_allocator(allocator);
+    let mut live: Vec<(SequenceId, Weight)> = Vec::new();
+    for (step, op) in trace.iter().enumerate() {
+        match *op {
+            Op::Admit(d) => {
+                let k = live.len();
+                let adm = table
+                    .admit(sl_of(k), vl_of(k), d, full_weight(d))
+                    .map_err(|e| format!("step {step}: {op} failed: {e}"))?;
+                live.push((adm.sequence, full_weight(d)));
+            }
+            Op::Release(n) => {
+                let (id, w) = *live
+                    .get(n)
+                    .ok_or_else(|| format!("step {step}: {op} out of range"))?;
+                table
+                    .release(id, w)
+                    .map_err(|e| format!("step {step}: {op} failed: {e}"))?;
+                live.remove(n);
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_counterexample_is_found_and_replays() {
+        let report = search(AllocatorKind::FirstFit, 5_000);
+        let ce = report
+            .counterexample
+            .expect("first-fit must violate canonicity");
+        // Known shortest failure: two singles on slots 0 and 1.
+        assert!(
+            ce.trace.len() <= 3,
+            "expected a short trace, got {:?}",
+            ce.trace
+        );
+        let table = replay(AllocatorKind::FirstFit, &ce.trace).unwrap();
+        assert_eq!(table.occupancy(), ce.occupancy);
+        assert!(
+            check_table(&table).is_err(),
+            "replay must reproduce the violation"
+        );
+    }
+
+    #[test]
+    fn reverse_fit_counterexample_is_found_and_replays() {
+        let report = search(AllocatorKind::ReverseFit, 5_000);
+        let ce = report
+            .counterexample
+            .expect("reverse-fit must violate canonicity");
+        let table = replay(AllocatorKind::ReverseFit, &ce.trace).unwrap();
+        assert_eq!(table.occupancy(), ce.occupancy);
+        assert!(check_table(&table).is_err());
+    }
+
+    #[test]
+    fn bit_reversal_survives_the_same_search() {
+        let report = search(AllocatorKind::BitReversal, 1_500);
+        assert!(
+            report.counterexample.is_none(),
+            "bit-reversal violated canonicity: {}",
+            report
+                .counterexample
+                .map(|c| c.to_string())
+                .unwrap_or_default()
+        );
+        assert!(report.states >= 1_500 || !report.truncated);
+    }
+
+    #[test]
+    fn replay_rejects_malformed_scripts() {
+        assert!(replay(AllocatorKind::BitReversal, &[Op::Release(0)]).is_err());
+    }
+}

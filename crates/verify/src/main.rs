@@ -1,0 +1,185 @@
+//! `iba-verify` — drives the model checker from the command line.
+//!
+//! ```text
+//! iba-verify [--exhaustive] [--max-states N]
+//! ```
+//!
+//! Default mode bounds every exploration so the whole run finishes in
+//! well under two minutes even unoptimised (the CI configuration);
+//! `--exhaustive` removes the bounds on the quotient exploration and
+//! the rotation sweep, covering all 27 337 reachable multiset states
+//! and every release rotation. Exit status is non-zero when the
+//! bit-reversal policy shows any violation **or** when the baseline
+//! counterexample search fails to indict first-fit and reverse-fit.
+
+#![forbid(unsafe_code)]
+
+use iba_core::invariants::check_table;
+use iba_core::AllocatorKind;
+use iba_verify::{concrete, crossval, quotient, sweep};
+
+struct Options {
+    exhaustive: bool,
+    max_states: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        exhaustive: false,
+        max_states: 4_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exhaustive" => opts.exhaustive = true,
+            "--max-states" => {
+                let v = args.next().ok_or("--max-states needs a value")?;
+                opts.max_states = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-states value: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: iba-verify [--exhaustive] [--max-states N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: iba-verify [--exhaustive] [--max-states N]");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+
+    // 1. Quotient exploration of the production table under bit-reversal.
+    let bound = if opts.exhaustive {
+        usize::MAX
+    } else {
+        opts.max_states
+    };
+    println!("[1/4] quotient exploration (bit-reversal + defrag)");
+    let q = quotient::explore(bound, opts.exhaustive);
+    println!(
+        "      states: {}  transitions: {}  violations: {}{}",
+        q.states,
+        q.transitions,
+        q.violations.len(),
+        if q.truncated {
+            "  (truncated)"
+        } else {
+            "  (exhaustive)"
+        }
+    );
+    if opts.exhaustive {
+        let expected = quotient::count_fitting_multisets(iba_core::TABLE_ENTRIES);
+        if q.truncated || q.states != expected {
+            println!(
+                "      FAIL: expected {expected} states exhaustively, saw {}",
+                q.states
+            );
+            failed = true;
+        } else {
+            println!("      covered all {expected} reachable multiset classes");
+        }
+    }
+    for v in q.violations.iter().take(5) {
+        println!("      VIOLATION at {:?}: {}", v.state, v.detail);
+    }
+    failed |= !q.violations.is_empty();
+
+    // 2. Counterexample search for the baseline allocators.
+    println!("[2/4] counterexample search for baseline policies");
+    for kind in [AllocatorKind::FirstFit, AllocatorKind::ReverseFit] {
+        let r = concrete::search(kind, 5_000);
+        match r.counterexample {
+            Some(ce) => match concrete::replay(kind, &ce.trace) {
+                Ok(t) if check_table(&t).is_err() => {
+                    println!("      {ce}");
+                    println!("        (replayed: violation reproduces)");
+                }
+                Ok(_) => {
+                    println!("      FAIL: {} counterexample does not replay", kind.name());
+                    failed = true;
+                }
+                Err(e) => {
+                    println!("      FAIL: {} replay errored: {e}", kind.name());
+                    failed = true;
+                }
+            },
+            None => {
+                println!(
+                    "      FAIL: no counterexample for {} in {} states",
+                    kind.name(),
+                    r.states
+                );
+                failed = true;
+            }
+        }
+    }
+    let bitrev = concrete::search(AllocatorKind::BitReversal, opts.max_states.min(3_000));
+    if let Some(ce) = &bitrev.counterexample {
+        println!("      FAIL: bit-reversal violated canonicity: {ce}");
+        failed = true;
+    } else {
+        println!(
+            "      bit-reversal: {} concrete states, no violation",
+            bitrev.states
+        );
+    }
+
+    // 3. Cross-validation of the quotient reduction on scaled tables.
+    println!("[3/4] quotient-vs-concrete cross-validation (sizes 8/16/32)");
+    for (size, max) in [(8u32, usize::MAX), (16, usize::MAX), (32, 30_000)] {
+        let r = crossval::validate(size, max);
+        println!(
+            "      size {:>2}: {} concrete states -> {} multisets, {} quotient states, {} mismatches{}",
+            r.size,
+            r.concrete_states,
+            r.concrete_multisets,
+            r.quotient_states,
+            r.mismatches.len(),
+            if r.concrete_truncated { "  (concrete bounded)" } else { "" }
+        );
+        for m in r.mismatches.iter().take(3) {
+            println!("      MISMATCH: {m}");
+        }
+        failed |= !r.mismatches.is_empty();
+    }
+
+    // 4. Admit-all / release-every-rotation sweep.
+    println!("[4/4] rotation release sweep");
+    let s = sweep::rotation_sweep(
+        opts.exhaustive,
+        if opts.exhaustive { usize::MAX } else { 1_000 },
+    );
+    println!(
+        "      multisets: {}  rotations: {}  releases: {}  violations: {}{}",
+        s.multisets,
+        s.rotations,
+        s.releases,
+        s.violations.len(),
+        if s.truncated {
+            "  (truncated)"
+        } else {
+            "  (exhaustive)"
+        }
+    );
+    for v in s.violations.iter().take(5) {
+        println!("      VIOLATION: {v}");
+    }
+    failed |= !s.violations.is_empty();
+
+    if failed {
+        println!("RESULT: FAIL");
+        std::process::exit(1);
+    }
+    println!("RESULT: PASS");
+}

@@ -1,0 +1,180 @@
+//! Admit-all-then-release-in-every-rotation sweep.
+//!
+//! For every distance multiset that fits in the 64-entry table: admit
+//! all its sequences through the production `admit` path, then release
+//! them in rotated admission order — checking
+//! [`iba_core::invariants::check_table`] after **every** release and
+//! that the table drains back to empty. Exhaustive mode walks all
+//! rotations of all 27 337 multisets; bounded mode strides both.
+
+use crate::quotient::{representative, used_entries, Counts};
+use iba_core::invariants::check_table;
+use iba_core::{Distance, TABLE_ENTRIES};
+
+/// Outcome of a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Multisets swept.
+    pub multisets: usize,
+    /// Release orders exercised.
+    pub rotations: usize,
+    /// Individual releases checked.
+    pub releases: usize,
+    /// Whether the multiset bound cut the sweep short.
+    pub truncated: bool,
+    /// Violations found (empty = the property holds on the swept set).
+    pub violations: Vec<String>,
+}
+
+/// Every distance multiset fitting in `capacity` entries, in
+/// lexicographic count order (the empty multiset first).
+#[must_use]
+pub fn all_fitting_multisets(capacity: usize) -> Vec<Counts> {
+    fn go(i: usize, remaining: usize, c: &mut Counts, out: &mut Vec<Counts>) {
+        if i == Distance::ALL.len() {
+            out.push(*c);
+            return;
+        }
+        let cost = Distance::ALL[i].entries();
+        let mut k = 0usize;
+        while k * cost <= remaining {
+            c[i] = k as u8;
+            go(i + 1, remaining - k * cost, c, out);
+            k += 1;
+        }
+        c[i] = 0;
+    }
+    let mut out = Vec::new();
+    go(0, capacity, &mut [0; 6], &mut out);
+    out
+}
+
+/// Sweeps the multiset space. With `full_rotations`, every rotation of
+/// the admission order is released; otherwise rotations `{0, 1, n-1}`.
+/// At most `max_multisets` multisets are processed (`usize::MAX` for
+/// the exhaustive run).
+#[must_use]
+pub fn rotation_sweep(full_rotations: bool, max_multisets: usize) -> SweepReport {
+    let mut report = SweepReport::default();
+    let multisets = all_fitting_multisets(TABLE_ENTRIES);
+    for counts in &multisets {
+        if report.multisets >= max_multisets {
+            report.truncated = true;
+            break;
+        }
+        report.multisets += 1;
+
+        let (table, ids) = match representative(counts) {
+            Ok(pair) => pair,
+            Err(detail) => {
+                report.violations.push(format!("{counts:?}: {detail}"));
+                continue;
+            }
+        };
+        if let Err(detail) = check_table(&table) {
+            report
+                .violations
+                .push(format!("{counts:?}: after admit-all: {detail}"));
+            continue;
+        }
+        debug_assert_eq!(table.free_entries(), TABLE_ENTRIES - used_entries(counts));
+
+        let n = ids.len();
+        let rotations: Vec<usize> = if n == 0 {
+            Vec::new()
+        } else if full_rotations {
+            (0..n).collect()
+        } else {
+            let mut r = vec![0, 1 % n, n - 1];
+            r.dedup();
+            r
+        };
+
+        for r in rotations {
+            report.rotations += 1;
+            let mut t = table.clone();
+            for step in 0..n {
+                let id = ids[(r + step) % n];
+                let Some(info) = t.sequence(id) else {
+                    report.violations.push(format!(
+                        "{counts:?} rot {r}: sequence {id:?} vanished before release"
+                    ));
+                    break;
+                };
+                if let Err(e) = t.release(id, info.total_weight) {
+                    report
+                        .violations
+                        .push(format!("{counts:?} rot {r}: release failed: {e}"));
+                    break;
+                }
+                report.releases += 1;
+                if let Err(detail) = check_table(&t) {
+                    report
+                        .violations
+                        .push(format!("{counts:?} rot {r} after release {step}: {detail}"));
+                    break;
+                }
+            }
+            if t.free_entries() != TABLE_ENTRIES {
+                report.violations.push(format!(
+                    "{counts:?} rot {r}: table did not drain ({} entries still busy)",
+                    TABLE_ENTRIES - t.free_entries()
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_matches_counting_dp() {
+        assert_eq!(
+            all_fitting_multisets(TABLE_ENTRIES).len(),
+            crate::quotient::count_fitting_multisets(TABLE_ENTRIES)
+        );
+        assert_eq!(all_fitting_multisets(0), vec![[0u8; 6]]);
+    }
+
+    #[test]
+    fn every_multiset_fits() {
+        for c in all_fitting_multisets(TABLE_ENTRIES) {
+            assert!(used_entries(&c) <= TABLE_ENTRIES);
+        }
+    }
+
+    /// The unabridged satellite property: every fitting multiset,
+    /// every rotation. Ignored by default (minutes); the default CI
+    /// path covers it via `iba-verify --exhaustive`.
+    #[test]
+    #[ignore = "minutes of work; run explicitly or via iba-verify --exhaustive"]
+    fn full_rotation_sweep_is_clean() {
+        let report = rotation_sweep(true, usize::MAX);
+        assert!(!report.truncated);
+        assert_eq!(
+            report.multisets,
+            crate::quotient::count_fitting_multisets(TABLE_ENTRIES)
+        );
+        assert!(
+            report.violations.is_empty(),
+            "{:?}",
+            report.violations.first()
+        );
+    }
+
+    #[test]
+    fn bounded_rotation_sweep_is_clean() {
+        let report = rotation_sweep(false, 1_500);
+        assert!(report.truncated);
+        assert_eq!(report.multisets, 1_500);
+        assert!(
+            report.violations.is_empty(),
+            "{:?}",
+            report.violations.first()
+        );
+        assert!(report.releases > 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! `cargo xtask check` — the workspace's static-analysis gate.
+//!
+//! Steps, in order:
+//!
+//! 1. **fmt** — `cargo fmt --all -- --check` (skipped with a notice
+//!    when `rustfmt` is not installed, e.g. offline minimal toolchains).
+//! 2. **clippy** — pinned deny-list over all targets (skipped likewise
+//!    when the `clippy` component is missing).
+//! 3. **scan** — the custom source scanners of [`xtask`]: no
+//!    `unwrap`/`expect`/`panic!` in non-test code of `core`/`sim`/`qos`,
+//!    no raw occupancy arithmetic outside `crates/core`, and
+//!    `#![forbid(unsafe_code)]` in every crate root.
+//! 4. **doc-links** — every relative markdown link in the repository's
+//!    `*.md` files must point at an existing file.
+//!
+//! Exit status is non-zero when any executed step fails; skipped steps
+//! never fail the run.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+use xtask::{
+    extract_relative_links, scan_forbid_unsafe, scan_no_panics, scan_occupancy_arithmetic, Finding,
+};
+
+/// Clippy lints denied on top of the default `warn` set. Pinned so a
+/// toolchain bump cannot silently change the gate.
+const CLIPPY_DENY: &[&str] = &[
+    "warnings",
+    "clippy::dbg_macro",
+    "clippy::todo",
+    "clippy::unimplemented",
+    "clippy::mem_forget",
+];
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repository root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn tool_available(cmd: &str, args: &[&str]) -> bool {
+    Command::new(cmd)
+        .args(args)
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+enum StepResult {
+    Pass,
+    Skip(String),
+    Fail(String),
+}
+
+fn run_cargo(root: &Path, args: &[&str]) -> StepResult {
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(s) if s.success() => StepResult::Pass,
+        Ok(s) => StepResult::Fail(format!("cargo {} exited with {s}", args.join(" "))),
+        Err(e) => StepResult::Fail(format!("cargo {} failed to start: {e}", args.join(" "))),
+    }
+}
+
+fn step_fmt(root: &Path) -> StepResult {
+    if !tool_available("rustfmt", &["--version"]) {
+        return StepResult::Skip("rustfmt not installed".to_string());
+    }
+    run_cargo(root, &["fmt", "--all", "--", "--check"])
+}
+
+fn step_clippy(root: &Path) -> StepResult {
+    if !tool_available("cargo", &["clippy", "--version"]) {
+        return StepResult::Skip("clippy not installed".to_string());
+    }
+    let mut args = vec!["clippy", "--workspace", "--all-targets", "--quiet", "--"];
+    let denies: Vec<String> = CLIPPY_DENY.iter().map(|l| format!("-D{l}")).collect();
+    args.extend(denies.iter().map(String::as_str));
+    run_cargo(root, &args)
+}
+
+/// All files under `dir` (recursively) with the given extension,
+/// skipping build/VCS artifacts.
+fn walk(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, ext, out);
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn is_crate_root(rel_path: &str) -> bool {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((_, tail)) = rest.split_once('/') else {
+        return false;
+    };
+    tail == "src/lib.rs"
+        || tail == "src/main.rs"
+        || (tail.starts_with("src/bin/") && tail.ends_with(".rs") && !tail.contains("/mod.rs"))
+}
+
+fn step_scan(root: &Path) -> StepResult {
+    let mut files = Vec::new();
+    walk(&root.join("crates"), "rs", &mut files);
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel_path = rel(root, path);
+        let Ok(source) = std::fs::read_to_string(path) else {
+            findings.push(Finding {
+                file: rel_path,
+                line: 0,
+                rule: "io",
+                detail: "unreadable source file".to_string(),
+            });
+            continue;
+        };
+        findings.extend(scan_no_panics(&rel_path, &source));
+        findings.extend(scan_occupancy_arithmetic(&rel_path, &source));
+        if is_crate_root(&rel_path) {
+            findings.extend(scan_forbid_unsafe(&rel_path, &source));
+        }
+    }
+    if findings.is_empty() {
+        println!("      {} source files scanned, 0 findings", files.len());
+        StepResult::Pass
+    } else {
+        for f in &findings {
+            println!("      {f}");
+        }
+        StepResult::Fail(format!("{} scanner finding(s)", findings.len()))
+    }
+}
+
+fn step_doc_links(root: &Path) -> StepResult {
+    let mut files = Vec::new();
+    walk(root, "md", &mut files);
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let dir = path.parent().unwrap_or(root);
+        for (line, target) in extract_relative_links(&source) {
+            checked += 1;
+            if !dir.join(&target).exists() {
+                broken.push(format!(
+                    "{}:{line}: broken link -> {target}",
+                    rel(root, path)
+                ));
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "      {checked} relative links across {} markdown files, all resolve",
+            files.len()
+        );
+        StepResult::Pass
+    } else {
+        for b in &broken {
+            println!("      {b}");
+        }
+        StepResult::Fail(format!("{} broken link(s)", broken.len()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    if cmd != "check" {
+        eprintln!("usage: cargo xtask check");
+        return ExitCode::from(2);
+    }
+    let root = repo_root();
+    type Step = (&'static str, fn(&Path) -> StepResult);
+    let steps: &[Step] = &[
+        ("fmt", step_fmt),
+        ("clippy", step_clippy),
+        ("scan", step_scan),
+        ("doc-links", step_doc_links),
+    ];
+    let mut failed = false;
+    for (name, step) in steps {
+        println!("[{name}]");
+        match step(&root) {
+            StepResult::Pass => println!("      PASS"),
+            StepResult::Skip(why) => println!("      SKIP ({why})"),
+            StepResult::Fail(why) => {
+                println!("      FAIL ({why})");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!("xtask check: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask check: PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,72 @@
+//! End-to-end demonstration of the acceptance criterion: the scanners
+//! pass on the tree as committed and fail when a violation is seeded
+//! into real source (an `unwrap()` added to `crates/core/src/table.rs`).
+
+use std::path::PathBuf;
+use xtask::{scan_forbid_unsafe, scan_no_panics, scan_occupancy_arithmetic};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has two ancestors")
+        .to_path_buf()
+}
+
+#[test]
+fn real_table_rs_is_clean_until_an_unwrap_is_seeded() {
+    let rel = "crates/core/src/table.rs";
+    let source = std::fs::read_to_string(repo_root().join(rel)).expect("table.rs readable");
+
+    // As committed: no findings.
+    assert!(
+        scan_no_panics(rel, &source).is_empty(),
+        "committed table.rs must be panic-free: {:?}",
+        scan_no_panics(rel, &source).first()
+    );
+
+    // Seed the violation from the acceptance criterion.
+    let seeded = format!("{source}\npub fn seeded(x: Option<u32>) -> u32 {{ x.unwrap() }}\n");
+    let findings = scan_no_panics(rel, &seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "the seeded unwrap must be the one finding"
+    );
+    assert_eq!(findings[0].rule, "no-panics");
+    assert_eq!(findings[0].line, seeded.lines().count());
+}
+
+#[test]
+fn real_crate_roots_carry_forbid_unsafe() {
+    let root = repo_root();
+    for rel in [
+        "crates/core/src/lib.rs",
+        "crates/sim/src/lib.rs",
+        "crates/qos/src/lib.rs",
+        "crates/verify/src/lib.rs",
+        "crates/verify/src/main.rs",
+        "crates/xtask/src/lib.rs",
+        "crates/xtask/src/main.rs",
+        "crates/cli/src/main.rs",
+    ] {
+        let source = std::fs::read_to_string(root.join(rel)).expect("crate root readable");
+        assert!(
+            scan_forbid_unsafe(rel, &source).is_empty(),
+            "{rel} lacks #![forbid(unsafe_code)]"
+        );
+    }
+}
+
+#[test]
+fn seeded_occupancy_arithmetic_fails_outside_core() {
+    let rel = "crates/cli/src/commands.rs";
+    let source = std::fs::read_to_string(repo_root().join(rel)).expect("commands.rs readable");
+    assert!(scan_occupancy_arithmetic(rel, &source).is_empty());
+
+    let seeded = format!("{source}\nfn bad(t: &T) -> u64 {{ t.occupancy() & (1 << 3) }}\n");
+    assert!(
+        !scan_occupancy_arithmetic(rel, &seeded).is_empty(),
+        "seeded raw occupancy arithmetic must be flagged"
+    );
+}

@@ -28,10 +28,30 @@ fn main() {
 
     // The application portfolio. Deadlines in cycles (3.2 ns each).
     let apps = [
-        App { name: "voice trunk", deadline_cycles: 400_000, mbps: 2.0, count: 8 },
-        App { name: "video wall", deadline_cycles: 2_000_000, mbps: 24.0, count: 6 },
-        App { name: "storage replication", deadline_cycles: 40_000_000, mbps: 90.0, count: 6 },
-        App { name: "db transaction log", deadline_cycles: 8_000_000, mbps: 12.0, count: 8 },
+        App {
+            name: "voice trunk",
+            deadline_cycles: 400_000,
+            mbps: 2.0,
+            count: 8,
+        },
+        App {
+            name: "video wall",
+            deadline_cycles: 2_000_000,
+            mbps: 24.0,
+            count: 6,
+        },
+        App {
+            name: "storage replication",
+            deadline_cycles: 40_000_000,
+            mbps: 90.0,
+            count: 6,
+        },
+        App {
+            name: "db transaction log",
+            deadline_cycles: 8_000_000,
+            mbps: 12.0,
+            count: 8,
+        },
     ];
 
     let mut next_id = 0u32;

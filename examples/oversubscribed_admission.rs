@@ -78,7 +78,10 @@ fn main() {
     for id in ids.drain(..n / 2) {
         frame.manager.teardown(id);
     }
-    println!("tore down {} connections; retrying the strict request…", n / 2);
+    println!(
+        "tore down {} connections; retrying the strict request…",
+        n / 2
+    );
     match frame.manager.request(&strict) {
         Ok(id) => {
             let conn = frame.manager.connection(id).unwrap();

@@ -61,8 +61,8 @@ pub use iba_traffic as traffic;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use iba_core::{
-        AllocatorKind, Distance, HighPriorityTable, ServiceLevel, SlTable, SlToVlMap,
-        TrafficClass, VirtualLane, VlArbConfig, VlArbEngine,
+        AllocatorKind, Distance, HighPriorityTable, ServiceLevel, SlTable, SlToVlMap, TrafficClass,
+        VirtualLane, VlArbConfig, VlArbEngine,
     };
     pub use iba_qos::{QosFrame, QosManager, QosObserver, RejectReason};
     pub use iba_sim::{Arrival, Fabric, FlowSpec, NodeId, SimConfig};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alloc-54f088a6c443f763.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/debug/deps/ablation_alloc-54f088a6c443f763: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

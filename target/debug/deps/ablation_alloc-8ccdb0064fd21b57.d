@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alloc-8ccdb0064fd21b57.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/debug/deps/ablation_alloc-8ccdb0064fd21b57: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_headers-815932e7eea0e5da.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/debug/deps/ablation_headers-815932e7eea0e5da: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

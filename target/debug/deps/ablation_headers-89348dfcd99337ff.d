@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_headers-89348dfcd99337ff.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/debug/deps/ablation_headers-89348dfcd99337ff: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

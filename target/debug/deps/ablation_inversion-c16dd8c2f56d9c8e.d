@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inversion-c16dd8c2f56d9c8e.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/debug/deps/ablation_inversion-c16dd8c2f56d9c8e: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

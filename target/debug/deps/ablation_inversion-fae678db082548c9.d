@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inversion-fae678db082548c9.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/debug/deps/ablation_inversion-fae678db082548c9: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversend-162813eea96ffe2b.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/debug/deps/ablation_oversend-162813eea96ffe2b: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversend-bfdbbf51f5628a26.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/debug/deps/ablation_oversend-bfdbbf51f5628a26: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-1be7df96da4f3ff4.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/debug/deps/churn-1be7df96da4f3ff4: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

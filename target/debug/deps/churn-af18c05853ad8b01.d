@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-af18c05853ad8b01.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/debug/deps/churn-af18c05853ad8b01: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collapsed_vls-01e37ff496beb611.d: tests/collapsed_vls.rs
+
+/root/repo/target/debug/deps/collapsed_vls-01e37ff496beb611: tests/collapsed_vls.rs
+
+tests/collapsed_vls.rs:

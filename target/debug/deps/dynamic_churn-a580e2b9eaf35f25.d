@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_churn-a580e2b9eaf35f25.d: tests/dynamic_churn.rs
+
+/root/repo/target/debug/deps/dynamic_churn-a580e2b9eaf35f25: tests/dynamic_churn.rs
+
+tests/dynamic_churn.rs:

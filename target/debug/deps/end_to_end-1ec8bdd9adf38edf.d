@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1ec8bdd9adf38edf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1ec8bdd9adf38edf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

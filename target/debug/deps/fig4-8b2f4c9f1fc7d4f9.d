@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8b2f4c9f1fc7d4f9.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8b2f4c9f1fc7d4f9: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e457d394c493fc8e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e457d394c493fc8e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

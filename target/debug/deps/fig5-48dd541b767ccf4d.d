@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-48dd541b767ccf4d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-48dd541b767ccf4d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eec2ab123b28c4f7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eec2ab123b28c4f7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-021a22d19ffaef7c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-021a22d19ffaef7c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1e04457ed7120f6d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1e04457ed7120f6d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostile_background-448dbc4bf37ba103.d: tests/hostile_background.rs
+
+/root/repo/target/debug/deps/hostile_background-448dbc4bf37ba103: tests/hostile_background.rs
+
+tests/hostile_background.rs:

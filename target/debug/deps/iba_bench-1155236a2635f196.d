@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iba_bench-1155236a2635f196.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-1155236a2635f196.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-1155236a2635f196.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/iba_bench-26ee59591145433c.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/iba_bench-26ee59591145433c: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

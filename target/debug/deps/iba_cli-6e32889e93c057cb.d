@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iba_cli-6e32889e93c057cb.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/iba_cli-6e32889e93c057cb: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iba_cli-c4d1d40e491e12b2.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libiba_cli-c4d1d40e491e12b2.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libiba_cli-c4d1d40e491e12b2.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iba_qos-82eee3f86060ea65.d: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/debug/deps/libiba_qos-82eee3f86060ea65.rlib: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/debug/deps/libiba_qos-82eee3f86060ea65.rmeta: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/cac.rs:
+crates/qos/src/churn.rs:
+crates/qos/src/connection.rs:
+crates/qos/src/frame.rs:
+crates/qos/src/manager.rs:
+crates/qos/src/measure.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iba_stats-2c988bae3e3b4739.d: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/debug/deps/iba_stats-2c988bae3e3b4739: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/delay.rs:
+crates/stats/src/jitter.rs:
+crates/stats/src/report.rs:
+crates/stats/src/series.rs:
+crates/stats/src/util.rs:

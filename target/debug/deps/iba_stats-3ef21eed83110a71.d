@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iba_stats-3ef21eed83110a71.d: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_stats-3ef21eed83110a71.rmeta: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/delay.rs:
+crates/stats/src/jitter.rs:
+crates/stats/src/report.rs:
+crates/stats/src/series.rs:
+crates/stats/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

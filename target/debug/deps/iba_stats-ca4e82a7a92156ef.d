@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iba_stats-ca4e82a7a92156ef.d: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/debug/deps/libiba_stats-ca4e82a7a92156ef.rlib: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/debug/deps/libiba_stats-ca4e82a7a92156ef.rmeta: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/delay.rs:
+crates/stats/src/jitter.rs:
+crates/stats/src/report.rs:
+crates/stats/src/series.rs:
+crates/stats/src/util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iba_verify-3bb74bc988e8a374.d: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/iba_verify-3bb74bc988e8a374: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/concrete.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/quotient.rs:
+crates/verify/src/sweep.rs:

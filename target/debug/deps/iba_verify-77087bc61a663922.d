@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iba_verify-77087bc61a663922.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/iba_verify-77087bc61a663922: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iba_verify-874f6ed57babd85a.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/iba_verify-874f6ed57babd85a: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iba_verify-88bc35385ded3497.d: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_verify-88bc35385ded3497.rlib: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_verify-88bc35385ded3497.rmeta: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/concrete.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/quotient.rs:
+crates/verify/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-31034ae80f477e25.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-31034ae80f477e25: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-bc9a70612239ebd4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-bc9a70612239ebd4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

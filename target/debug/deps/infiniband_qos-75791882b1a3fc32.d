@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/infiniband_qos-75791882b1a3fc32.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-75791882b1a3fc32.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-75791882b1a3fc32.rmeta: src/lib.rs
+
+src/lib.rs:

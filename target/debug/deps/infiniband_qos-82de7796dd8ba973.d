@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/infiniband_qos-82de7796dd8ba973.d: src/lib.rs
+
+/root/repo/target/debug/deps/infiniband_qos-82de7796dd8ba973: src/lib.rs
+
+src/lib.rs:

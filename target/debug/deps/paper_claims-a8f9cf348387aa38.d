@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a8f9cf348387aa38.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a8f9cf348387aa38: tests/paper_claims.rs
+
+tests/paper_claims.rs:

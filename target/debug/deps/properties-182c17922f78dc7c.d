@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-182c17922f78dc7c.d: crates/topo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-182c17922f78dc7c: crates/topo/tests/properties.rs
+
+crates/topo/tests/properties.rs:

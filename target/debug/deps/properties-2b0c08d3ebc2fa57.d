@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2b0c08d3ebc2fa57.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2b0c08d3ebc2fa57.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-302f8e29431b8ff8.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-302f8e29431b8ff8: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

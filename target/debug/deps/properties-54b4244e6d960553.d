@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-54b4244e6d960553.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-54b4244e6d960553: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

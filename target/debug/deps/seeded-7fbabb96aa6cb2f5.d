@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/seeded-7fbabb96aa6cb2f5.d: crates/xtask/tests/seeded.rs
+
+/root/repo/target/debug/deps/seeded-7fbabb96aa6cb2f5: crates/xtask/tests/seeded.rs
+
+crates/xtask/tests/seeded.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/seeded-ceaa33c13dc2755e.d: crates/xtask/tests/seeded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseeded-ceaa33c13dc2755e.rmeta: crates/xtask/tests/seeded.rs Cargo.toml
+
+crates/xtask/tests/seeded.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

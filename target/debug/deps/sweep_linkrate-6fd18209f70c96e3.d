@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_linkrate-6fd18209f70c96e3.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/debug/deps/sweep_linkrate-6fd18209f70c96e3: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

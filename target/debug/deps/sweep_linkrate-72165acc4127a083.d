@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_linkrate-72165acc4127a083.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/debug/deps/sweep_linkrate-72165acc4127a083: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

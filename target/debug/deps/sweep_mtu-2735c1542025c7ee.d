@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_mtu-2735c1542025c7ee.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/debug/deps/sweep_mtu-2735c1542025c7ee: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

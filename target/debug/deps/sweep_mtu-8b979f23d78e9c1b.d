@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_mtu-8b979f23d78e9c1b.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/debug/deps/sweep_mtu-8b979f23d78e9c1b: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

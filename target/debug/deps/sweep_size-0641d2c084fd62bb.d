@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_size-0641d2c084fd62bb.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/debug/deps/sweep_size-0641d2c084fd62bb: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_size-f4ec40fff409b21c.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/debug/deps/sweep_size-f4ec40fff409b21c: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

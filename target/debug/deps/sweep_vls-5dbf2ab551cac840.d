@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_vls-5dbf2ab551cac840.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/debug/deps/sweep_vls-5dbf2ab551cac840: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_vls-ec7a3400166ea420.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/debug/deps/sweep_vls-ec7a3400166ea420: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

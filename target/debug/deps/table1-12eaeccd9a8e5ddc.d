@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-12eaeccd9a8e5ddc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-12eaeccd9a8e5ddc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

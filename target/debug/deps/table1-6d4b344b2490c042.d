@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6d4b344b2490c042.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6d4b344b2490c042: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-22e494dcb5fca300.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-22e494dcb5fca300: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f6ab35d1a075cc0d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f6ab35d1a075cc0d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

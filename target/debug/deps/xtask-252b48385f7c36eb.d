@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-252b48385f7c36eb.d: crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-252b48385f7c36eb.rmeta: crates/xtask/src/main.rs Cargo.toml
+
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-6ec48d51be2dc9da.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-6ec48d51be2dc9da: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-72f387773c87a59d.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-72f387773c87a59d: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_mix-aedc8d73881d215a.d: examples/datacenter_mix.rs
+
+/root/repo/target/debug/examples/datacenter_mix-aedc8d73881d215a: examples/datacenter_mix.rs
+
+examples/datacenter_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed_admission-8314b5272ab63613.d: examples/oversubscribed_admission.rs
+
+/root/repo/target/debug/examples/oversubscribed_admission-8314b5272ab63613: examples/oversubscribed_admission.rs
+
+examples/oversubscribed_admission.rs:

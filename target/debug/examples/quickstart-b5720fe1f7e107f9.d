@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b5720fe1f7e107f9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b5720fe1f7e107f9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_streaming-4ebd7f2ea538e1a6.d: examples/video_streaming.rs
+
+/root/repo/target/debug/examples/video_streaming-4ebd7f2ea538e1a6: examples/video_streaming.rs
+
+examples/video_streaming.rs:

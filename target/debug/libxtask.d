@@ -1,0 +1,1 @@
+/root/repo/target/debug/libxtask.rlib: /root/repo/crates/xtask/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/xtask: /root/repo/crates/xtask/src/lib.rs /root/repo/crates/xtask/src/main.rs

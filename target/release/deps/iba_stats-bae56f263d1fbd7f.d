@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iba_stats-bae56f263d1fbd7f.d: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/release/deps/libiba_stats-bae56f263d1fbd7f.rlib: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/release/deps/libiba_stats-bae56f263d1fbd7f.rmeta: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/delay.rs:
+crates/stats/src/jitter.rs:
+crates/stats/src/report.rs:
+crates/stats/src/series.rs:
+crates/stats/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iba_traffic-d08d6d19f8321405.d: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libiba_traffic-d08d6d19f8321405.rlib: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libiba_traffic-d08d6d19f8321405.rmeta: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/besteffort.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/hotspot.rs:
+crates/traffic/src/request.rs:
+crates/traffic/src/vbr.rs:
+crates/traffic/src/workload.rs:

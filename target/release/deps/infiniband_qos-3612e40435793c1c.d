@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/infiniband_qos-3612e40435793c1c.d: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-3612e40435793c1c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-3612e40435793c1c.rmeta: src/lib.rs
+
+src/lib.rs:

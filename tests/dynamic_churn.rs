@@ -32,7 +32,9 @@ fn churn_preserves_guarantees_and_consistency() {
             request: gen.next_request(),
         });
         if k % 3 == 2 {
-            events.push(ChurnEvent::DepartOldest { at: k * 40_000 + 20_000 });
+            events.push(ChurnEvent::DepartOldest {
+                at: k * 40_000 + 20_000,
+            });
         }
     }
     let (mut fabric, mut obs) = frame.build_fabric(1, None);

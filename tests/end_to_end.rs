@@ -37,7 +37,11 @@ fn loaded_fabric_meets_every_deadline() {
     fabric.reset_stats();
     fabric.run_until(transient + 6_000_000, &mut obs);
 
-    assert!(obs.qos_packets > 1000, "too few packets: {}", obs.qos_packets);
+    assert!(
+        obs.qos_packets > 1000,
+        "too few packets: {}",
+        obs.qos_packets
+    );
     // The paper's headline claim: all packets of all SLs arrive before
     // their deadlines.
     for (sl, dist) in obs.delay_by_sl.groups() {
@@ -67,7 +71,11 @@ fn background_traffic_does_not_break_guarantees() {
 
     assert!(obs.be_packets > 0, "background never delivered");
     for (sl, dist) in obs.delay_by_sl.groups() {
-        assert_eq!(dist.missed(), 0, "SL{sl} missed deadlines under background load");
+        assert_eq!(
+            dist.missed(),
+            0,
+            "SL{sl} missed deadlines under background load"
+        );
     }
 }
 

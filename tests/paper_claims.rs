@@ -104,10 +104,7 @@ fn entry_count_formula_is_respected() {
     let hop = conn.hops[0];
     let info = manager
         .port_tables()
-        .sequence_info(
-            manager.path_ports(strict.src, strict.dst)[0],
-            hop.sequence,
-        )
+        .sequence_info(manager.path_ports(strict.src, strict.dst)[0], hop.sequence)
         .unwrap();
     assert_eq!(info.eset.len(), 32);
 

@@ -1,0 +1,178 @@
+//! Micro-benchmark smoke tier: a fast pass over the allocator and
+//! simulator hot paths that emits machine-readable `BENCH_alloc.json`
+//! and `BENCH_sim.json` reports (schema documented in `EXPERIMENTS.md`,
+//! metric semantics in `METRICS.md`).
+//!
+//! The JSON goes to `IBA_BENCH_OUT` (directory, default: the current
+//! working directory). Intended for CI artifact upload:
+//!
+//! ```text
+//! IBA_BENCH_SAMPLES=5 cargo run --release -p iba-bench --bin smoke
+//! ```
+
+#![forbid(unsafe_code)]
+
+use iba_bench::microbench::{black_box, Harness, Summary};
+use iba_core::{
+    AllocatorKind, ArbEntry, Distance, ServiceLevel, VirtualLane, VlArbConfig, VlArbEngine,
+};
+use iba_obs::{bench_json, vl_shares, BenchRecord, ObsRecorder, VlShare};
+use iba_sim::{Arrival, Fabric, FlowSpec, SimConfig};
+use iba_topo::{updown, HostId, SwitchId, Topology};
+
+/// Converts harness summaries into the JSON report records.
+fn records(results: &[Summary]) -> Vec<BenchRecord> {
+    results
+        .iter()
+        .map(|s| BenchRecord {
+            name: s.name.clone(),
+            iters: s.iters_per_sample,
+            ns_per_op: s.median_ns,
+            p50_ns: s.p50_ns,
+            p99_ns: s.p99_ns,
+        })
+        .collect()
+}
+
+fn write_report(file: &str, json: &str) {
+    let dir = std::env::var("IBA_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(file);
+    std::fs::write(&path, json).expect("write bench report");
+    println!("wrote {}", path.display());
+}
+
+/// Allocator tier: select/admit cycles over every policy.
+fn bench_alloc(h: &mut Harness) {
+    for kind in AllocatorKind::ALL {
+        // Steady-state probe cost on a half-full table.
+        let mut occ = 0u64;
+        for _ in 0..16 {
+            if let Some(e) = kind.select(occ, Distance::D32) {
+                occ |= e.mask();
+            }
+        }
+        h.bench(&format!("alloc/select_half_full/{}", kind.name()), || {
+            let mut found = 0u32;
+            for d in Distance::ALL {
+                if kind.select(black_box(occ), d).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        });
+    }
+    // Full admit/release round-trip through the table layer.
+    h.bench("alloc/admit_release_roundtrip", || {
+        let mut t = iba_core::HighPriorityTable::new();
+        let adm = t
+            .admit(
+                ServiceLevel::new(3).unwrap(),
+                VirtualLane::data(3),
+                Distance::D16,
+                40,
+            )
+            .unwrap();
+        t.release(adm.sequence, 40).unwrap();
+        t.free_entries()
+    });
+}
+
+/// Arbiter tier: the WRR grant loop at the heart of every output port.
+fn bench_sim(h: &mut Harness) {
+    h.bench("sim/vlarb_grant_2vl", || {
+        let cfg = VlArbConfig {
+            high: vec![
+                ArbEntry {
+                    vl: VirtualLane::data(1),
+                    weight: 12,
+                },
+                ArbEntry {
+                    vl: VirtualLane::data(2),
+                    weight: 4,
+                },
+            ],
+            low: vec![],
+            limit_of_high_priority: 255,
+        };
+        let mut engine = VlArbEngine::new(cfg);
+        let ready = [VirtualLane::data(1), VirtualLane::data(2)];
+        let mut served = 0u32;
+        for _ in 0..64 {
+            let grant = engine.select(|vl| ready.contains(&vl).then_some(256));
+            if grant.is_some() {
+                served += 1;
+            }
+        }
+        served
+    });
+    h.bench("sim/fabric_short_run", || {
+        let mut f = shares_fabric();
+        f.run_until(256 * 64, &mut iba_sim::NullObserver);
+        f.summarize().delivered_packets
+    });
+}
+
+/// The 2-VL weighted fabric used both as a benchmark body and as the
+/// instrumented run behind `per_vl_shares` (weights 12:4 = 3:1).
+fn shares_fabric() -> Fabric {
+    let mut t = Topology::new(1, 4);
+    t.attach_host(SwitchId(0), 0);
+    t.attach_host(SwitchId(0), 1);
+    t.attach_host(SwitchId(0), 2);
+    let r = updown::compute(&t);
+    let mut f = Fabric::new(t, r, SimConfig::paper_default(256));
+    f.set_uniform_tables(&VlArbConfig {
+        high: vec![
+            ArbEntry {
+                vl: VirtualLane::data(1),
+                weight: 12,
+            },
+            ArbEntry {
+                vl: VirtualLane::data(2),
+                weight: 4,
+            },
+        ],
+        low: vec![],
+        limit_of_high_priority: 255,
+    });
+    for (id, src, sl) in [(1u32, 0u16, 1u8), (2, 1, 2)] {
+        f.add_flow(FlowSpec {
+            id,
+            src: HostId(src),
+            dst: HostId(2),
+            sl: ServiceLevel::new(sl).unwrap(),
+            packet_bytes: 256,
+            arrival: Arrival::Cbr { interval: 256 },
+            start: 0,
+            stop: None,
+        });
+    }
+    f
+}
+
+/// Measured per-VL serviced-bytes shares from an instrumented run.
+fn measured_shares() -> Vec<VlShare> {
+    let mut f = shares_fabric();
+    let mut rec = ObsRecorder::new();
+    f.run_until_recorded(256 * 2000, &mut iba_sim::NullObserver, &mut rec);
+    vl_shares(&rec.metrics)
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_alloc(&mut h);
+    let alloc_results = records(h.results());
+    write_report(
+        "BENCH_alloc.json",
+        &bench_json("alloc", &alloc_results, &[]),
+    );
+
+    let mut h2 = Harness::from_env();
+    bench_sim(&mut h2);
+    let sim_results = records(h2.results());
+    let shares = measured_shares();
+    write_report("BENCH_sim.json", &bench_json("sim", &sim_results, &shares));
+
+    h.finish();
+    h2.finish();
+}

@@ -32,8 +32,24 @@ pub struct Summary {
     pub median_ns: f64,
     /// Mean over all samples (ns/iter).
     pub mean_ns: f64,
+    /// 50th-percentile sample (ns/iter); equals `median_ns`.
+    pub p50_ns: f64,
+    /// 99th-percentile sample (ns/iter, nearest-rank).
+    pub p99_ns: f64,
     /// Iterations per sample after calibration.
     pub iters_per_sample: u64,
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; `0.0` for
+/// an empty slice (so degenerate zero-sample runs report gracefully
+/// instead of panicking).
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Collects and prints benchmark results; construct one per binary via
@@ -115,6 +131,8 @@ impl Harness {
             min_ns,
             median_ns,
             mean_ns,
+            p50_ns: percentile(&per_iter, 0.50),
+            p99_ns: percentile(&per_iter, 0.99),
             iters_per_sample: iters,
         };
         println!(
@@ -171,6 +189,21 @@ mod tests {
         let s = &h.results()[0];
         assert_eq!(s.name, "keep/this");
         assert!(s.min_ns > 0.0 && s.min_ns <= s.mean_ns * 1.0001);
+        assert!(s.p50_ns >= s.min_ns && s.p99_ns >= s.p50_ns);
         assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_and_total() {
+        assert_eq!(percentile(&[], 0.99), 0.0, "empty slice must not panic");
+        let one = [7.5];
+        assert_eq!(percentile(&one, 0.0), 7.5);
+        assert_eq!(percentile(&one, 0.99), 7.5);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // rank = round(0.5 * 99) = 50 -> the 51st value.
+        assert_eq!(percentile(&v, 0.50), 51.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
     }
 }

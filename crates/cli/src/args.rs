@@ -13,6 +13,8 @@ COMMANDS:
     topo    generate a fabric and print a summary (or --dot)
     fill    fill the fabric's arbitration tables to saturation
     run     run the full experiment (fill + simulate + report)
+    report  instrumented run: per-VL metrics and serviced-bytes shares
+    trace   instrumented run: decode the newest ring-buffer events
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
 
@@ -21,6 +23,7 @@ OPTIONS:
     --seed <S>             RNG seed                  [default: 42]
     --mtu <M>              packet size in bytes      [default: 256]
     --steady-packets <P>   steady-state length       [default: 10]
+    --limit <L>            (trace) events to print, 0 = all  [default: 32]
     --background           add best-effort background traffic
     --dot                  (topo) emit Graphviz DOT instead of a summary
 ";
@@ -34,6 +37,10 @@ pub enum Command {
     Fill,
     /// Full experiment.
     Run,
+    /// Instrumented run rendering the metrics registry.
+    Report,
+    /// Instrumented run decoding the event ring buffer.
+    Trace,
     /// Educational walkthrough.
     Demo,
     /// Print usage.
@@ -53,6 +60,8 @@ pub struct Args {
     pub mtu: u32,
     /// `--steady-packets`.
     pub steady_packets: u64,
+    /// `--limit` (trace): number of newest events to print, 0 = all.
+    pub limit: usize,
     /// `--background`.
     pub background: bool,
     /// `--dot`.
@@ -67,6 +76,7 @@ impl Default for Args {
             seed: 42,
             mtu: 256,
             steady_packets: 10,
+            limit: 32,
             background: false,
             dot: false,
         }
@@ -112,6 +122,8 @@ impl Args {
             "topo" => Command::Topo,
             "fill" => Command::Fill,
             "run" => Command::Run,
+            "report" => Command::Report,
+            "trace" => Command::Trace,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError::UnknownCommand(other.to_string())),
@@ -121,7 +133,7 @@ impl Args {
             match flag.as_str() {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
-                "--switches" | "--seed" | "--mtu" | "--steady-packets" => {
+                "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -133,6 +145,7 @@ impl Args {
                         "--steady-packets" => {
                             args.steady_packets = value.parse().map_err(|_| bad())?;
                         }
+                        "--limit" => args.limit = value.parse().map_err(|_| bad())?,
                         _ => unreachable!(),
                     }
                 }
@@ -205,6 +218,22 @@ mod tests {
         ));
         assert!(matches!(
             Args::parse(&argv("run --switches 0")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn report_and_trace_parse() {
+        let a = Args::parse(&argv("report --switches 4")).unwrap();
+        assert_eq!(a.command, Command::Report);
+        assert_eq!(a.switches, 4);
+        let a = Args::parse(&argv("trace --limit 7")).unwrap();
+        assert_eq!(a.command, Command::Trace);
+        assert_eq!(a.limit, 7);
+        let a = Args::parse(&argv("trace --limit 0")).unwrap();
+        assert_eq!(a.limit, 0, "0 means all retained events");
+        assert!(matches!(
+            Args::parse(&argv("trace --limit banana")).unwrap_err(),
             ParseError::BadValue(_, _)
         ));
     }

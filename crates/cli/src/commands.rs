@@ -193,6 +193,60 @@ pub fn run_experiment(args: &Args) -> String {
     out
 }
 
+/// Fill + simulate with instrumentation: the shared body of `report`
+/// and `trace`. Every admission attempt and every arbitration grant of
+/// the steady-state window lands in `rec`.
+fn run_instrumented(args: &Args, rec: &mut iba_obs::ObsRecorder) {
+    let (topo, routing) = build_topo(args);
+    let sl_table = SlTable::paper_table1();
+    let mut frame = QosFrame::new(
+        topo.clone(),
+        routing,
+        sl_table.clone(),
+        SimConfig::paper_default(args.mtu),
+    );
+    let mut gen = RequestGenerator::new(
+        &topo,
+        &sl_table,
+        &WorkloadConfig::new(args.mtu, args.seed ^ 0xF00D),
+    );
+    frame.fill_observed(&mut gen, 120, 100_000, rec);
+
+    let bg = args
+        .background
+        .then(iba_traffic::besteffort::BackgroundConfig::default);
+    let (mut fabric, mut obs) = frame.build_fabric(args.seed, bg.as_ref());
+    let steady = frame.steady_state_cycles(args.steady_packets);
+    fabric.run_until_recorded(steady, &mut obs, rec);
+}
+
+/// `ibaqos report` — per-VL metrics and serviced-bytes shares.
+#[must_use]
+pub fn report(args: &Args) -> String {
+    let mut rec = iba_obs::ObsRecorder::new();
+    run_instrumented(args, &mut rec);
+    iba_obs::render_metrics(&rec.metrics)
+}
+
+/// `ibaqos trace` — the newest `--limit` ring-buffer events as text.
+#[must_use]
+pub fn trace(args: &Args) -> String {
+    let mut rec = iba_obs::ObsRecorder::with_tracer(4096);
+    run_instrumented(args, &mut rec);
+    let tracer = rec.tracer.as_ref().expect("tracer installed above");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} event(s) retained, {} dropped (ring capacity 4096)",
+        tracer.len(),
+        tracer.dropped()
+    );
+    for line in tracer.render(args.limit) {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
 /// `ibaqos demo` — a narrated walk through the paper's algorithm.
 #[must_use]
 pub fn demo() -> String {
@@ -284,6 +338,7 @@ mod tests {
             seed: 3,
             mtu: 256,
             steady_packets: 2,
+            limit: 32,
             background: false,
             dot: false,
         }
@@ -316,6 +371,33 @@ mod tests {
         let out = run_experiment(&args(crate::Command::Run));
         assert!(out.contains("deadline misses"));
         assert!(out.contains("Per-SL delay"));
+    }
+
+    #[test]
+    fn report_renders_per_vl_shares() {
+        let out = report(&args(crate::Command::Report));
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("arb_bytes_total"), "{out}");
+        assert!(out.contains("per-VL serviced-bytes shares"), "{out}");
+        assert!(out.contains("share="), "{out}");
+        assert!(out.contains("cac_admit_total"), "{out}");
+    }
+
+    #[test]
+    fn report_on_empty_registry_does_not_panic() {
+        let out = iba_obs::render_metrics(&iba_obs::Metrics::new());
+        assert!(out.contains("no data recorded"));
+    }
+
+    #[test]
+    fn trace_decodes_events() {
+        let mut a = args(crate::Command::Trace);
+        a.limit = 8;
+        let out = trace(&a);
+        assert!(out.starts_with("trace:"), "{out}");
+        assert!(out.contains("grant"), "{out}");
+        // --limit 8: header plus at most 8 event lines.
+        assert!(out.lines().count() <= 9, "{out}");
     }
 
     #[test]

@@ -3,12 +3,18 @@
 //! The `ibaqos` binary exposes the library over four subcommands:
 //!
 //! ```text
-//! ibaqos topo  [--switches N] [--seed S] [--dot]        fabric summary / DOT
-//! ibaqos fill  [--switches N] [--seed S] [--mtu M]      admission to saturation
-//! ibaqos run   [--switches N] [--seed S] [--mtu M]
-//!              [--steady-packets P] [--background]      full experiment
+//! ibaqos topo   [--switches N] [--seed S] [--dot]       fabric summary / DOT
+//! ibaqos fill   [--switches N] [--seed S] [--mtu M]     admission to saturation
+//! ibaqos run    [--switches N] [--seed S] [--mtu M]
+//!               [--steady-packets P] [--background]     full experiment
+//! ibaqos report [run options]                           per-VL metrics report
+//! ibaqos trace  [run options] [--limit L]               decoded event trace
 //! ibaqos demo                                           table-filling walkthrough
 //! ```
+//!
+//! `report` and `trace` run the experiment with the `iba-obs`
+//! instrumentation enabled; the metric names they print are documented
+//! in the repository-level `METRICS.md` contract.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +31,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Topo => Ok(commands::topo(&args)),
         Command::Fill => Ok(commands::fill(&args)),
         Command::Run => Ok(commands::run_experiment(&args)),
+        Command::Report => Ok(commands::report(&args)),
+        Command::Trace => Ok(commands::trace(&args)),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),
     }

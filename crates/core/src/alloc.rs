@@ -4,15 +4,74 @@
 //! An allocator only decides **where** a new sequence goes given the
 //! current slot occupancy; weight accounting, sharing and defragmentation
 //! live in [`crate::table`].
+//!
+//! # Probe order
+//!
+//! For a request of distance `d = 2^i` there are `d` candidate sets
+//! `E_{i,0} .. E_{i,d-1}`. The three policies differ only in the order
+//! they probe those candidates:
+//!
+//! * **bit-reversal** probes offsets in bit-reversed order of `j`
+//!   (`0, d/2, d/4, 3d/4, …`), which leaves the free entries maximally
+//!   spread after every allocation — the paper's invariant;
+//! * **first-fit** probes `0, 1, 2, …` (the natural order);
+//! * **reverse-fit** probes `d-1, d-2, …, 0`.
+//!
+//! Each probe is a single AND of the set's 64-bit mask against the
+//! occupancy word. The observed variants report one
+//! `alloc_probe_total` per candidate examined (busy candidates also
+//! count toward `alloc_probe_rejected_total`) and the final depth into
+//! the `alloc_probe_depth` histogram — see `METRICS.md`.
 
 use crate::distance::Distance;
 use crate::eset::ESet;
+use iba_obs::Recorder;
+
+/// Walks an iterator of candidate [`ESet`]s, recording one
+/// [`Recorder::alloc_probe`] per candidate and a final
+/// [`Recorder::alloc_select`] with the probe depth and outcome.
+fn probe_observed(
+    candidates: impl Iterator<Item = ESet>,
+    occupancy: u64,
+    rec: &mut dyn Recorder,
+) -> Option<ESet> {
+    let mut depth = 0u32;
+    for e in candidates {
+        depth += 1;
+        let free = e.is_free_in(occupancy);
+        rec.alloc_probe(!free);
+        if free {
+            rec.alloc_select(depth, true);
+            return Some(e);
+        }
+    }
+    rec.alloc_select(depth, false);
+    None
+}
 
 /// Strategy for choosing a free `E_{i,j}` for a new sequence.
+///
+/// Object-safe: [`crate::table::HighPriorityTable`] dispatches through
+/// `&'static dyn SequenceAllocator`, so the observed variant takes
+/// `&mut dyn Recorder` rather than a generic parameter.
 pub trait SequenceAllocator {
     /// Returns the first free set for `distance` under `occupancy`
     /// (bit set = slot busy), or `None` when no candidate set is free.
     fn select(&self, occupancy: u64, distance: Distance) -> Option<ESet>;
+
+    /// [`SequenceAllocator::select`] with instrumentation: records one
+    /// `alloc_probe` per E-set examined (flagging busy sets as
+    /// rejections) and one `alloc_select` with the final probe depth.
+    /// The default implementation delegates to `select` without
+    /// recording, so external allocator impls keep working unchanged.
+    fn select_observed(
+        &self,
+        occupancy: u64,
+        distance: Distance,
+        _rec: &mut dyn Recorder,
+    ) -> Option<ESet> {
+        self.select(occupancy, distance)
+    }
 
     /// Human-readable allocator name (for reports).
     fn name(&self) -> &'static str;
@@ -34,6 +93,15 @@ impl SequenceAllocator for BitReversalAllocator {
         ESet::probe_sequence(distance).find(|e| e.is_free_in(occupancy))
     }
 
+    fn select_observed(
+        &self,
+        occupancy: u64,
+        distance: Distance,
+        rec: &mut dyn Recorder,
+    ) -> Option<ESet> {
+        probe_observed(ESet::probe_sequence(distance), occupancy, rec)
+    }
+
     fn name(&self) -> &'static str {
         "bit-reversal"
     }
@@ -52,6 +120,15 @@ impl SequenceAllocator for FirstFitAllocator {
         ESet::all(distance).find(|e| e.is_free_in(occupancy))
     }
 
+    fn select_observed(
+        &self,
+        occupancy: u64,
+        distance: Distance,
+        rec: &mut dyn Recorder,
+    ) -> Option<ESet> {
+        probe_observed(ESet::all(distance), occupancy, rec)
+    }
+
     fn name(&self) -> &'static str {
         "first-fit"
     }
@@ -68,6 +145,16 @@ impl SequenceAllocator for ReverseFitAllocator {
             .rev()
             .map(|j| ESet::new(distance, j))
             .find(|e| e.is_free_in(occupancy))
+    }
+
+    fn select_observed(
+        &self,
+        occupancy: u64,
+        distance: Distance,
+        rec: &mut dyn Recorder,
+    ) -> Option<ESet> {
+        let candidates = (0..distance.slots()).rev().map(|j| ESet::new(distance, j));
+        probe_observed(candidates, occupancy, rec)
     }
 
     fn name(&self) -> &'static str {
@@ -103,6 +190,17 @@ impl AllocatorKind {
     #[must_use]
     pub fn select(self, occupancy: u64, distance: Distance) -> Option<ESet> {
         self.as_allocator().select(occupancy, distance)
+    }
+
+    /// Applies the selected policy, recording probes into `rec`.
+    pub fn select_observed(
+        self,
+        occupancy: u64,
+        distance: Distance,
+        rec: &mut dyn Recorder,
+    ) -> Option<ESet> {
+        self.as_allocator()
+            .select_observed(occupancy, distance, rec)
     }
 
     /// Policy name for reports.
@@ -175,6 +273,35 @@ mod tests {
                 for d in Distance::ALL {
                     if let Some(e) = kind.select(occ, d) {
                         assert!(e.is_free_in(occ), "{} returned busy set", kind.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_select_matches_plain_select_and_counts_probes() {
+        use iba_obs::ObsRecorder;
+        let mut occ = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..16 {
+            occ = occ.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for kind in AllocatorKind::ALL {
+                for d in Distance::ALL {
+                    let mut rec = ObsRecorder::new();
+                    let observed = kind.select_observed(occ, d, &mut rec);
+                    assert_eq!(observed, kind.select(occ, d), "{}", kind.name());
+                    // Probe accounting: every candidate examined is one
+                    // probe; all but a final successful one are rejections.
+                    let m = &rec.metrics;
+                    let probes = m.alloc_probe.get();
+                    assert!(probes >= 1);
+                    if observed.is_some() {
+                        assert_eq!(m.alloc_probe_rejected.get(), probes - 1);
+                        assert_eq!(m.alloc_probe_depth.count(), 1);
+                        assert_eq!(m.alloc_select_fail.get(), 0);
+                    } else {
+                        assert_eq!(m.alloc_probe_rejected.get(), probes);
+                        assert_eq!(m.alloc_select_fail.get(), 1);
                     }
                 }
             }

@@ -24,7 +24,7 @@
 //! discrete-event fabric simulator lives in `iba-sim` and the end-to-end
 //! admission-control frame in `iba-qos`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod alloc;

@@ -218,6 +218,21 @@ impl HighPriorityTable {
         distance: Distance,
         weight: Weight,
     ) -> Result<Admission, TableError> {
+        self.admit_observed(sl, vl, distance, weight, &mut iba_obs::NullRecorder)
+    }
+
+    /// [`HighPriorityTable::admit`] with instrumentation: allocator
+    /// probes (`alloc_probe_total`, `alloc_probe_depth`, ...) performed
+    /// while placing a new sequence are recorded into `rec`. Joining an
+    /// existing sequence performs no probes and records nothing.
+    pub fn admit_observed(
+        &mut self,
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<Admission, TableError> {
         assert!(
             !vl.is_management(),
             "VL15 never enters the arbitration table"
@@ -248,7 +263,7 @@ impl HighPriorityTable {
 
         let eset = self
             .allocator
-            .select(self.occupancy, d_eff)
+            .select_observed(self.occupancy, d_eff, rec)
             .ok_or(TableError::NoFreeSequence)?;
         let id = self.insert_sequence(Sequence {
             eset,

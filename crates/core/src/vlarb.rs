@@ -102,6 +102,10 @@ pub struct Grant {
     pub bytes: u64,
     /// Which priority table granted it.
     pub served_by: ServedBy,
+    /// `true` when this grant drained the serving entry's weight credit
+    /// (the round-robin pointer will move past it next time). Feeds the
+    /// `arb_weight_exhausted_total` metric.
+    pub exhausted: bool,
 }
 
 /// Per-table weighted-round-robin state.
@@ -211,22 +215,24 @@ impl VlArbEngine {
 
         match (high_ready, low_ready) {
             (Some((idx, vl, bytes)), _) if self.hl_budget > 0 || low_ready.is_none() => {
-                Self::wrr_commit(&self.config.high, &mut self.high, idx, bytes);
+                let exhausted = Self::wrr_commit(&self.config.high, &mut self.high, idx, bytes);
                 self.hl_budget = self.hl_budget.saturating_sub(bytes);
                 Some(Grant {
                     vl,
                     bytes,
                     served_by: ServedBy::High,
+                    exhausted,
                 })
             }
             (_, Some((idx, vl, bytes))) => {
-                Self::wrr_commit(&self.config.low, &mut self.low, idx, bytes);
+                let exhausted = Self::wrr_commit(&self.config.low, &mut self.low, idx, bytes);
                 // Serving a low packet resets the high-priority budget.
                 self.hl_budget = Self::limit_bytes(self.config.limit_of_high_priority);
                 Some(Grant {
                     vl,
                     bytes,
                     served_by: ServedBy::Low,
+                    exhausted,
                 })
             }
             _ => None,
@@ -267,14 +273,17 @@ impl VlArbEngine {
         None
     }
 
-    /// Debits the granted packet against the entry's credit.
-    fn wrr_commit(table: &[ArbEntry], state: &mut WrrState, idx: usize, bytes: u64) {
+    /// Debits the granted packet against the entry's credit. Returns
+    /// `true` when the debit drained the credit to zero (the entry's
+    /// turn is over).
+    fn wrr_commit(table: &[ArbEntry], state: &mut WrrState, idx: usize, bytes: u64) -> bool {
         if idx != state.index || state.credit == 0 {
             state.index = idx;
             state.credit = u32::from(table[idx].weight);
         }
         let units = bytes_to_weight_units(bytes) as u32;
         state.credit = state.credit.saturating_sub(units);
+        state.credit == 0
     }
 }
 
@@ -417,6 +426,50 @@ mod tests {
         let counts = run(&mut e, &[0, 1], 64, 650);
         let ratio = counts[0] as f64 / counts[1] as f64;
         assert!((ratio - 64.0).abs() < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn grants_flag_weight_exhaustion() {
+        // Weight 2 (128 bytes), 64-byte packets: every second grant on a
+        // lane drains its credit.
+        let mut e = VlArbEngine::new(VlArbConfig {
+            high: vec![entry(0, 2), entry(1, 2)],
+            low: vec![],
+            limit_of_high_priority: LIMIT_UNLIMITED,
+        });
+        let mut flags = Vec::new();
+        for _ in 0..8 {
+            let g = e.select(|_| Some(64)).unwrap();
+            flags.push((g.vl.raw(), g.exhausted));
+        }
+        // The fresh engine starts with zero credit at index 0, so the
+        // first scan begins after it and serves VL1 first.
+        assert_eq!(
+            flags,
+            vec![
+                (1, false),
+                (1, true),
+                (0, false),
+                (0, true),
+                (1, false),
+                (1, true),
+                (0, false),
+                (0, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_packet_exhausts_immediately() {
+        // Weight 1 (64 bytes) but a 256-byte packet: the whole-packet
+        // overdraw drains the credit in one grant.
+        let mut e = VlArbEngine::new(VlArbConfig {
+            high: vec![entry(0, 1)],
+            low: vec![],
+            limit_of_high_priority: LIMIT_UNLIMITED,
+        });
+        let g = e.select(|_| Some(256)).unwrap();
+        assert!(g.exhausted);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! A minimal JSON value type and serializer.
+//!
+//! The workspace is intentionally dependency-free (offline builds are
+//! part of the CI contract), so the `BENCH_*.json` artifacts are
+//! produced with this hand-rolled serializer instead of serde. Only
+//! what the bench reports need is implemented: objects preserve
+//! insertion order, floats are emitted with enough precision to
+//! round-trip nanosecond timings, and non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float; NaN and infinities serialize as `null`.
+    Float(f64),
+    /// A string (escaped on serialization).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an unsigned integer (clamped to `i64::MAX`).
+    #[must_use]
+    pub fn uint(v: u64) -> Json {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the format of the `BENCH_*.json` artifacts.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // {:?} prints the shortest representation that
+                    // round-trips, and always includes a decimal point.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::Int(-7).pretty(), "-7\n");
+        assert_eq!(Json::Float(1.5).pretty(), "1.5\n");
+        assert_eq!(Json::uint(u64::MAX), Json::Int(i64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Float(f64::INFINITY).pretty(), "null\n");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(j.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Json::Array(vec![]).pretty(), "[]\n");
+        assert_eq!(Json::Object(vec![]).pretty(), "{}\n");
+    }
+
+    #[test]
+    fn nested_structure_indents() {
+        let j = Json::Object(vec![
+            ("name".into(), Json::str("bitrev")),
+            ("iters".into(), Json::uint(100)),
+            (
+                "samples".into(),
+                Json::Array(vec![Json::Float(1.25), Json::Int(2)]),
+            ),
+        ]);
+        let expected = "{\n  \"name\": \"bitrev\",\n  \"iters\": 100,\n  \"samples\": [\n    1.25,\n    2\n  ]\n}\n";
+        assert_eq!(j.pretty(), expected);
+    }
+
+    #[test]
+    fn float_precision_roundtrips_nanoseconds() {
+        let v = 1234.567891234;
+        let s = Json::Float(v).pretty();
+        let parsed: f64 = s.trim().parse().unwrap();
+        assert_eq!(parsed, v);
+    }
+}

@@ -1,0 +1,42 @@
+//! # iba-obs — observability for the InfiniBand QoS workspace
+//!
+//! A zero-dependency, allocation-free-on-the-hot-path observability
+//! layer shared by every crate in the workspace:
+//!
+//! * [`metrics`] — monotonic saturating counters, gauges and
+//!   fixed-bucket histograms with per-VL / per-SL dimensions, collected
+//!   in one flat [`metrics::Metrics`] registry (a plain struct: no maps,
+//!   no heap traffic while recording);
+//! * [`recorder`] — the [`recorder::Recorder`] trait that the hot paths
+//!   (`iba-core` allocator, `iba-sim` arbiter/ports, `iba-qos`
+//!   admission control) call into. [`recorder::NullRecorder`]
+//!   monomorphizes every hook to nothing, so the non-observed build
+//!   keeps the exact pre-instrumentation fast path;
+//! * [`trace`] — a bounded ring-buffer event tracer with a compact
+//!   16-byte binary record format and a text decoder (driven by
+//!   `ibaqos trace`);
+//! * [`report`] — renderers: human-readable metric reports
+//!   (`ibaqos report`) and the machine-readable `BENCH_*.json` schema
+//!   written by the bench smoke tier;
+//! * [`json`] — a minimal JSON value type and serializer so the
+//!   workspace stays dependency-free.
+//!
+//! The full list of metric names, dimensions and units is the
+//! **metrics contract** in `METRICS.md` at the repository root;
+//! `cargo xtask check` fails when a name in
+//! [`metrics::METRIC_NAMES`] is missing from that document.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, Metrics, PerLane, METRIC_NAMES};
+pub use recorder::{NullRecorder, ObsRecorder, Recorder, RejectKind, ServedKind};
+pub use report::{bench_json, render_metrics, vl_shares, BenchRecord, VlShare};
+pub use trace::{RingTracer, TraceEvent, RECORD_BYTES};

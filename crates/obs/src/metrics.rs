@@ -1,0 +1,531 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms and
+//! the flat [`Metrics`] struct holding every metric of the contract.
+//!
+//! Recording is allocation-free: every metric lives inline in
+//! [`Metrics`] (per-lane metrics are fixed 16-element arrays) and every
+//! update is a couple of integer operations. Reading happens through
+//! [`Metrics::snapshot`], which produces an ordered list of
+//! [`Sample`]s for rendering or serialization.
+//!
+//! The canonical metric names live in [`METRIC_NAMES`]; the metrics
+//! contract (`METRICS.md`) documents each one and `cargo xtask check`
+//! cross-checks the two.
+
+/// A monotonic counter. Increments saturate at `u64::MAX` instead of
+/// wrapping, so a counter can never appear to go backwards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one, saturating at `u64::MAX`.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A gauge: a signed value that can move both ways (e.g. live
+/// connection count). Updates saturate at the `i64` limits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge(i64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, v: i64) {
+        self.0 = v;
+    }
+
+    /// Moves the gauge by `delta` (may be negative), saturating.
+    #[inline]
+    pub fn add(&mut self, delta: i64) {
+        self.0 = self.0.saturating_add(delta);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(self) -> i64 {
+        self.0
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one zero bucket, sixteen
+/// power-of-two buckets and one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 18;
+
+/// A fixed-bucket histogram over `u64` values.
+///
+/// Bucket boundaries are powers of two: bucket 0 holds the value `0`,
+/// bucket `i` (for `1 <= i <= 16`) holds values in
+/// `[2^(i-1), 2^i)`, and the last bucket holds everything at or above
+/// `2^16 = 65536`. This covers every quantity the workspace observes
+/// (probe depths <= 32, queue depths, packet sizes) with constant
+/// memory and no allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket a value falls into.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive `(lower, upper)` value bounds of bucket `i`; the last
+    /// bucket's upper bound is `u64::MAX`.
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            _ if i >= HISTOGRAM_BUCKETS - 1 => (1 << (HISTOGRAM_BUCKETS - 2), u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the inclusive upper
+    /// bound of the bucket where the cumulative count crosses
+    /// `q * count`. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        Self::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// Mean of the observed values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Sixteen instances of a metric, indexed by lane (VL or SL).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerLane<T>(pub [T; 16]);
+
+impl<T> PerLane<T> {
+    /// The metric of lane `i` (masked to 0..16, so a corrupt lane
+    /// index can never panic the recorder).
+    #[inline]
+    pub fn lane(&mut self, i: u8) -> &mut T {
+        &mut self.0[(i & 0x0F) as usize]
+    }
+}
+
+/// Every metric name of the contract, in snapshot order. Each name
+/// must be documented in `METRICS.md` (checked by `cargo xtask
+/// check`). Keep this list in sync with [`Metrics::snapshot`].
+pub const METRIC_NAMES: &[&str] = &[
+    "alloc_probe_total",
+    "alloc_probe_rejected_total",
+    "alloc_select_fail_total",
+    "alloc_probe_depth",
+    "arb_grant_total",
+    "arb_bytes_total",
+    "arb_high_bytes_total",
+    "arb_low_bytes_total",
+    "arb_vl15_bytes_total",
+    "arb_weight_exhausted_total",
+    "arb_hol_stall_total",
+    "arb_queue_depth",
+    "cac_admit_total",
+    "cac_reject_total",
+    "cac_release_total",
+];
+
+/// A metric dimension attached to a [`Sample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dim {
+    /// No dimension: a scalar metric.
+    None,
+    /// A virtual lane (0..16).
+    Vl(u8),
+    /// A service level (0..16).
+    Sl(u8),
+    /// A rejection reason label.
+    Reason(&'static str),
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dim::None => Ok(()),
+            Dim::Vl(v) => write!(f, "vl={v}"),
+            Dim::Sl(s) => write!(f, "sl={s}"),
+            Dim::Reason(r) => write!(f, "reason={r}"),
+        }
+    }
+}
+
+/// One reading in a snapshot.
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    /// A counter or gauge reading.
+    Count(u64),
+    /// A histogram reading: count, sum and the two contract quantiles.
+    Hist {
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Approximate median (bucket upper bound).
+        p50: u64,
+        /// Approximate 99th percentile (bucket upper bound).
+        p99: u64,
+    },
+}
+
+/// One named, dimensioned metric reading.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Contract name (one of [`METRIC_NAMES`]).
+    pub name: &'static str,
+    /// Dimension, if the metric has one.
+    pub dim: Dim,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// Rejection-reason labels, in `cac_reject_total` snapshot order.
+pub const REJECT_REASONS: [&str; 4] = [
+    "no_free_sequence",
+    "capacity_exceeded",
+    "request_too_large",
+    "invalid",
+];
+
+/// The flat metrics registry: one field per contract metric.
+///
+/// See `METRICS.md` for what each metric means, its units and which
+/// paper figure/table it validates.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// `alloc_probe_total`: E-set probes performed by allocators.
+    pub alloc_probe: Counter,
+    /// `alloc_probe_rejected_total`: probes that hit a busy E-set.
+    pub alloc_probe_rejected: Counter,
+    /// `alloc_select_fail_total`: selects with no free E-set.
+    pub alloc_select_fail: Counter,
+    /// `alloc_probe_depth`: probes per successful select.
+    pub alloc_probe_depth: Histogram,
+    /// `arb_grant_total`: arbitration grants per VL.
+    pub arb_grant: PerLane<Counter>,
+    /// `arb_bytes_total`: bytes serviced per VL.
+    pub arb_bytes: PerLane<Counter>,
+    /// `arb_high_bytes_total`: bytes granted by the high table.
+    pub arb_high_bytes: Counter,
+    /// `arb_low_bytes_total`: bytes granted by the low table.
+    pub arb_low_bytes: Counter,
+    /// `arb_vl15_bytes_total`: management bytes bypassing arbitration.
+    pub arb_vl15_bytes: Counter,
+    /// `arb_weight_exhausted_total`: grants that drained the entry
+    /// weight, per VL.
+    pub arb_weight_exhausted: PerLane<Counter>,
+    /// `arb_hol_stall_total`: head-of-line credit stalls per VL.
+    pub arb_hol_stall: PerLane<Counter>,
+    /// `arb_queue_depth`: queue depth (packets) at grant time.
+    pub arb_queue_depth: Histogram,
+    /// `cac_admit_total`: admitted connections per SL.
+    pub cac_admit: PerLane<Counter>,
+    /// `cac_reject_total`: rejected requests, indexed like
+    /// [`REJECT_REASONS`].
+    pub cac_reject: [Counter; 4],
+    /// `cac_release_total`: connection teardowns.
+    pub cac_release: Counter,
+}
+
+impl Metrics {
+    /// An all-zero registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// `true` when nothing has been recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    fn hist_sample(name: &'static str, h: &Histogram) -> Sample {
+        Sample {
+            name,
+            dim: Dim::None,
+            value: SampleValue::Hist {
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.quantile(0.50),
+                p99: h.quantile(0.99),
+            },
+        }
+    }
+
+    /// All non-zero readings, in [`METRIC_NAMES`] order. Zero-valued
+    /// lanes/reasons are omitted so reports stay readable; an untouched
+    /// registry snapshots to an empty list.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        let counter = |out: &mut Vec<Sample>, name: &'static str, dim: Dim, c: Counter| {
+            if c.get() > 0 {
+                out.push(Sample {
+                    name,
+                    dim,
+                    value: SampleValue::Count(c.get()),
+                });
+            }
+        };
+        counter(&mut out, "alloc_probe_total", Dim::None, self.alloc_probe);
+        counter(
+            &mut out,
+            "alloc_probe_rejected_total",
+            Dim::None,
+            self.alloc_probe_rejected,
+        );
+        counter(
+            &mut out,
+            "alloc_select_fail_total",
+            Dim::None,
+            self.alloc_select_fail,
+        );
+        if self.alloc_probe_depth.count() > 0 {
+            out.push(Self::hist_sample(
+                "alloc_probe_depth",
+                &self.alloc_probe_depth,
+            ));
+        }
+        for (i, c) in self.arb_grant.0.iter().enumerate() {
+            counter(&mut out, "arb_grant_total", Dim::Vl(i as u8), *c);
+        }
+        for (i, c) in self.arb_bytes.0.iter().enumerate() {
+            counter(&mut out, "arb_bytes_total", Dim::Vl(i as u8), *c);
+        }
+        counter(
+            &mut out,
+            "arb_high_bytes_total",
+            Dim::None,
+            self.arb_high_bytes,
+        );
+        counter(
+            &mut out,
+            "arb_low_bytes_total",
+            Dim::None,
+            self.arb_low_bytes,
+        );
+        counter(
+            &mut out,
+            "arb_vl15_bytes_total",
+            Dim::None,
+            self.arb_vl15_bytes,
+        );
+        for (i, c) in self.arb_weight_exhausted.0.iter().enumerate() {
+            counter(&mut out, "arb_weight_exhausted_total", Dim::Vl(i as u8), *c);
+        }
+        for (i, c) in self.arb_hol_stall.0.iter().enumerate() {
+            counter(&mut out, "arb_hol_stall_total", Dim::Vl(i as u8), *c);
+        }
+        if self.arb_queue_depth.count() > 0 {
+            out.push(Self::hist_sample("arb_queue_depth", &self.arb_queue_depth));
+        }
+        for (i, c) in self.cac_admit.0.iter().enumerate() {
+            counter(&mut out, "cac_admit_total", Dim::Sl(i as u8), *c);
+        }
+        for (i, c) in self.cac_reject.iter().enumerate() {
+            counter(
+                &mut out,
+                "cac_reject_total",
+                Dim::Reason(REJECT_REASONS[i]),
+                *c,
+            );
+        }
+        counter(&mut out, "cac_release_total", Dim::None, self.cac_release);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        c.add(12345);
+        assert_eq!(c.get(), u64::MAX, "overflow must saturate");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let mut g = Gauge::default();
+        g.add(5);
+        g.add(-7);
+        assert_eq!(g.get(), -2);
+        g.set(i64::MAX);
+        g.add(1);
+        assert_eq!(g.get(), i64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly the value 0.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        // Bucket i holds [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(65535), 16);
+        // Everything >= 65536 lands in the overflow bucket.
+        assert_eq!(Histogram::bucket_index(65536), 17);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 17);
+        // Bounds agree with the index mapping at every edge.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        for v in [1u64, 1, 2, 2, 2, 2, 16, 64] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 90);
+        assert_eq!(h.buckets()[1], 2); // the two 1s
+        assert_eq!(h.buckets()[2], 4); // the four 2s
+                                       // p50 falls in the [2,3] bucket, p99 in the [64,127] bucket.
+        assert_eq!(h.quantile(0.50), 3);
+        assert_eq!(h.quantile(0.99), 127);
+        assert!((h.mean() - 11.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_lane_masks_out_of_range_indices() {
+        let mut p: PerLane<Counter> = PerLane::default();
+        p.lane(0x17).incr(); // 0x17 & 0x0F == 7
+        assert_eq!(p.0[7].get(), 1);
+    }
+
+    #[test]
+    fn empty_registry_snapshots_empty() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_names_are_all_in_the_contract_list() {
+        let mut m = Metrics::new();
+        m.alloc_probe.add(3);
+        m.alloc_probe_rejected.add(1);
+        m.alloc_select_fail.incr();
+        m.alloc_probe_depth.observe(2);
+        m.arb_grant.lane(1).incr();
+        m.arb_bytes.lane(1).add(256);
+        m.arb_high_bytes.add(256);
+        m.arb_low_bytes.add(64);
+        m.arb_vl15_bytes.add(64);
+        m.arb_weight_exhausted.lane(1).incr();
+        m.arb_hol_stall.lane(2).incr();
+        m.arb_queue_depth.observe(4);
+        m.cac_admit.lane(3).incr();
+        m.cac_reject[0].incr();
+        m.cac_release.incr();
+        let snap = m.snapshot();
+        assert!(!snap.is_empty());
+        for s in &snap {
+            assert!(
+                METRIC_NAMES.contains(&s.name),
+                "{} missing from METRIC_NAMES",
+                s.name
+            );
+        }
+        // Every contract name shows up when every metric is touched.
+        for name in METRIC_NAMES {
+            assert!(
+                snap.iter().any(|s| s.name == *name),
+                "{name} never snapshotted"
+            );
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The [`Recorder`] trait — the single seam between the hot paths and
+//! the observability layer — plus its two implementations:
+//! [`NullRecorder`] (free) and [`ObsRecorder`] (metrics + trace).
+//!
+//! Hot paths are generic over `R: Recorder` (or take `&mut dyn
+//! Recorder` on control-plane paths where a virtual no-op call is
+//! irrelevant). Every hook has an inline empty default, so with
+//! [`NullRecorder`] the compiler erases the instrumentation entirely
+//! and the non-observed build keeps its original fast path.
+
+use crate::metrics::Metrics;
+use crate::trace::{RingTracer, TraceEvent};
+
+/// Which arbitration table served a grant, as seen by the recorder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedKind {
+    /// The high-priority table.
+    High,
+    /// The low-priority table.
+    Low,
+    /// VL15 management bypass (never arbitrated).
+    Management,
+}
+
+impl ServedKind {
+    /// Stable wire code used in trace records.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            ServedKind::High => 0,
+            ServedKind::Low => 1,
+            ServedKind::Management => 2,
+        }
+    }
+
+    /// Decodes a wire code (`None` for unknown codes).
+    #[must_use]
+    pub fn from_code(c: u16) -> Option<Self> {
+        match c {
+            0 => Some(ServedKind::High),
+            1 => Some(ServedKind::Low),
+            2 => Some(ServedKind::Management),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedKind::High => "high",
+            ServedKind::Low => "low",
+            ServedKind::Management => "vl15",
+        }
+    }
+}
+
+/// Why an admission request was rejected, as seen by the recorder.
+/// Mirrors `iba-qos`'s reject reasons without depending on that crate
+/// (the dependency points the other way).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectKind {
+    /// No free entry sequence for the requested distance.
+    NoFreeSequence,
+    /// The reservation cap (e.g. the 80% QoS share) was hit.
+    CapacityExceeded,
+    /// The request exceeds one sequence's capacity.
+    RequestTooLarge,
+    /// Malformed request (zero weight, stale handle, ...).
+    Invalid,
+}
+
+impl RejectKind {
+    /// Index into [`crate::metrics::REJECT_REASONS`] and the trace
+    /// wire code.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            RejectKind::NoFreeSequence => 0,
+            RejectKind::CapacityExceeded => 1,
+            RejectKind::RequestTooLarge => 2,
+            RejectKind::Invalid => 3,
+        }
+    }
+
+    /// Decodes a wire code (`None` for unknown codes).
+    #[must_use]
+    pub fn from_code(c: u16) -> Option<Self> {
+        match c {
+            0 => Some(RejectKind::NoFreeSequence),
+            1 => Some(RejectKind::CapacityExceeded),
+            2 => Some(RejectKind::RequestTooLarge),
+            3 => Some(RejectKind::Invalid),
+            _ => None,
+        }
+    }
+
+    /// Stable label (one of [`crate::metrics::REJECT_REASONS`]).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        crate::metrics::REJECT_REASONS[self.index()]
+    }
+}
+
+/// Instrumentation hooks called from the workspace's hot paths.
+///
+/// All hooks default to inline no-ops: implementors override only what
+/// they consume, and [`NullRecorder`] overrides nothing, making the
+/// instrumented code identical to the uninstrumented code after
+/// monomorphization.
+pub trait Recorder {
+    /// Advances the recorder's notion of time (simulator cycles);
+    /// subsequent trace events are stamped with this value.
+    #[inline]
+    fn tick(&mut self, _now: u64) {}
+
+    /// One allocator probe of an `E_{i,j}` set; `rejected` when the
+    /// set was busy.
+    #[inline]
+    fn alloc_probe(&mut self, _rejected: bool) {}
+
+    /// One allocator select finished after `depth` probes; `found`
+    /// reports whether a free set was returned.
+    #[inline]
+    fn alloc_select(&mut self, _depth: u32, _found: bool) {}
+
+    /// An arbitration grant of `bytes` on `vl` by the given table.
+    #[inline]
+    fn arb_grant(&mut self, _vl: u8, _bytes: u64, _served: ServedKind) {}
+
+    /// A grant drained its table entry's remaining weight credit.
+    #[inline]
+    fn arb_weight_exhausted(&mut self, _vl: u8) {}
+
+    /// A head packet on `vl` was routed to the arbitrating output but
+    /// blocked by missing downstream credit (head-of-line stall
+    /// observation; counted per arbitration pass, not per packet).
+    #[inline]
+    fn arb_hol_stall(&mut self, _vl: u8) {}
+
+    /// Depth (whole packets, including the granted one) of the queue a
+    /// grant was served from.
+    #[inline]
+    fn arb_queue_depth(&mut self, _packets: u64) {}
+
+    /// A connection of service level `sl` was admitted end to end.
+    #[inline]
+    fn cac_admit(&mut self, _sl: u8) {}
+
+    /// An admission request was rejected.
+    #[inline]
+    fn cac_reject(&mut self, _reason: RejectKind) {}
+
+    /// A connection was torn down (its reservations released).
+    #[inline]
+    fn cac_release(&mut self) {}
+}
+
+/// The do-nothing recorder: the default for every non-observed run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// The real recorder: updates a [`Metrics`] registry and, when
+/// enabled, appends compact records to a bounded [`RingTracer`].
+#[derive(Clone, Debug, Default)]
+pub struct ObsRecorder {
+    /// The metrics registry being filled.
+    pub metrics: Metrics,
+    /// The event tracer, when tracing is enabled.
+    pub tracer: Option<RingTracer>,
+    now: u64,
+}
+
+impl ObsRecorder {
+    /// A metrics-only recorder (no tracing).
+    #[must_use]
+    pub fn new() -> Self {
+        ObsRecorder::default()
+    }
+
+    /// A recorder that also traces into a ring of `capacity` records.
+    #[must_use]
+    pub fn with_tracer(capacity: usize) -> Self {
+        ObsRecorder {
+            tracer: Some(RingTracer::new(capacity)),
+            ..ObsRecorder::default()
+        }
+    }
+
+    /// The recorder's current timestamp (last [`Recorder::tick`]).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.push(self.now, ev);
+        }
+    }
+}
+
+impl Recorder for ObsRecorder {
+    #[inline]
+    fn tick(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    #[inline]
+    fn alloc_probe(&mut self, rejected: bool) {
+        self.metrics.alloc_probe.incr();
+        if rejected {
+            self.metrics.alloc_probe_rejected.incr();
+        }
+    }
+
+    fn alloc_select(&mut self, depth: u32, found: bool) {
+        if found {
+            self.metrics.alloc_probe_depth.observe(u64::from(depth));
+        } else {
+            self.metrics.alloc_select_fail.incr();
+        }
+        self.trace(TraceEvent::AllocSelect { depth, found });
+    }
+
+    #[inline]
+    fn arb_grant(&mut self, vl: u8, bytes: u64, served: ServedKind) {
+        self.metrics.arb_grant.lane(vl).incr();
+        self.metrics.arb_bytes.lane(vl).add(bytes);
+        match served {
+            ServedKind::High => self.metrics.arb_high_bytes.add(bytes),
+            ServedKind::Low => self.metrics.arb_low_bytes.add(bytes),
+            ServedKind::Management => self.metrics.arb_vl15_bytes.add(bytes),
+        }
+        self.trace(TraceEvent::Grant { vl, bytes, served });
+    }
+
+    #[inline]
+    fn arb_weight_exhausted(&mut self, vl: u8) {
+        self.metrics.arb_weight_exhausted.lane(vl).incr();
+        self.trace(TraceEvent::WeightExhausted { vl });
+    }
+
+    #[inline]
+    fn arb_hol_stall(&mut self, vl: u8) {
+        self.metrics.arb_hol_stall.lane(vl).incr();
+        self.trace(TraceEvent::HolStall { vl });
+    }
+
+    #[inline]
+    fn arb_queue_depth(&mut self, packets: u64) {
+        self.metrics.arb_queue_depth.observe(packets);
+    }
+
+    fn cac_admit(&mut self, sl: u8) {
+        self.metrics.cac_admit.lane(sl).incr();
+        self.trace(TraceEvent::Admit { sl });
+    }
+
+    fn cac_reject(&mut self, reason: RejectKind) {
+        self.metrics.cac_reject[reason.index()].incr();
+        self.trace(TraceEvent::Reject { reason });
+    }
+
+    fn cac_release(&mut self) {
+        self.metrics.cac_release.incr();
+        self.trace(TraceEvent::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_inert() {
+        let mut r = NullRecorder;
+        r.tick(5);
+        r.alloc_probe(true);
+        r.arb_grant(3, 256, ServedKind::High);
+        r.cac_reject(RejectKind::CapacityExceeded);
+        // Nothing to assert — the point is it compiles to nothing and
+        // panics never.
+    }
+
+    #[test]
+    fn obs_recorder_updates_metrics_and_trace() {
+        let mut r = ObsRecorder::with_tracer(8);
+        r.tick(100);
+        r.alloc_probe(true);
+        r.alloc_probe(false);
+        r.alloc_select(2, true);
+        r.arb_grant(3, 256, ServedKind::High);
+        r.arb_weight_exhausted(3);
+        r.arb_hol_stall(1);
+        r.arb_queue_depth(4);
+        r.cac_admit(2);
+        r.cac_reject(RejectKind::NoFreeSequence);
+        r.cac_release();
+
+        let m = &r.metrics;
+        assert_eq!(m.alloc_probe.get(), 2);
+        assert_eq!(m.alloc_probe_rejected.get(), 1);
+        assert_eq!(m.alloc_probe_depth.count(), 1);
+        assert_eq!(m.arb_grant.0[3].get(), 1);
+        assert_eq!(m.arb_bytes.0[3].get(), 256);
+        assert_eq!(m.arb_high_bytes.get(), 256);
+        assert_eq!(m.arb_weight_exhausted.0[3].get(), 1);
+        assert_eq!(m.arb_hol_stall.0[1].get(), 1);
+        assert_eq!(m.arb_queue_depth.count(), 1);
+        assert_eq!(m.cac_admit.0[2].get(), 1);
+        assert_eq!(m.cac_reject[0].get(), 1);
+        assert_eq!(m.cac_release.get(), 1);
+
+        let records = r
+            .tracer
+            .as_ref()
+            .map(RingTracer::records)
+            .unwrap_or_default();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|(t, _)| *t == 100));
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for k in [ServedKind::High, ServedKind::Low, ServedKind::Management] {
+            assert_eq!(ServedKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ServedKind::from_code(9), None);
+        for k in [
+            RejectKind::NoFreeSequence,
+            RejectKind::CapacityExceeded,
+            RejectKind::RequestTooLarge,
+            RejectKind::Invalid,
+        ] {
+            assert_eq!(RejectKind::from_code(k.index() as u16), Some(k));
+        }
+        assert_eq!(RejectKind::from_code(7), None);
+    }
+}

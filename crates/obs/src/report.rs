@@ -1,0 +1,213 @@
+//! Renderers: human-readable metric reports (`ibaqos report`) and the
+//! machine-readable `BENCH_*.json` schema written by the bench smoke
+//! tier.
+
+use crate::json::Json;
+use crate::metrics::{Metrics, Sample, SampleValue};
+
+/// One measured benchmark, as serialized into a `BENCH_*.json` file.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark name (e.g. `alloc/bitrev/d64`).
+    pub name: String,
+    /// Iterations measured per sample.
+    pub iters: u64,
+    /// Median nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// 50th-percentile nanoseconds per operation across samples.
+    pub p50_ns: f64,
+    /// 99th-percentile nanoseconds per operation across samples.
+    pub p99_ns: f64,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::str(self.name.clone())),
+            ("iters".into(), Json::uint(self.iters)),
+            ("ns_per_op".into(), Json::Float(self.ns_per_op)),
+            ("p50_ns".into(), Json::Float(self.p50_ns)),
+            ("p99_ns".into(), Json::Float(self.p99_ns)),
+        ])
+    }
+}
+
+/// One virtual lane's share of serviced bytes, derived from a sim run.
+#[derive(Clone, Copy, Debug)]
+pub struct VlShare {
+    /// The virtual lane.
+    pub vl: u8,
+    /// Bytes the arbiter serviced on this lane.
+    pub bytes: u64,
+    /// This lane's fraction of all serviced bytes (`0.0..=1.0`).
+    pub share: f64,
+}
+
+/// Derives per-VL throughput shares from a metrics registry's
+/// `arb_bytes_total` counters. Empty when nothing was serviced.
+#[must_use]
+pub fn vl_shares(metrics: &Metrics) -> Vec<VlShare> {
+    let total: u64 = metrics.arb_bytes.0.iter().map(|c| c.get()).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    metrics
+        .arb_bytes
+        .0
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.get() > 0)
+        .map(|(vl, c)| VlShare {
+            vl: vl as u8,
+            bytes: c.get(),
+            share: c.get() as f64 / total as f64,
+        })
+        .collect()
+}
+
+/// Builds the `BENCH_*.json` document for a suite.
+///
+/// Schema: `{ suite, schema_version, benches: [{name, iters, ns_per_op,
+/// p50_ns, p99_ns}], per_vl_shares: [{vl, bytes, share}] }`. Both lists
+/// may be empty (a filtered-out or zero-iteration run still writes a
+/// well-formed document).
+#[must_use]
+pub fn bench_json(suite: &str, records: &[BenchRecord], shares: &[VlShare]) -> String {
+    let benches = records.iter().map(BenchRecord::to_json).collect();
+    let share_items = shares
+        .iter()
+        .map(|s| {
+            Json::Object(vec![
+                ("vl".into(), Json::Int(i64::from(s.vl))),
+                ("bytes".into(), Json::uint(s.bytes)),
+                ("share".into(), Json::Float(s.share)),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("suite".into(), Json::str(suite)),
+        ("schema_version".into(), Json::Int(1)),
+        ("benches".into(), Json::Array(benches)),
+        ("per_vl_shares".into(), Json::Array(share_items)),
+    ])
+    .pretty()
+}
+
+fn render_sample(s: &Sample) -> String {
+    let dim = s.dim.to_string();
+    let label = if dim.is_empty() {
+        s.name.to_string()
+    } else {
+        format!("{}{{{}}}", s.name, dim)
+    };
+    match s.value {
+        SampleValue::Count(v) => format!("  {label:<44} {v}"),
+        SampleValue::Hist {
+            count,
+            sum,
+            p50,
+            p99,
+        } => {
+            format!("  {label:<44} count={count} sum={sum} p50<={p50} p99<={p99}")
+        }
+    }
+}
+
+/// Renders a metrics registry as a text report (the body of `ibaqos
+/// report`). An untouched registry renders a single "no data" line
+/// rather than panicking or printing an empty table.
+#[must_use]
+pub fn render_metrics(metrics: &Metrics) -> String {
+    let snap = metrics.snapshot();
+    if snap.is_empty() {
+        return "metrics: no data recorded\n".to_string();
+    }
+    let mut out = String::from("metrics:\n");
+    for s in &snap {
+        out.push_str(&render_sample(s));
+        out.push('\n');
+    }
+    let shares = vl_shares(metrics);
+    if !shares.is_empty() {
+        out.push_str("\nper-VL serviced-bytes shares:\n");
+        for s in &shares {
+            out.push_str(&format!(
+                "  vl={:<2} bytes={:<12} share={:.2}%\n",
+                s.vl,
+                s.bytes,
+                s.share * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_renders_no_data_without_panicking() {
+        let m = Metrics::new();
+        let text = render_metrics(&m);
+        assert!(text.contains("no data recorded"));
+        assert!(vl_shares(&m).is_empty());
+    }
+
+    #[test]
+    fn report_includes_per_vl_shares() {
+        let mut m = Metrics::new();
+        m.arb_bytes.lane(0).add(300);
+        m.arb_bytes.lane(1).add(100);
+        let shares = vl_shares(&m);
+        assert_eq!(shares.len(), 2);
+        assert!((shares[0].share - 0.75).abs() < 1e-12);
+        assert!((shares[1].share - 0.25).abs() < 1e-12);
+        let text = render_metrics(&m);
+        assert!(text.contains("per-VL serviced-bytes shares"));
+        assert!(text.contains("vl=0"));
+        assert!(text.contains("75.00%"));
+    }
+
+    #[test]
+    fn report_renders_histograms() {
+        let mut m = Metrics::new();
+        m.alloc_probe_depth.observe(3);
+        m.alloc_probe_depth.observe(5);
+        let text = render_metrics(&m);
+        assert!(text.contains("alloc_probe_depth"));
+        assert!(text.contains("count=2"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_when_empty() {
+        let doc = bench_json("alloc", &[], &[]);
+        assert!(doc.contains("\"suite\": \"alloc\""));
+        assert!(doc.contains("\"benches\": []"));
+        assert!(doc.contains("\"per_vl_shares\": []"));
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn bench_json_serializes_records_and_shares() {
+        let records = vec![BenchRecord {
+            name: "alloc/bitrev/d64".into(),
+            iters: 1000,
+            ns_per_op: 12.5,
+            p50_ns: 12.0,
+            p99_ns: 19.25,
+        }];
+        let shares = vec![VlShare {
+            vl: 1,
+            bytes: 4096,
+            share: 0.75,
+        }];
+        let doc = bench_json("alloc", &records, &shares);
+        assert!(doc.contains("\"name\": \"alloc/bitrev/d64\""));
+        assert!(doc.contains("\"iters\": 1000"));
+        assert!(doc.contains("\"ns_per_op\": 12.5"));
+        assert!(doc.contains("\"p99_ns\": 19.25"));
+        assert!(doc.contains("\"vl\": 1"));
+        assert!(doc.contains("\"share\": 0.75"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Bounded ring-buffer event tracer with a compact binary record
+//! format.
+//!
+//! Each record is exactly [`RECORD_BYTES`] bytes, little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     timestamp (simulator cycles, u64)
+//! 8       1     kind      (see the `KIND_*` constants)
+//! 9       1     lane      (VL or SL; 0 when unused)
+//! 10      2     aux       (kind-specific: served-by / reject code / depth)
+//! 12      4     value     (kind-specific: bytes granted; 0 when unused)
+//! ```
+//!
+//! The ring holds a fixed number of records and overwrites the oldest
+//! when full, counting how many were dropped so reports can say so.
+
+use crate::recorder::{RejectKind, ServedKind};
+
+/// Size in bytes of one encoded trace record.
+pub const RECORD_BYTES: usize = 16;
+
+/// Record kind: an arbitration grant.
+pub const KIND_GRANT: u8 = 1;
+/// Record kind: a head-of-line stall observation.
+pub const KIND_HOL_STALL: u8 = 2;
+/// Record kind: a table entry's weight credit drained.
+pub const KIND_WEIGHT_EXHAUSTED: u8 = 3;
+/// Record kind: a connection admission.
+pub const KIND_ADMIT: u8 = 5;
+/// Record kind: a connection rejection.
+pub const KIND_REJECT: u8 = 6;
+/// Record kind: a connection teardown.
+pub const KIND_RELEASE: u8 = 7;
+/// Record kind: an allocator select (probe-sequence walk) finished.
+pub const KIND_ALLOC_SELECT: u8 = 8;
+
+/// A decoded trace event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// The arbiter granted `bytes` to `vl` from the given table.
+    Grant {
+        /// Virtual lane granted.
+        vl: u8,
+        /// Packet size in bytes (clamped to `u32::MAX` on encode).
+        bytes: u64,
+        /// Which table served the grant.
+        served: ServedKind,
+    },
+    /// A head packet was blocked on downstream credit.
+    HolStall {
+        /// Virtual lane of the stalled head packet.
+        vl: u8,
+    },
+    /// A grant drained its table entry's weight credit.
+    WeightExhausted {
+        /// Virtual lane whose entry was exhausted.
+        vl: u8,
+    },
+    /// A connection was admitted.
+    Admit {
+        /// Service level of the admitted connection.
+        sl: u8,
+    },
+    /// A connection was rejected.
+    Reject {
+        /// Why the connection was rejected.
+        reason: RejectKind,
+    },
+    /// A connection was torn down.
+    Release,
+    /// An allocator select finished.
+    AllocSelect {
+        /// Number of E-sets probed.
+        depth: u32,
+        /// Whether a free sequence was found.
+        found: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Encodes the event at `now` into the 16-byte wire form.
+    #[must_use]
+    pub fn encode(&self, now: u64) -> [u8; RECORD_BYTES] {
+        let (kind, lane, aux, value): (u8, u8, u16, u32) = match *self {
+            TraceEvent::Grant { vl, bytes, served } => {
+                let clamped = u32::try_from(bytes).unwrap_or(u32::MAX);
+                (KIND_GRANT, vl, served.code(), clamped)
+            }
+            TraceEvent::HolStall { vl } => (KIND_HOL_STALL, vl, 0, 0),
+            TraceEvent::WeightExhausted { vl } => (KIND_WEIGHT_EXHAUSTED, vl, 0, 0),
+            TraceEvent::Admit { sl } => (KIND_ADMIT, sl, 0, 0),
+            TraceEvent::Reject { reason } => (KIND_REJECT, 0, reason.index() as u16, 0),
+            TraceEvent::Release => (KIND_RELEASE, 0, 0, 0),
+            TraceEvent::AllocSelect { depth, found } => {
+                (KIND_ALLOC_SELECT, 0, u16::from(found), depth)
+            }
+        };
+        let mut buf = [0u8; RECORD_BYTES];
+        buf[0..8].copy_from_slice(&now.to_le_bytes());
+        buf[8] = kind;
+        buf[9] = lane;
+        buf[10..12].copy_from_slice(&aux.to_le_bytes());
+        buf[12..16].copy_from_slice(&value.to_le_bytes());
+        buf
+    }
+
+    /// Decodes one 16-byte record; `None` for unknown kinds or codes.
+    /// Returns the timestamp alongside the event.
+    #[must_use]
+    pub fn decode(buf: &[u8; RECORD_BYTES]) -> Option<(u64, TraceEvent)> {
+        let mut t8 = [0u8; 8];
+        t8.copy_from_slice(&buf[0..8]);
+        let time = u64::from_le_bytes(t8);
+        let kind = buf[8];
+        let lane = buf[9];
+        let aux = u16::from_le_bytes([buf[10], buf[11]]);
+        let value = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+        let ev = match kind {
+            KIND_GRANT => TraceEvent::Grant {
+                vl: lane,
+                bytes: u64::from(value),
+                served: ServedKind::from_code(aux)?,
+            },
+            KIND_HOL_STALL => TraceEvent::HolStall { vl: lane },
+            KIND_WEIGHT_EXHAUSTED => TraceEvent::WeightExhausted { vl: lane },
+            KIND_ADMIT => TraceEvent::Admit { sl: lane },
+            KIND_REJECT => TraceEvent::Reject {
+                reason: RejectKind::from_code(aux)?,
+            },
+            KIND_RELEASE => TraceEvent::Release,
+            KIND_ALLOC_SELECT => TraceEvent::AllocSelect {
+                depth: value,
+                found: aux != 0,
+            },
+            _ => return None,
+        };
+        Some((time, ev))
+    }
+
+    /// One-line text rendering (used by `ibaqos trace`).
+    #[must_use]
+    pub fn render(&self, time: u64) -> String {
+        match *self {
+            TraceEvent::Grant { vl, bytes, served } => format!(
+                "{time:>10}  grant            vl={vl:<2} bytes={bytes:<6} table={}",
+                served.label()
+            ),
+            TraceEvent::HolStall { vl } => {
+                format!("{time:>10}  hol-stall        vl={vl}")
+            }
+            TraceEvent::WeightExhausted { vl } => {
+                format!("{time:>10}  weight-exhausted vl={vl}")
+            }
+            TraceEvent::Admit { sl } => format!("{time:>10}  cac-admit        sl={sl}"),
+            TraceEvent::Reject { reason } => {
+                format!("{time:>10}  cac-reject       reason={}", reason.label())
+            }
+            TraceEvent::Release => format!("{time:>10}  cac-release"),
+            TraceEvent::AllocSelect { depth, found } => format!(
+                "{time:>10}  alloc-select     depth={depth} result={}",
+                if found { "found" } else { "exhausted" }
+            ),
+        }
+    }
+}
+
+/// A bounded ring of encoded trace records. When full, pushing
+/// overwrites the oldest record and bumps [`RingTracer::dropped`].
+#[derive(Clone, Debug)]
+pub struct RingTracer {
+    buf: Vec<[u8; RECORD_BYTES]>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for RingTracer {
+    fn default() -> Self {
+        RingTracer::new(4096)
+    }
+}
+
+impl RingTracer {
+    /// A tracer holding at most `capacity` records (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RingTracer {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many records were overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, overwriting the oldest record when full.
+    pub fn push(&mut self, now: u64, ev: TraceEvent) {
+        let rec = ev.encode(now);
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Decoded records in arrival order (oldest first). Records with
+    /// unknown kinds are skipped.
+    #[must_use]
+    pub fn records(&self) -> Vec<(u64, TraceEvent)> {
+        let (tail, head) = self.buf.split_at(self.head.min(self.buf.len()));
+        head.iter()
+            .chain(tail.iter())
+            .filter_map(TraceEvent::decode)
+            .collect()
+    }
+
+    /// The raw encoded bytes in arrival order (oldest first) — the
+    /// binary trace format, `len() * RECORD_BYTES` bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (tail, head) = self.buf.split_at(self.head.min(self.buf.len()));
+        head.iter()
+            .chain(tail.iter())
+            .flat_map(|r| r.iter().copied())
+            .collect()
+    }
+
+    /// Renders the newest `limit` records as text lines (oldest of the
+    /// window first). `limit == 0` means all held records.
+    #[must_use]
+    pub fn render(&self, limit: usize) -> Vec<String> {
+        let records = self.records();
+        let start = if limit == 0 {
+            0
+        } else {
+            records.len().saturating_sub(limit)
+        };
+        records[start..]
+            .iter()
+            .map(|(t, ev)| ev.render(*t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_every_kind() {
+        let events = [
+            TraceEvent::Grant {
+                vl: 3,
+                bytes: 2048,
+                served: ServedKind::Low,
+            },
+            TraceEvent::HolStall { vl: 1 },
+            TraceEvent::WeightExhausted { vl: 15 },
+            TraceEvent::Admit { sl: 7 },
+            TraceEvent::Reject {
+                reason: RejectKind::CapacityExceeded,
+            },
+            TraceEvent::Release,
+            TraceEvent::AllocSelect {
+                depth: 9,
+                found: true,
+            },
+            TraceEvent::AllocSelect {
+                depth: 64,
+                found: false,
+            },
+        ];
+        for (i, ev) in events.iter().enumerate() {
+            let t = 1000 + i as u64;
+            let buf = ev.encode(t);
+            assert_eq!(TraceEvent::decode(&buf), Some((t, *ev)));
+        }
+    }
+
+    #[test]
+    fn grant_bytes_clamp_to_u32() {
+        let ev = TraceEvent::Grant {
+            vl: 0,
+            bytes: u64::MAX,
+            served: ServedKind::High,
+        };
+        let decoded = TraceEvent::decode(&ev.encode(0)).map(|(_, e)| e);
+        assert_eq!(
+            decoded,
+            Some(TraceEvent::Grant {
+                vl: 0,
+                bytes: u64::from(u32::MAX),
+                served: ServedKind::High,
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_decodes_to_none() {
+        let mut buf = [0u8; RECORD_BYTES];
+        buf[8] = 0xEE;
+        assert_eq!(TraceEvent::decode(&buf), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut t = RingTracer::new(3);
+        for i in 0..5u64 {
+            t.push(i, TraceEvent::Admit { sl: i as u8 });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let recs = t.records();
+        let times: Vec<u64> = recs.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(t.to_bytes().len(), 3 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn render_limits_to_newest_records() {
+        let mut t = RingTracer::new(16);
+        for i in 0..6u64 {
+            t.push(i, TraceEvent::Release);
+        }
+        assert_eq!(t.render(0).len(), 6);
+        let last_two = t.render(2);
+        assert_eq!(last_two.len(), 2);
+        assert!(last_two[0].trim_start().starts_with('4'));
+        assert!(last_two[1].trim_start().starts_with('5'));
+    }
+
+    #[test]
+    fn empty_tracer_renders_nothing() {
+        let t = RingTracer::new(8);
+        assert!(t.is_empty());
+        assert!(t.records().is_empty());
+        assert!(t.render(10).is_empty());
+    }
+}

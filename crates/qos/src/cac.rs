@@ -34,6 +34,20 @@ pub enum RejectReason {
     InvalidRequest,
 }
 
+impl RejectReason {
+    /// The reason as an `iba-obs` [`iba_obs::RejectKind`] (the port
+    /// detail is dropped; only the category is metered).
+    #[must_use]
+    pub fn kind(&self) -> iba_obs::RejectKind {
+        match self {
+            RejectReason::NoFreeSequence(_) => iba_obs::RejectKind::NoFreeSequence,
+            RejectReason::CapacityExceeded(_) => iba_obs::RejectKind::CapacityExceeded,
+            RejectReason::RequestTooLarge => iba_obs::RejectKind::RequestTooLarge,
+            RejectReason::InvalidRequest => iba_obs::RejectKind::Invalid,
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -115,9 +129,28 @@ impl PortTables {
         distance: Distance,
         weight: Weight,
     ) -> Result<Vec<HopReservation>, RejectReason> {
+        self.admit_path_observed(path, sl, vl, distance, weight, &mut iba_obs::NullRecorder)
+    }
+
+    /// [`PortTables::admit_path`] with instrumentation: each hop's
+    /// allocator probes are recorded into `rec` (admission is a
+    /// control-plane operation, so dynamic dispatch here costs nothing
+    /// measurable).
+    pub fn admit_path_observed(
+        &mut self,
+        path: &[PortKey],
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<Vec<HopReservation>, RejectReason> {
         let mut done: Vec<HopReservation> = Vec::with_capacity(path.len());
         for &key in path {
-            match self.table_mut(key).admit(sl, vl, distance, weight) {
+            match self
+                .table_mut(key)
+                .admit_observed(sl, vl, distance, weight, rec)
+            {
                 Ok(adm) => done.push(HopReservation {
                     node: key.node,
                     port: key.port,

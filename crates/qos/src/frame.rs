@@ -76,12 +76,30 @@ impl QosFrame {
         stop_after_rejects: u32,
         max_attempts: u32,
     ) -> FillReport {
+        self.fill_observed(
+            gen,
+            stop_after_rejects,
+            max_attempts,
+            &mut iba_obs::NullRecorder,
+        )
+    }
+
+    /// [`QosFrame::fill`] with instrumentation: every admission attempt
+    /// records its `cac_admit_total` / `cac_reject_total` outcome and
+    /// the allocator probe metrics of each hop into `rec`.
+    pub fn fill_observed(
+        &mut self,
+        gen: &mut RequestGenerator,
+        stop_after_rejects: u32,
+        max_attempts: u32,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> FillReport {
         let mut report = FillReport::default();
         let mut consecutive = 0;
         while report.attempted < max_attempts && consecutive < stop_after_rejects {
             let req = gen.next_request();
             report.attempted += 1;
-            match self.manager.request(&req) {
+            match self.manager.request_observed(&req, rec) {
                 Ok(_) => {
                     report.accepted += 1;
                     consecutive = 0;

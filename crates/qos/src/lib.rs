@@ -17,7 +17,7 @@
 //! * [`frame`] — one-call experiment orchestration: fill the network to
 //!   its admission limit and produce the flows and fabric to run.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cac;

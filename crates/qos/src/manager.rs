@@ -222,12 +222,29 @@ impl QosManager {
     /// in the high-priority table of every output port on the path, or
     /// rejects without side effects.
     pub fn request(&mut self, req: &ConnectionRequest) -> Result<ConnectionId, RejectReason> {
+        self.request_observed(req, &mut iba_obs::NullRecorder)
+    }
+
+    /// [`QosManager::request`] with instrumentation: records
+    /// `cac_admit_total{sl}` or `cac_reject_total{reason}` plus the
+    /// allocator probe metrics of every hop into `rec`.
+    pub fn request_observed(
+        &mut self,
+        req: &ConnectionRequest,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<ConnectionId, RejectReason> {
         // Reserve for the gross (wire) rate when headers are modelled.
         let gross_factor =
             f64::from(req.packet_bytes + self.header_bytes) / f64::from(req.packet_bytes);
         let weight =
-            iba_core::weight_for_bandwidth(req.mean_bw_mbps * gross_factor, self.link_mbps)
-                .ok_or(RejectReason::RequestTooLarge)?;
+            match iba_core::weight_for_bandwidth(req.mean_bw_mbps * gross_factor, self.link_mbps) {
+                Some(w) => w,
+                None => {
+                    self.rejected += 1;
+                    rec.cac_reject(iba_obs::RejectKind::RequestTooLarge);
+                    return Err(RejectReason::RequestTooLarge);
+                }
+            };
         let vl = self.sl_to_vl.vl(req.sl);
         // The reserved distance is the request's own, tightened when the
         // SL shares its VL with stricter SLs (see `set_sl_to_vl`).
@@ -236,13 +253,18 @@ impl QosManager {
             _ => req.distance,
         };
         let path = self.path_ports(req.src, req.dst);
-        let hops = match self.tables.admit_path(&path, req.sl, vl, distance, weight) {
+        let hops = match self
+            .tables
+            .admit_path_observed(&path, req.sl, vl, distance, weight, rec)
+        {
             Ok(h) => h,
             Err(e) => {
                 self.rejected += 1;
+                rec.cac_reject(e.kind());
                 return Err(e);
             }
         };
+        rec.cac_admit(req.sl.raw());
         // The deadline is the *application's* requirement (its own
         // distance); the reservation distance may be tighter when SLs
         // share a VL, which only improves service.
@@ -275,6 +297,12 @@ impl QosManager {
     /// runs automatically inside each table). Returns `false` for stale
     /// handles.
     pub fn teardown(&mut self, id: ConnectionId) -> bool {
+        self.teardown_observed(id, &mut iba_obs::NullRecorder)
+    }
+
+    /// [`QosManager::teardown`] with instrumentation: records one
+    /// `cac_release_total` when the handle was live.
+    pub fn teardown_observed(&mut self, id: ConnectionId, rec: &mut dyn iba_obs::Recorder) -> bool {
         let Some(slot) = self.connections.get_mut(id.0 as usize) else {
             return false;
         };
@@ -282,6 +310,7 @@ impl QosManager {
             return false;
         };
         self.tables.release_path(&conn.hops, conn.weight);
+        rec.cac_release();
         true
     }
 
@@ -474,6 +503,26 @@ mod tests {
         for (_, t) in m.port_tables().tables() {
             assert_eq!(t.reserved_weight(), 0);
         }
+    }
+
+    #[test]
+    fn observed_request_records_cac_metrics() {
+        let mut m = small_manager(1);
+        let mut rec = iba_obs::ObsRecorder::new();
+        let id = m
+            .request_observed(&req(0, 0, 9, 2, Distance::D8, 4.0), &mut rec)
+            .unwrap();
+        assert_eq!(rec.metrics.cac_admit.lane(2).get(), 1);
+        assert!(rec.metrics.alloc_probe.get() >= 1, "hops probe allocator");
+        // An impossible request (more than one sequence's worth) rejects.
+        let err = m
+            .request_observed(&req(1, 0, 9, 2, Distance::D8, 1e9), &mut rec)
+            .unwrap_err();
+        assert_eq!(err, crate::RejectReason::RequestTooLarge);
+        let too_large = iba_obs::RejectKind::RequestTooLarge.index();
+        assert_eq!(rec.metrics.cac_reject[too_large].get(), 1);
+        assert!(m.teardown_observed(id, &mut rec));
+        assert_eq!(rec.metrics.cac_release.get(), 1);
     }
 
     #[test]

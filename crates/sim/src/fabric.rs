@@ -9,6 +9,7 @@ use crate::port::{InFlight, InputPort, OutputPort, Peer, PortStats};
 use crate::time::{cycles_for_bytes, Cycles};
 use crate::trace::{DeliveryRecord, Observer};
 use iba_core::{ArbEntry, ServedBy, VirtualLane, VlArbConfig, VlArbEngine};
+use iba_obs::{NullRecorder, Recorder, ServedKind};
 use iba_topo::{HostId, PortPeer, RoutingTable, SwitchId, Topology};
 use std::collections::VecDeque;
 
@@ -308,6 +309,22 @@ impl Fabric {
 
     /// Runs the event loop until `t_end` (inclusive).
     pub fn run_until(&mut self, t_end: Cycles, observer: &mut impl Observer) {
+        self.run_until_recorded(t_end, observer, &mut NullRecorder);
+    }
+
+    /// [`Fabric::run_until`] with instrumentation: arbitration grants,
+    /// weight exhaustions, head-of-line stalls and queue depths are
+    /// recorded into `rec` (see `METRICS.md` for the metric names).
+    ///
+    /// The recorder is a generic parameter, not a trait object: with
+    /// [`NullRecorder`] every hook monomorphizes to nothing, keeping the
+    /// plain [`Fabric::run_until`] on the uninstrumented fast path.
+    pub fn run_until_recorded<R: Recorder>(
+        &mut self,
+        t_end: Cycles,
+        observer: &mut impl Observer,
+        rec: &mut R,
+    ) {
         while let Some(t) = self.queue.peek_time() {
             if t > t_end {
                 break;
@@ -322,10 +339,11 @@ impl Fabric {
             );
             self.now = t;
             self.events_processed += 1;
+            rec.tick(t);
             match event {
-                Event::Generate { flow } => self.on_generate(flow as usize, observer),
+                Event::Generate { flow } => self.on_generate(flow as usize, observer, rec),
                 Event::Complete { node, port } => {
-                    self.on_complete(NodeId::decode(node), port, observer);
+                    self.on_complete(NodeId::decode(node), port, observer, rec);
                 }
             }
         }
@@ -433,7 +451,7 @@ impl Fabric {
     // Event handlers
     // ------------------------------------------------------------------
 
-    fn on_generate(&mut self, flow: usize, observer: &mut impl Observer) {
+    fn on_generate<R: Recorder>(&mut self, flow: usize, observer: &mut impl Observer, rec: &mut R) {
         let (packet, gap, stopped) = {
             let f = &mut self.flows[flow];
             if f.spec.stop.is_some_and(|s| self.now > s) {
@@ -468,10 +486,16 @@ impl Fabric {
             self.queue
                 .push(self.now + gap, Event::Generate { flow: flow as u32 });
         }
-        self.kick(NodeId::Host(src.0), 0);
+        self.kick(NodeId::Host(src.0), 0, rec);
     }
 
-    fn on_complete(&mut self, node: NodeId, port: u8, observer: &mut impl Observer) {
+    fn on_complete<R: Recorder>(
+        &mut self,
+        node: NodeId,
+        port: u8,
+        observer: &mut impl Observer,
+        rec: &mut R,
+    ) {
         let (inflight, peer) = match node {
             NodeId::Switch(s) => {
                 let out = &mut self.switches[s as usize].outputs[port as usize];
@@ -531,19 +555,19 @@ impl Fabric {
                     .push(inflight.packet);
                 // The new packet may enable its onward output.
                 let onward = self.routing.port(SwitchId(switch), dst);
-                self.kick(NodeId::Switch(switch), onward);
+                self.kick(NodeId::Switch(switch), onward, rec);
             }
             Peer::None => unreachable!("transfer on an unwired port"),
         }
 
         // The link is free again.
-        self.kick(node, port);
+        self.kick(node, port, rec);
         // A freed input may unblock transfers on any other output.
         if let (NodeId::Switch(s), Some(_)) = (node, inflight.src_input) {
             let n = self.switches[s as usize].outputs.len() as u8;
             for p in 0..n {
                 if p != port {
-                    self.kick(node, p);
+                    self.kick(node, p, rec);
                 }
             }
         }
@@ -554,10 +578,10 @@ impl Fabric {
     // ------------------------------------------------------------------
 
     /// Attempts to start a transfer on an idle output port.
-    fn kick(&mut self, node: NodeId, port: u8) {
+    fn kick<R: Recorder>(&mut self, node: NodeId, port: u8, rec: &mut R) {
         match node {
-            NodeId::Switch(s) => self.kick_switch_output(s as usize, port as usize),
-            NodeId::Host(h) => self.kick_host_output(h as usize),
+            NodeId::Switch(s) => self.kick_switch_output(s as usize, port as usize, rec),
+            NodeId::Host(h) => self.kick_host_output(h as usize, rec),
         }
     }
 
@@ -592,7 +616,7 @@ impl Fabric {
         false
     }
 
-    fn kick_switch_output(&mut self, s: usize, port: usize) {
+    fn kick_switch_output<R: Recorder>(&mut self, s: usize, port: usize, rec: &mut R) {
         let protect_inputs = self.config.priority_input_claiming;
         loop {
             // Candidate head packet per VL: (input port, bytes).
@@ -629,6 +653,9 @@ impl Fabric {
                             continue;
                         }
                         if !out.credits.can_send(vl, u64::from(head.bytes)) {
+                            // Head packet routed here but blocked on
+                            // downstream credit: a head-of-line stall.
+                            rec.arb_hol_stall(vl as u8);
                             continue;
                         }
                         cand[vl] = Some((q as u8, head.bytes));
@@ -638,27 +665,33 @@ impl Fabric {
 
             // VL15 bypasses arbitration entirely.
             let grant = if let Some((q, bytes)) = cand[15] {
-                Some((15u8, q, bytes, None))
+                Some((15u8, q, bytes, None, false))
             } else {
                 let out = &mut self.switches[s].outputs[port];
                 out.engine
                     .select(|vl| cand[vl.index()].map(|(_, b)| u64::from(b)))
                     .and_then(|g| {
                         // The engine only grants VLs offered by the closure.
-                        cand[g.vl.index()]
-                            .map(|(q, bytes)| (g.vl.raw(), q, bytes, Some(g.served_by)))
+                        cand[g.vl.index()].map(|(q, bytes)| {
+                            (g.vl.raw(), q, bytes, Some(g.served_by), g.exhausted)
+                        })
                     })
             };
 
-            let Some((vl, q, bytes, served)) = grant else {
+            let Some((vl, q, bytes, served, exhausted)) = grant else {
                 return;
             };
-            self.start_switch_transfer(s, port, q as usize, vl, bytes, served);
+            if exhausted {
+                rec.arb_weight_exhausted(vl);
+            }
+            rec.arb_queue_depth(self.switches[s].inputs[q as usize].vls[vl as usize].len() as u64);
+            self.start_switch_transfer(s, port, q as usize, vl, bytes, served, rec);
             // The port is now busy; the loop exits on the next pass.
         }
     }
 
-    fn start_switch_transfer(
+    #[allow(clippy::too_many_arguments)] // internal hot-path plumbing; a struct would just rename the args
+    fn start_switch_transfer<R: Recorder>(
         &mut self,
         s: usize,
         port: usize,
@@ -666,6 +699,7 @@ impl Fabric {
         vl: u8,
         bytes: u32,
         served: Option<ServedBy>,
+        rec: &mut R,
     ) {
         let packet = self.switches[s].inputs[q].vls[vl as usize].pop();
         assert!(
@@ -687,14 +721,14 @@ impl Fabric {
                 self.switches[switch.index()].outputs[up as usize]
                     .credits
                     .restore(vl as usize, u64::from(bytes));
-                self.kick(NodeId::Switch(switch.0), up);
+                self.kick(NodeId::Switch(switch.0), up, rec);
             }
             PortPeer::Host(h) => {
                 self.hosts[h.index()]
                     .out
                     .credits
                     .restore(vl as usize, u64::from(bytes));
-                self.kick(NodeId::Host(h.0), 0);
+                self.kick(NodeId::Host(h.0), 0, rec);
             }
             PortPeer::Free => unreachable!("packet arrived on an unwired port"),
         }
@@ -703,7 +737,7 @@ impl Fabric {
         let out = &mut self.switches[s].outputs[port];
         out.credits.consume(vl as usize, u64::from(bytes));
         out.next_input = (q as u8).wrapping_add(1) % self.topo.ports_per_switch();
-        Self::account(&mut out.stats, bytes, duration, vl, served);
+        Self::account(&mut out.stats, bytes, duration, vl, served, rec);
         out.inflight = Some(InFlight {
             packet,
             src_input: Some(q as u8),
@@ -718,7 +752,7 @@ impl Fabric {
         );
     }
 
-    fn kick_host_output(&mut self, h: usize) {
+    fn kick_host_output<R: Recorder>(&mut self, h: usize, rec: &mut R) {
         let mut cand: [Option<u32>; 16] = [None; 16];
         {
             let host = &self.hosts[h];
@@ -729,24 +763,32 @@ impl Fabric {
                 if let Some(p) = q.front() {
                     if host.out.credits.can_send(vl, u64::from(p.bytes)) {
                         cand[vl] = Some(p.bytes);
+                    } else {
+                        rec.arb_hol_stall(vl as u8);
                     }
                 }
             }
         }
 
         let grant = if let Some(bytes) = cand[15] {
-            Some((15u8, bytes, None))
+            Some((15u8, bytes, None, false))
         } else {
             self.hosts[h]
                 .out
                 .engine
                 .select(|vl| cand[vl.index()].map(u64::from))
-                .and_then(|g| cand[g.vl.index()].map(|b| (g.vl.raw(), b, Some(g.served_by))))
+                .and_then(|g| {
+                    cand[g.vl.index()].map(|b| (g.vl.raw(), b, Some(g.served_by), g.exhausted))
+                })
         };
 
-        let Some((vl, bytes, served)) = grant else {
+        let Some((vl, bytes, served, exhausted)) = grant else {
             return;
         };
+        if exhausted {
+            rec.arb_weight_exhausted(vl);
+        }
+        rec.arb_queue_depth(self.hosts[h].queues[vl as usize].len() as u64);
         let packet = self.hosts[h].queues[vl as usize].pop_front();
         assert!(
             packet.is_some(),
@@ -756,7 +798,7 @@ impl Fabric {
         let duration = cycles_for_bytes(u64::from(bytes), self.config.link_bytes_per_cycle);
         let out = &mut self.hosts[h].out;
         out.credits.consume(vl as usize, u64::from(bytes));
-        Self::account(&mut out.stats, bytes, duration, vl, served);
+        Self::account(&mut out.stats, bytes, duration, vl, served, rec);
         out.inflight = Some(InFlight {
             packet,
             src_input: None,
@@ -771,28 +813,37 @@ impl Fabric {
         );
     }
 
-    fn account(
+    fn account<R: Recorder>(
         stats: &mut PortStats,
         bytes: u32,
         duration: Cycles,
         vl: u8,
         served: Option<ServedBy>,
+        rec: &mut R,
     ) {
         stats.busy_cycles += duration;
         stats.bytes += u64::from(bytes);
         stats.packets += 1;
         stats.per_vl_bytes[vl as usize] += u64::from(bytes);
-        match served {
-            Some(ServedBy::High) => stats.high_bytes += u64::from(bytes),
-            Some(ServedBy::Low) => stats.low_bytes += u64::from(bytes),
+        let kind = match served {
+            Some(ServedBy::High) => {
+                stats.high_bytes += u64::from(bytes);
+                ServedKind::High
+            }
+            Some(ServedBy::Low) => {
+                stats.low_bytes += u64::from(bytes);
+                ServedKind::Low
+            }
             None => {
                 debug_assert!(
                     invariants::unarbitrated_is_management(vl),
                     "only VL15 bypasses arbitration, got VL{vl}"
                 );
                 stats.vl15_bytes += u64::from(bytes);
+                ServedKind::Management
             }
-        }
+        };
+        rec.arb_grant(vl, u64::from(bytes), kind);
     }
 }
 
@@ -1025,6 +1076,77 @@ mod tests {
         let after = f.summarize();
         assert_eq!(after.injected_packets, 0);
         assert_eq!(after.window, 0);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_measures_shares() {
+        use iba_obs::ObsRecorder;
+        // 2-VL steady state, weights 12:4 (= 3:1), both lanes saturated:
+        // the per-VL serviced-bytes ratio must match the weights within
+        // 1%, and the recorded run must behave identically to the plain
+        // one.
+        let build = || {
+            let mut t = Topology::new(1, 4);
+            t.attach_host(SwitchId(0), 0);
+            t.attach_host(SwitchId(0), 1);
+            t.attach_host(SwitchId(0), 2);
+            let r = updown::compute(&t);
+            let mut f = Fabric::new(t, r, SimConfig::paper_default(256));
+            let cfg = VlArbConfig {
+                high: vec![
+                    ArbEntry {
+                        vl: VirtualLane::data(1),
+                        weight: 12,
+                    },
+                    ArbEntry {
+                        vl: VirtualLane::data(2),
+                        weight: 4,
+                    },
+                ],
+                low: vec![],
+                limit_of_high_priority: 255,
+            };
+            f.set_uniform_tables(&cfg);
+            f.add_flow(flow(1, 0, 2, 1, 256, 256));
+            f.add_flow(flow(2, 1, 2, 2, 256, 256));
+            f
+        };
+
+        let mut plain = build();
+        let mut obs_plain = VecObserver::default();
+        plain.run_until(256 * 2000, &mut obs_plain);
+
+        let mut recorded = build();
+        let mut obs_rec = VecObserver::default();
+        let mut rec = ObsRecorder::new();
+        recorded.run_until_recorded(256 * 2000, &mut obs_rec, &mut rec);
+
+        // Identical deliveries: instrumentation must not perturb the sim.
+        let key = |v: &VecObserver| {
+            v.records
+                .iter()
+                .map(|r| (r.flow, r.seq, r.delivered))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&obs_plain), key(&obs_rec));
+
+        // Per-VL serviced-bytes ratio matches the 3:1 weights within 1%.
+        let m = &rec.metrics;
+        let vl1 = m.arb_bytes.0[1].get() as f64;
+        let vl2 = m.arb_bytes.0[2].get() as f64;
+        assert!(vl1 > 0.0 && vl2 > 0.0);
+        let ratio = vl1 / vl2;
+        assert!(
+            (ratio - 3.0).abs() / 3.0 < 0.01,
+            "serviced-bytes ratio {ratio} deviates >1% from 3.0"
+        );
+        // Saturated lanes exhaust their weight; grants were recorded on
+        // both lanes and on the high table only.
+        assert!(m.arb_weight_exhausted.0[1].get() > 0);
+        assert!(m.arb_weight_exhausted.0[2].get() > 0);
+        assert!(m.arb_high_bytes.get() > 0);
+        assert_eq!(m.arb_low_bytes.get(), 0);
+        assert!(m.arb_queue_depth.count() > 0);
     }
 
     #[test]

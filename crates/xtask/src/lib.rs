@@ -253,6 +253,35 @@ pub fn scan_forbid_unsafe(rel_path: &str, source: &str) -> Vec<Finding> {
     }
 }
 
+/// The metric names declared in `METRIC_NAMES` of
+/// `crates/obs/src/metrics.rs`: every quoted string between the
+/// `METRIC_NAMES` declaration and its closing `];`. Returns an empty
+/// vector when the declaration is absent (the runner treats that as a
+/// failure, so a renamed constant cannot silently disable the gate).
+#[must_use]
+pub fn extract_metric_names(source: &str) -> Vec<String> {
+    // Anchor on the declaration, not the bare identifier: doc comments
+    // mention `METRIC_NAMES` long before the constant itself.
+    let Some(start) = source.find("const METRIC_NAMES") else {
+        return Vec::new();
+    };
+    let Some(end) = source[start..].find("];") else {
+        return Vec::new();
+    };
+    let body = &source[start..start + end];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(close) = after.find('"') else {
+            break;
+        };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
+
 /// Relative markdown link targets in `source`, as `(line, target)`.
 /// Absolute URLs, `mailto:` and pure-fragment links are skipped; a
 /// `#section` suffix on a relative target is dropped.
@@ -366,6 +395,25 @@ mod tests {
         let f = scan_forbid_unsafe("crates/a/src/lib.rs", "pub fn f() {}\n");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn metric_names_are_extracted() {
+        let src = r#"
+//! Doc comment mentioning [`METRIC_NAMES`]; must not confuse the anchor.
+pub const METRIC_NAMES: &[&str] = &[
+    "alloc_probe_total",
+    "arb_grant_total", // per-VL
+    "cac_admit_total",
+];
+pub const OTHER: &[&str] = &["not_a_metric"];
+"#;
+        assert_eq!(
+            extract_metric_names(src),
+            vec!["alloc_probe_total", "arb_grant_total", "cac_admit_total"]
+        );
+        assert!(extract_metric_names("no such constant").is_empty());
+        assert!(extract_metric_names("const METRIC_NAMES with no close").is_empty());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!    `#![forbid(unsafe_code)]` in every crate root.
 //! 4. **doc-links** — every relative markdown link in the repository's
 //!    `*.md` files must point at an existing file.
+//! 5. **metrics-doc** — every metric name declared in `METRIC_NAMES`
+//!    (`crates/obs/src/metrics.rs`) must appear in the `METRICS.md`
+//!    contract, so the observability surface cannot drift undocumented.
 //!
 //! Exit status is non-zero when any executed step fails; skipped steps
 //! never fail the run.
@@ -21,7 +24,8 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use xtask::{
-    extract_relative_links, scan_forbid_unsafe, scan_no_panics, scan_occupancy_arithmetic, Finding,
+    extract_metric_names, extract_relative_links, scan_forbid_unsafe, scan_no_panics,
+    scan_occupancy_arithmetic, Finding,
 };
 
 /// Clippy lints denied on top of the default `warn` set. Pinned so a
@@ -189,6 +193,41 @@ fn step_doc_links(root: &Path) -> StepResult {
     }
 }
 
+/// Cross-checks the metrics contract: every name in `METRIC_NAMES`
+/// (crates/obs/src/metrics.rs) must be documented in `METRICS.md`.
+fn step_metrics_doc(root: &Path) -> StepResult {
+    let source = match std::fs::read_to_string(root.join("crates/obs/src/metrics.rs")) {
+        Ok(s) => s,
+        Err(e) => return StepResult::Fail(format!("cannot read crates/obs/src/metrics.rs: {e}")),
+    };
+    let names = extract_metric_names(&source);
+    if names.is_empty() {
+        return StepResult::Fail(
+            "no METRIC_NAMES found in crates/obs/src/metrics.rs (constant renamed?)".to_string(),
+        );
+    }
+    let contract = match std::fs::read_to_string(root.join("METRICS.md")) {
+        Ok(s) => s,
+        Err(e) => return StepResult::Fail(format!("cannot read METRICS.md: {e}")),
+    };
+    let missing: Vec<&String> = names
+        .iter()
+        .filter(|n| !contract.contains(n.as_str()))
+        .collect();
+    if missing.is_empty() {
+        println!(
+            "      {} metric name(s) all documented in METRICS.md",
+            names.len()
+        );
+        StepResult::Pass
+    } else {
+        for m in &missing {
+            println!("      metric `{m}` is not documented in METRICS.md");
+        }
+        StepResult::Fail(format!("{} undocumented metric(s)", missing.len()))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("check");
@@ -203,6 +242,7 @@ fn main() -> ExitCode {
         ("clippy", step_clippy),
         ("scan", step_scan),
         ("doc-links", step_doc_links),
+        ("metrics-doc", step_metrics_doc),
     ];
     let mut failed = false;
     for (name, step) in steps {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alloc-67929a32fa6e7bd9.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/debug/deps/ablation_alloc-67929a32fa6e7bd9: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

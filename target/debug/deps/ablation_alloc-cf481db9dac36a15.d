@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alloc-cf481db9dac36a15.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/debug/deps/ablation_alloc-cf481db9dac36a15: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_headers-46549a49b02cf694.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/debug/deps/ablation_headers-46549a49b02cf694: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_headers-62a45ea759e730bc.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/debug/deps/ablation_headers-62a45ea759e730bc: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

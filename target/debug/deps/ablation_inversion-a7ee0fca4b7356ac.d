@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inversion-a7ee0fca4b7356ac.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/debug/deps/ablation_inversion-a7ee0fca4b7356ac: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

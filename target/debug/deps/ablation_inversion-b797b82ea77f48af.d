@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inversion-b797b82ea77f48af.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/debug/deps/ablation_inversion-b797b82ea77f48af: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

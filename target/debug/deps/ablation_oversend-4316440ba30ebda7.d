@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversend-4316440ba30ebda7.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/debug/deps/ablation_oversend-4316440ba30ebda7: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

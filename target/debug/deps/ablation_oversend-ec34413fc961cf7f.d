@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversend-ec34413fc961cf7f.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/debug/deps/ablation_oversend-ec34413fc961cf7f: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-5fc053c6ecccfa04.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/debug/deps/churn-5fc053c6ecccfa04: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-b21f45c8e9d31fa9.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/debug/deps/churn-b21f45c8e9d31fa9: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

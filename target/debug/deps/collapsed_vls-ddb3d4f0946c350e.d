@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collapsed_vls-ddb3d4f0946c350e.d: tests/collapsed_vls.rs
+
+/root/repo/target/debug/deps/collapsed_vls-ddb3d4f0946c350e: tests/collapsed_vls.rs
+
+tests/collapsed_vls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_churn-310438d09472a57e.d: tests/dynamic_churn.rs
+
+/root/repo/target/debug/deps/dynamic_churn-310438d09472a57e: tests/dynamic_churn.rs
+
+tests/dynamic_churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-943ab0e8f50320f0.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-943ab0e8f50320f0.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

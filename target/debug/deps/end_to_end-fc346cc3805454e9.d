@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fc346cc3805454e9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fc346cc3805454e9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

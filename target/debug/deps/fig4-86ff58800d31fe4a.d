@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-86ff58800d31fe4a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-86ff58800d31fe4a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

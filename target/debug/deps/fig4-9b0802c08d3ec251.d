@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9b0802c08d3ec251.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9b0802c08d3ec251: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

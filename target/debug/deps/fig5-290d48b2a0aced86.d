@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-290d48b2a0aced86.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-290d48b2a0aced86: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

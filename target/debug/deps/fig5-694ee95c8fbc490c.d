@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-694ee95c8fbc490c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-694ee95c8fbc490c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

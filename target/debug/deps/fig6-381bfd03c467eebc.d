@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-381bfd03c467eebc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-381bfd03c467eebc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-7fb06c99d52b4e13.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-7fb06c99d52b4e13: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostile_background-61d8fc9a49f8c263.d: tests/hostile_background.rs
+
+/root/repo/target/debug/deps/hostile_background-61d8fc9a49f8c263: tests/hostile_background.rs
+
+tests/hostile_background.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostile_background-71c9883d7871637e.d: tests/hostile_background.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostile_background-71c9883d7871637e.rmeta: tests/hostile_background.rs Cargo.toml
+
+tests/hostile_background.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

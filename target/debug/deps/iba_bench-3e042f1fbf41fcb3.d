@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/iba_bench-3e042f1fbf41fcb3.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/iba_bench-3e042f1fbf41fcb3: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iba_bench-77917909f7ef7057.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-77917909f7ef7057.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-77917909f7ef7057.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iba_cli-4c5f6d35f6f87a7c.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/iba_cli-4c5f6d35f6f87a7c: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/iba_core-961936f32910c8dc.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/bitrev.rs crates/core/src/defrag.rs crates/core/src/distance.rs crates/core/src/entry.rs crates/core/src/eset.rs crates/core/src/invariants.rs crates/core/src/model.rs crates/core/src/rng.rs crates/core/src/sequence.rs crates/core/src/sl.rs crates/core/src/table.rs crates/core/src/vlarb.rs crates/core/src/weight.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_core-961936f32910c8dc.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/bitrev.rs crates/core/src/defrag.rs crates/core/src/distance.rs crates/core/src/entry.rs crates/core/src/eset.rs crates/core/src/invariants.rs crates/core/src/model.rs crates/core/src/rng.rs crates/core/src/sequence.rs crates/core/src/sl.rs crates/core/src/table.rs crates/core/src/vlarb.rs crates/core/src/weight.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/bitrev.rs:
+crates/core/src/defrag.rs:
+crates/core/src/distance.rs:
+crates/core/src/entry.rs:
+crates/core/src/eset.rs:
+crates/core/src/invariants.rs:
+crates/core/src/model.rs:
+crates/core/src/rng.rs:
+crates/core/src/sequence.rs:
+crates/core/src/sl.rs:
+crates/core/src/table.rs:
+crates/core/src/vlarb.rs:
+crates/core/src/weight.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

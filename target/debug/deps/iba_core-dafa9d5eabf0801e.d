@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/iba_core-dafa9d5eabf0801e.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/bitrev.rs crates/core/src/defrag.rs crates/core/src/distance.rs crates/core/src/entry.rs crates/core/src/eset.rs crates/core/src/invariants.rs crates/core/src/model.rs crates/core/src/rng.rs crates/core/src/sequence.rs crates/core/src/sl.rs crates/core/src/table.rs crates/core/src/vlarb.rs crates/core/src/weight.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/iba_core-dafa9d5eabf0801e: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/bitrev.rs crates/core/src/defrag.rs crates/core/src/distance.rs crates/core/src/entry.rs crates/core/src/eset.rs crates/core/src/invariants.rs crates/core/src/model.rs crates/core/src/rng.rs crates/core/src/sequence.rs crates/core/src/sl.rs crates/core/src/table.rs crates/core/src/vlarb.rs crates/core/src/weight.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/bitrev.rs:
+crates/core/src/defrag.rs:
+crates/core/src/distance.rs:
+crates/core/src/entry.rs:
+crates/core/src/eset.rs:
+crates/core/src/invariants.rs:
+crates/core/src/model.rs:
+crates/core/src/rng.rs:
+crates/core/src/sequence.rs:
+crates/core/src/sl.rs:
+crates/core/src/table.rs:
+crates/core/src/vlarb.rs:
+crates/core/src/weight.rs:
+crates/core/src/wire.rs:

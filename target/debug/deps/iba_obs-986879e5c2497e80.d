@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iba_obs-986879e5c2497e80.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libiba_obs-986879e5c2497e80.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libiba_obs-986879e5c2497e80.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iba_obs-ec9695396891bcbe.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_obs-ec9695396891bcbe.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/iba_qos-56abd74248534234.d: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_qos-56abd74248534234.rmeta: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs Cargo.toml
+
+crates/qos/src/lib.rs:
+crates/qos/src/cac.rs:
+crates/qos/src/churn.rs:
+crates/qos/src/connection.rs:
+crates/qos/src/frame.rs:
+crates/qos/src/manager.rs:
+crates/qos/src/measure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iba_qos-a0d23985b5bc3cc4.d: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/debug/deps/libiba_qos-a0d23985b5bc3cc4.rlib: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/debug/deps/libiba_qos-a0d23985b5bc3cc4.rmeta: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/cac.rs:
+crates/qos/src/churn.rs:
+crates/qos/src/connection.rs:
+crates/qos/src/frame.rs:
+crates/qos/src/manager.rs:
+crates/qos/src/measure.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iba_qos-a4ba93abeb43547a.d: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/debug/deps/libiba_qos-a4ba93abeb43547a.rmeta: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/cac.rs:
+crates/qos/src/churn.rs:
+crates/qos/src/connection.rs:
+crates/qos/src/frame.rs:
+crates/qos/src/manager.rs:
+crates/qos/src/measure.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/iba_sim-5acbf1086e3750de.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libiba_sim-5acbf1086e3750de.rlib: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libiba_sim-5acbf1086e3750de.rmeta: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/iba_sim-9583777ef465f9c8.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_sim-9583777ef465f9c8.rmeta: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

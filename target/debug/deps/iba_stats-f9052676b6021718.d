@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iba_stats-f9052676b6021718.d: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+/root/repo/target/debug/deps/libiba_stats-f9052676b6021718.rmeta: crates/stats/src/lib.rs crates/stats/src/delay.rs crates/stats/src/jitter.rs crates/stats/src/report.rs crates/stats/src/series.rs crates/stats/src/util.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/delay.rs:
+crates/stats/src/jitter.rs:
+crates/stats/src/report.rs:
+crates/stats/src/series.rs:
+crates/stats/src/util.rs:

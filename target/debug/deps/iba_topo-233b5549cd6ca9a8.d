@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/iba_topo-233b5549cd6ca9a8.d: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_topo-233b5549cd6ca9a8.rmeta: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/dot.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/irregular.rs:
+crates/topo/src/regular.rs:
+crates/topo/src/updown.rs:
+crates/topo/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iba_topo-be11ae3d8f02861e.d: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+/root/repo/target/debug/deps/iba_topo-be11ae3d8f02861e: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dot.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/irregular.rs:
+crates/topo/src/regular.rs:
+crates/topo/src/updown.rs:
+crates/topo/src/validate.rs:

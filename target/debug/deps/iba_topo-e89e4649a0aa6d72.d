@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iba_topo-e89e4649a0aa6d72.d: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+/root/repo/target/debug/deps/libiba_topo-e89e4649a0aa6d72.rlib: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+/root/repo/target/debug/deps/libiba_topo-e89e4649a0aa6d72.rmeta: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dot.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/irregular.rs:
+crates/topo/src/regular.rs:
+crates/topo/src/updown.rs:
+crates/topo/src/validate.rs:

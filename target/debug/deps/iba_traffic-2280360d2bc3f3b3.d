@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iba_traffic-2280360d2bc3f3b3.d: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/iba_traffic-2280360d2bc3f3b3: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/besteffort.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/hotspot.rs:
+crates/traffic/src/request.rs:
+crates/traffic/src/vbr.rs:
+crates/traffic/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iba_traffic-7d9f4b88b85bb19e.d: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/libiba_traffic-7d9f4b88b85bb19e.rlib: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/libiba_traffic-7d9f4b88b85bb19e.rmeta: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/besteffort.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/hotspot.rs:
+crates/traffic/src/request.rs:
+crates/traffic/src/vbr.rs:
+crates/traffic/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/iba_traffic-af35633ed0e8be29.d: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_traffic-af35633ed0e8be29.rmeta: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/besteffort.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/hotspot.rs:
+crates/traffic/src/request.rs:
+crates/traffic/src/vbr.rs:
+crates/traffic/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iba_verify-690bb748eb59158c.d: crates/verify/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_verify-690bb748eb59158c.rmeta: crates/verify/src/main.rs Cargo.toml
+
+crates/verify/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

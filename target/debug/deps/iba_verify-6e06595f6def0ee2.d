@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iba_verify-6e06595f6def0ee2.d: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_verify-6e06595f6def0ee2.rmeta: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/concrete.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/quotient.rs:
+crates/verify/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iba_verify-c02dfe87243a0b22.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/iba_verify-c02dfe87243a0b22: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

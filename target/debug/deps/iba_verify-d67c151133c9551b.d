@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iba_verify-d67c151133c9551b.d: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_verify-d67c151133c9551b.rlib: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_verify-d67c151133c9551b.rmeta: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/concrete.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/quotient.rs:
+crates/verify/src/sweep.rs:

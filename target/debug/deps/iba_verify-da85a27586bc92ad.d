@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iba_verify-da85a27586bc92ad.d: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+/root/repo/target/debug/deps/iba_verify-da85a27586bc92ad: crates/verify/src/lib.rs crates/verify/src/concrete.rs crates/verify/src/crossval.rs crates/verify/src/quotient.rs crates/verify/src/sweep.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/concrete.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/quotient.rs:
+crates/verify/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iba_verify-e4d7e38df400a0b8.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/iba_verify-e4d7e38df400a0b8: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

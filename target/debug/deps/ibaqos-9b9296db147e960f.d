@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-9b9296db147e960f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-9b9296db147e960f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

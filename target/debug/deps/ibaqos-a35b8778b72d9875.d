@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-a35b8778b72d9875.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-a35b8778b72d9875: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

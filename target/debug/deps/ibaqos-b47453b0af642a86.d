@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibaqos-b47453b0af642a86.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibaqos-b47453b0af642a86.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

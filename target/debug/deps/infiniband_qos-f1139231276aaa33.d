@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/infiniband_qos-f1139231276aaa33.d: src/lib.rs
+
+/root/repo/target/debug/deps/infiniband_qos-f1139231276aaa33: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/infiniband_qos-f142e6b65a2851f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-f142e6b65a2851f1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-f142e6b65a2851f1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-83d8389aa8fd0180.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-83d8389aa8fd0180.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e88939bb580f5cac.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e88939bb580f5cac: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60d006e863d129b3.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60d006e863d129b3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

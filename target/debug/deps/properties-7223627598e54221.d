@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7223627598e54221.d: crates/topo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7223627598e54221.rmeta: crates/topo/tests/properties.rs Cargo.toml
+
+crates/topo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

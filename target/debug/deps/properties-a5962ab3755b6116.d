@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a5962ab3755b6116.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a5962ab3755b6116.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

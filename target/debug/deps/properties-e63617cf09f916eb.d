@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e63617cf09f916eb.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e63617cf09f916eb: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f6b4111c8577d147.d: crates/topo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f6b4111c8577d147: crates/topo/tests/properties.rs
+
+crates/topo/tests/properties.rs:

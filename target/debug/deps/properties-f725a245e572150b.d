@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f725a245e572150b.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f725a245e572150b.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-2b671ac56ddca821.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-2b671ac56ddca821: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

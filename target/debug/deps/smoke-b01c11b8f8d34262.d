@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-b01c11b8f8d34262.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-b01c11b8f8d34262: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_linkrate-b747084edf08d0a8.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/debug/deps/sweep_linkrate-b747084edf08d0a8: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

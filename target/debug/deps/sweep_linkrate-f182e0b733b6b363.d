@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_linkrate-f182e0b733b6b363.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/debug/deps/sweep_linkrate-f182e0b733b6b363: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

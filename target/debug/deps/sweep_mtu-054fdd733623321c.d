@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_mtu-054fdd733623321c.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/debug/deps/sweep_mtu-054fdd733623321c: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

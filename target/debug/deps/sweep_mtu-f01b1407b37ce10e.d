@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_mtu-f01b1407b37ce10e.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/debug/deps/sweep_mtu-f01b1407b37ce10e: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_size-8630144c2ad5d458.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/debug/deps/sweep_size-8630144c2ad5d458: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_size-9f50899d25a1871d.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/debug/deps/sweep_size-9f50899d25a1871d: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

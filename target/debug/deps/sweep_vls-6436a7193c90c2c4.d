@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_vls-6436a7193c90c2c4.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/debug/deps/sweep_vls-6436a7193c90c2c4: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

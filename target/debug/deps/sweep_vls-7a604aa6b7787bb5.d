@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_vls-7a604aa6b7787bb5.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/debug/deps/sweep_vls-7a604aa6b7787bb5: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

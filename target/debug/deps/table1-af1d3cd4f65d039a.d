@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-af1d3cd4f65d039a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-af1d3cd4f65d039a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c2e7e94bb8c0767b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c2e7e94bb8c0767b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

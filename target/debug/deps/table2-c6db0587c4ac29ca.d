@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c6db0587c4ac29ca.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c6db0587c4ac29ca: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

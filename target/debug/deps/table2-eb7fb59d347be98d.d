@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-eb7fb59d347be98d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-eb7fb59d347be98d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

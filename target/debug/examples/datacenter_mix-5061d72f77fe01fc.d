@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_mix-5061d72f77fe01fc.d: examples/datacenter_mix.rs
+
+/root/repo/target/debug/examples/datacenter_mix-5061d72f77fe01fc: examples/datacenter_mix.rs
+
+examples/datacenter_mix.rs:

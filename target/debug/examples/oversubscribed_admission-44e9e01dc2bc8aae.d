@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed_admission-44e9e01dc2bc8aae.d: examples/oversubscribed_admission.rs
+
+/root/repo/target/debug/examples/oversubscribed_admission-44e9e01dc2bc8aae: examples/oversubscribed_admission.rs
+
+examples/oversubscribed_admission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-838d64dde70fcd3b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-838d64dde70fcd3b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

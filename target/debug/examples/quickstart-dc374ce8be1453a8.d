@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dc374ce8be1453a8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dc374ce8be1453a8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_streaming-a7a979ded8e05c2e.d: examples/video_streaming.rs
+
+/root/repo/target/debug/examples/video_streaming-a7a979ded8e05c2e: examples/video_streaming.rs
+
+examples/video_streaming.rs:

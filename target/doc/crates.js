@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["infiniband_qos"];
+//{"start":21,"fragment_lengths":[16]}

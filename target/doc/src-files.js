@@ -1,0 +1,2 @@
+createSrcSidebar('[["infiniband_qos",["",[],["lib.rs"]]]]');
+//{"start":19,"fragment_lengths":[37]}

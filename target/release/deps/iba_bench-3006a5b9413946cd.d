@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iba_bench-3006a5b9413946cd.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libiba_bench-3006a5b9413946cd.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libiba_bench-3006a5b9413946cd.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

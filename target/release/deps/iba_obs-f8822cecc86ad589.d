@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iba_obs-f8822cecc86ad589.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libiba_obs-f8822cecc86ad589.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libiba_obs-f8822cecc86ad589.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:

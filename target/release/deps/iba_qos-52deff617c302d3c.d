@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iba_qos-52deff617c302d3c.d: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/release/deps/libiba_qos-52deff617c302d3c.rlib: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+/root/repo/target/release/deps/libiba_qos-52deff617c302d3c.rmeta: crates/qos/src/lib.rs crates/qos/src/cac.rs crates/qos/src/churn.rs crates/qos/src/connection.rs crates/qos/src/frame.rs crates/qos/src/manager.rs crates/qos/src/measure.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/cac.rs:
+crates/qos/src/churn.rs:
+crates/qos/src/connection.rs:
+crates/qos/src/frame.rs:
+crates/qos/src/manager.rs:
+crates/qos/src/measure.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/iba_sim-fac574bab663db42.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libiba_sim-fac574bab663db42.rlib: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libiba_sim-fac574bab663db42.rmeta: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fabric.rs crates/sim/src/invariants.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/invariants.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iba_topo-9ef6c87f62bbb6d7.d: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+/root/repo/target/release/deps/libiba_topo-9ef6c87f62bbb6d7.rlib: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+/root/repo/target/release/deps/libiba_topo-9ef6c87f62bbb6d7.rmeta: crates/topo/src/lib.rs crates/topo/src/dot.rs crates/topo/src/graph.rs crates/topo/src/irregular.rs crates/topo/src/regular.rs crates/topo/src/updown.rs crates/topo/src/validate.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dot.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/irregular.rs:
+crates/topo/src/regular.rs:
+crates/topo/src/updown.rs:
+crates/topo/src/validate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iba_traffic-969dc952d7ed5d94.d: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libiba_traffic-969dc952d7ed5d94.rlib: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libiba_traffic-969dc952d7ed5d94.rmeta: crates/traffic/src/lib.rs crates/traffic/src/besteffort.rs crates/traffic/src/cbr.rs crates/traffic/src/hotspot.rs crates/traffic/src/request.rs crates/traffic/src/vbr.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/besteffort.rs:
+crates/traffic/src/cbr.rs:
+crates/traffic/src/hotspot.rs:
+crates/traffic/src/request.rs:
+crates/traffic/src/vbr.rs:
+crates/traffic/src/workload.rs:

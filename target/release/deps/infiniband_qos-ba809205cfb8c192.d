@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/infiniband_qos-ba809205cfb8c192.d: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-ba809205cfb8c192.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-ba809205cfb8c192.rmeta: src/lib.rs
+
+src/lib.rs:

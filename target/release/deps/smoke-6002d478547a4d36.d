@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-6002d478547a4d36.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-6002d478547a4d36: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

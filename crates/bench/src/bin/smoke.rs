@@ -16,8 +16,9 @@ use iba_bench::microbench::{black_box, Harness, Summary};
 use iba_core::{
     AllocatorKind, ArbEntry, Distance, ServiceLevel, VirtualLane, VlArbConfig, VlArbEngine,
 };
+use iba_harness::{run_points, SimPoint};
 use iba_obs::{bench_json, vl_shares, BenchRecord, ObsRecorder, VlShare};
-use iba_sim::{Arrival, Fabric, FlowSpec, SimConfig};
+use iba_sim::{Arrival, Event, EventQueue, Fabric, FlowSpec, SimConfig};
 use iba_topo::{updown, HostId, SwitchId, Topology};
 
 /// Converts harness summaries into the JSON report records.
@@ -110,6 +111,68 @@ fn bench_sim(h: &mut Harness) {
         f.run_until(256 * 64, &mut iba_sim::NullObserver);
         f.summarize().delivered_packets
     });
+    // The calendar queue under the fabric's access pattern: monotone
+    // time, a small burst of pushes per pop.
+    h.bench("sim/event_queue_push_pop", || {
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        let mut popped = 0u32;
+        for round in 0..256u32 {
+            q.push(now + 256, Event::Generate { flow: round });
+            q.push(now + 512, Event::Complete { node: 0, port: 0 });
+            if let Some((t, _)) = q.pop() {
+                now = t;
+                popped += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        black_box(popped)
+    });
+}
+
+/// Wall-clock rows for the parallel sweep engine at fixed thread
+/// counts: `harness/sweep_4pt/threads=N` with `ns_per_op` = wall time
+/// per point. Also cross-checks that the merged outcomes are identical
+/// at every thread count (the engine's determinism guarantee).
+fn bench_harness_sweep() -> Vec<BenchRecord> {
+    let points: Vec<SimPoint> = (0..4)
+        .map(|i| SimPoint {
+            switches: 4,
+            seed: 1000 + i,
+            mtu: 256,
+            background: false,
+            steady_packets: 4,
+            reject_limit: 40,
+        })
+        .collect();
+    let mut records = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 4] {
+        let started = std::time::Instant::now();
+        let (outcomes, merged) = run_points(&points, threads);
+        let wall = started.elapsed();
+        let rendered: Vec<String> = outcomes.iter().map(|o| o.render()).collect();
+        match &reference {
+            None => reference = Some(rendered),
+            Some(r) => assert_eq!(*r, rendered, "sweep output diverged at {threads} threads"),
+        }
+        assert_eq!(merged.metrics.harness_runs.get(), points.len() as u64);
+        let per_point = wall.as_nanos() as f64 / points.len() as f64;
+        records.push(BenchRecord {
+            name: format!("harness/sweep_4pt/threads={threads}"),
+            iters: points.len() as u64,
+            ns_per_op: per_point,
+            p50_ns: per_point,
+            p99_ns: per_point,
+        });
+        println!(
+            "harness sweep: 4 points, {threads} thread(s), {:.3}s wall",
+            wall.as_secs_f64()
+        );
+    }
+    records
 }
 
 /// The 2-VL weighted fabric used both as a benchmark body and as the
@@ -169,7 +232,8 @@ fn main() {
 
     let mut h2 = Harness::from_env();
     bench_sim(&mut h2);
-    let sim_results = records(h2.results());
+    let mut sim_results = records(h2.results());
+    sim_results.extend(bench_harness_sweep());
     let shares = measured_shares();
     write_report("BENCH_sim.json", &bench_json("sim", &sim_results, &shares));
 

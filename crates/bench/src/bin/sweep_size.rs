@@ -5,10 +5,14 @@
 //! cases, the results are similar." This sweep verifies the claim:
 //! every size fills to a comparable per-node load and misses no
 //! deadline.
+//!
+//! The four sizes run on the parallel harness (`IBA_THREADS` workers);
+//! rows come back in size order regardless of thread count.
 
 #![forbid(unsafe_code)]
 
 use iba_bench::{build_experiment_sized, env_u64, rate, run_measured};
+use iba_harness::{run_sweep, threads_from_env};
 use iba_stats::Table;
 
 fn main() {
@@ -25,12 +29,14 @@ fn main() {
             "Deadline misses",
         ],
     );
-    for switches in [8usize, 16, 32, 64] {
-        eprintln!("== {switches} switches ==");
+    let sizes = [8usize, 16, 32, 64];
+    let threads = threads_from_env();
+    let started = std::time::Instant::now();
+    let rows: Vec<Vec<String>> = run_sweep(&sizes, threads, |_, &switches| {
         let exp = build_experiment_sized(256, switches, seed);
         let m = run_measured(&exp, false);
         let misses: u64 = m.obs.delay_by_sl.groups().map(|(_, d)| d.missed()).sum();
-        t.row(vec![
+        vec![
             switches.to_string(),
             (switches * 4).to_string(),
             exp.fill.accepted.to_string(),
@@ -38,7 +44,15 @@ fn main() {
             format!("{:.2}", m.stats.host_link_utilization),
             format!("{:.2}", m.stats.switch_link_utilization),
             format!("{misses} / {}", m.obs.qos_packets),
-        ]);
+        ]
+    });
+    eprintln!(
+        "== sweep: {} sizes on {threads} thread(s) in {:.2}s ==",
+        sizes.len(),
+        started.elapsed().as_secs_f64()
+    );
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 }

@@ -4,10 +4,15 @@
 //! (bytes/cycle/node), average utilization (%) and average bandwidth
 //! reservation (Mbps) for host interfaces and switch ports, for small
 //! (256 B) and large (4 KB) packets.
+//!
+//! The two packet sizes are independent runs, so they execute on the
+//! parallel harness (`IBA_THREADS` workers); the merged output is
+//! identical at any thread count.
 
 #![forbid(unsafe_code)]
 
 use iba_bench::{build_experiment, pct, rate, run_measured};
+use iba_harness::{run_sweep, threads_from_env};
 use iba_stats::Table;
 
 fn main() {
@@ -16,12 +21,13 @@ fn main() {
         &["Packet size", "Small", "Large"],
     );
 
-    let mut cols: Vec<Vec<String>> = Vec::new();
-    for mtu in [256u32, 4096] {
-        eprintln!("== building + running MTU {mtu} ==");
+    let threads = threads_from_env();
+    let mtus = [256u32, 4096];
+    let started = std::time::Instant::now();
+    let cols: Vec<(Vec<String>, String)> = run_sweep(&mtus, threads, |_, &mtu| {
         let exp = build_experiment(mtu);
-        eprintln!(
-            "   fill: {} accepted / {} attempted, offered {:.3} bytes/cycle total",
+        let mut log = format!(
+            "== MTU {mtu} ==\n   fill: {} accepted / {} attempted, offered {:.3} bytes/cycle total\n",
             exp.fill.accepted, exp.fill.attempted, exp.fill.offered_load
         );
         let m = run_measured(&exp, true);
@@ -31,26 +37,36 @@ fn main() {
         // CH traffic".
         let injected = m.obs.qos_generated_bytes as f64 / m.window as f64 / m.hosts as f64;
         let delivered = m.obs.qos_bytes as f64 / m.window as f64 / m.hosts as f64;
-        cols.push(vec![
+        let col = vec![
             rate(injected),
             rate(delivered),
             pct(m.stats.host_link_qos_utilization),
             pct(m.stats.switch_link_qos_utilization),
             format!("{host_res:.1}"),
             format!("{switch_res:.1}"),
-        ]);
-        eprintln!(
-            "   steady window {} cycles, {} QoS packets, {} BE packets",
+        ];
+        log.push_str(&format!(
+            "   steady window {} cycles, {} QoS packets, {} BE packets\n",
             m.window, m.obs.qos_packets, m.obs.be_packets
-        );
-        eprintln!(
+        ));
+        log.push_str(&format!(
             "   incl. best-effort: injected {} delivered {} B/cyc/node; total util host {:.2}% switch {:.2}%",
             rate(m.stats.injected_per_node(m.hosts)),
             rate(m.stats.delivered_per_node(m.hosts)),
             m.stats.host_link_utilization,
             m.stats.switch_link_utilization
-        );
+        ));
+        (col, log)
+    });
+    let wall = started.elapsed();
+    for (_, log) in &cols {
+        eprintln!("{log}");
     }
+    eprintln!(
+        "== sweep: {} points on {threads} thread(s) in {:.2}s ==",
+        mtus.len(),
+        wall.as_secs_f64()
+    );
 
     let rows = [
         "Injected traffic (Bytes/Cycle/Node)",
@@ -63,8 +79,8 @@ fn main() {
     for (i, label) in rows.iter().enumerate() {
         t.row(vec![
             label.to_string(),
-            cols[0][i].clone(),
-            cols[1][i].clone(),
+            cols[0].0[i].clone(),
+            cols[1].0[i].clone(),
         ]);
     }
     println!("{}", t.render());

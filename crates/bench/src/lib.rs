@@ -1,8 +1,7 @@
-//! Shared harness for the experiment binaries: builds the paper's
-//! evaluation setup (16-switch irregular fabric, Table 1 SLs, fill to
-//! saturation, transient + steady-state measurement) and exposes knobs
-//! via environment variables so every table/figure binary runs the same
-//! pipeline.
+//! Shared glue for the experiment binaries: the experiment pipeline
+//! itself lives in `iba-harness` (pure functions of explicit
+//! parameters); this crate layers the environment knobs on top so every
+//! table/figure binary runs the same pipeline with the same defaults.
 //!
 //! | Variable | Default | Meaning |
 //! |----------|---------|---------|
@@ -10,18 +9,13 @@
 //! | `IBA_SEED` | 42 | topology + workload seed |
 //! | `IBA_STEADY_PACKETS` | 30 | steady state runs until the slowest connection emitted this many packets |
 //! | `IBA_REJECT_LIMIT` | 120 | consecutive rejections that end the fill phase |
+//! | `IBA_THREADS` | available parallelism | worker threads for sweeps |
 
 #![forbid(unsafe_code)]
 
 pub mod microbench;
 
-use iba_core::SlTable;
-use iba_qos::{FillReport, QosFrame, QosObserver};
-use iba_sim::{FabricStats, SimConfig};
-use iba_topo::irregular::{generate, IrregularConfig};
-use iba_topo::updown;
-use iba_traffic::besteffort::BackgroundConfig;
-use iba_traffic::{RequestGenerator, WorkloadConfig};
+pub use iba_harness::{Experiment, Measured, PointOutcome, SimPoint};
 
 /// Reads a numeric environment knob.
 pub fn env_u64(name: &str, default: u64) -> u64 {
@@ -31,18 +25,8 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// The paper's experiment setup for one packet size.
-pub struct Experiment {
-    /// The filled QoS frame.
-    pub frame: QosFrame,
-    /// Fill-phase outcome.
-    pub fill: FillReport,
-    /// Seed used everywhere.
-    pub seed: u64,
-}
-
 /// Builds the paper's fabric, fills it to saturation and returns the
-/// ready-to-run experiment.
+/// ready-to-run experiment (`IBA_SWITCHES` / `IBA_SEED` sized).
 pub fn build_experiment(mtu: u32) -> Experiment {
     let switches = env_u64("IBA_SWITCHES", 16) as usize;
     let seed = env_u64("IBA_SEED", 42);
@@ -52,56 +36,26 @@ pub fn build_experiment(mtu: u32) -> Experiment {
 /// Same, with explicit size and seed (used by the size sweep).
 pub fn build_experiment_sized(mtu: u32, switches: usize, seed: u64) -> Experiment {
     let reject_limit = env_u64("IBA_REJECT_LIMIT", 120) as u32;
-    let topo = generate(IrregularConfig::with_switches(switches, seed));
-    let routing = updown::compute(&topo);
-    let sl_table = SlTable::paper_table1();
-    let mut frame = QosFrame::new(
-        topo.clone(),
-        routing,
-        sl_table.clone(),
-        SimConfig::paper_default(mtu),
-    );
-    let mut gen = RequestGenerator::new(&topo, &sl_table, &WorkloadConfig::new(mtu, seed ^ 0xF00D));
-    let fill = frame.fill(&mut gen, reject_limit, 100_000);
-    Experiment { frame, fill, seed }
+    iba_harness::build_experiment_sized(mtu, switches, seed, reject_limit)
 }
 
-/// Outcome of a measured run.
-pub struct Measured {
-    /// The observer with all delay/jitter samples from the steady state.
-    pub obs: QosObserver,
-    /// Fabric-level throughput/utilisation statistics.
-    pub stats: FabricStats,
-    /// Number of hosts (for per-node normalisation).
-    pub hosts: usize,
-    /// Steady-state window length (cycles).
-    pub window: u64,
-}
-
-/// Runs the experiment: transient period (twice the slowest IAT), then
-/// a steady state until the slowest connection has emitted
-/// `IBA_STEADY_PACKETS` packets. Background best-effort traffic fills
-/// the remaining 20% when `background` is set.
+/// Runs the experiment: transient period, then a steady state of
+/// `IBA_STEADY_PACKETS` packets on the slowest connection.
 pub fn run_measured(exp: &Experiment, background: bool) -> Measured {
     let steady_packets = env_u64("IBA_STEADY_PACKETS", 30);
-    let bg = background.then(BackgroundConfig::default);
-    let (mut fabric, mut obs) = exp.frame.build_fabric(exp.seed ^ 0xABCD, bg.as_ref());
+    iba_harness::run_measured(exp, steady_packets, background)
+}
 
-    let slowest_iat = exp.frame.steady_state_cycles(1);
-    let transient = slowest_iat * 2;
-    let steady = exp.frame.steady_state_cycles(steady_packets);
-
-    fabric.run_until(transient, &mut obs);
-    obs.reset_samples();
-    fabric.reset_stats();
-    fabric.run_until(transient + steady, &mut obs);
-
-    let stats = fabric.summarize();
-    Measured {
-        obs,
-        stats,
-        hosts: exp.frame.manager.topology().num_hosts(),
-        window: steady,
+/// A [`SimPoint`] with the environment defaults applied: the same run
+/// [`build_experiment`] + [`run_measured`] would execute.
+pub fn env_point(mtu: u32, background: bool) -> SimPoint {
+    SimPoint {
+        switches: env_u64("IBA_SWITCHES", 16) as usize,
+        seed: env_u64("IBA_SEED", 42),
+        mtu,
+        background,
+        steady_packets: env_u64("IBA_STEADY_PACKETS", 30),
+        reject_limit: env_u64("IBA_REJECT_LIMIT", 120) as u32,
     }
 }
 

@@ -13,6 +13,7 @@ COMMANDS:
     topo    generate a fabric and print a summary (or --dot)
     fill    fill the fabric's arbitration tables to saturation
     run     run the full experiment (fill + simulate + report)
+    sweep   run one experiment per seed in parallel (deterministic merge)
     report  instrumented run: per-VL metrics and serviced-bytes shares
     trace   instrumented run: decode the newest ring-buffer events
     demo    step-by-step walkthrough of the table-filling algorithm
@@ -24,6 +25,8 @@ OPTIONS:
     --mtu <M>              packet size in bytes      [default: 256]
     --steady-packets <P>   steady-state length       [default: 10]
     --limit <L>            (trace) events to print, 0 = all  [default: 32]
+    --seeds <N>            (sweep) points: seeds S..S+N-1    [default: 4]
+    --threads <T>          (sweep) worker threads, 0 = IBA_THREADS/auto
     --background           add best-effort background traffic
     --dot                  (topo) emit Graphviz DOT instead of a summary
 ";
@@ -37,6 +40,8 @@ pub enum Command {
     Fill,
     /// Full experiment.
     Run,
+    /// Parallel multi-seed sweep.
+    Sweep,
     /// Instrumented run rendering the metrics registry.
     Report,
     /// Instrumented run decoding the event ring buffer.
@@ -62,6 +67,10 @@ pub struct Args {
     pub steady_packets: u64,
     /// `--limit` (trace): number of newest events to print, 0 = all.
     pub limit: usize,
+    /// `--seeds` (sweep): number of sweep points.
+    pub seeds: u64,
+    /// `--threads` (sweep): worker threads; 0 = `IBA_THREADS`/auto.
+    pub threads: usize,
     /// `--background`.
     pub background: bool,
     /// `--dot`.
@@ -77,6 +86,8 @@ impl Default for Args {
             mtu: 256,
             steady_packets: 10,
             limit: 32,
+            seeds: 4,
+            threads: 0,
             background: false,
             dot: false,
         }
@@ -122,6 +133,7 @@ impl Args {
             "topo" => Command::Topo,
             "fill" => Command::Fill,
             "run" => Command::Run,
+            "sweep" => Command::Sweep,
             "report" => Command::Report,
             "trace" => Command::Trace,
             "demo" => Command::Demo,
@@ -133,7 +145,8 @@ impl Args {
             match flag.as_str() {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
-                "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" => {
+                "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
+                | "--threads" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -146,6 +159,8 @@ impl Args {
                             args.steady_packets = value.parse().map_err(|_| bad())?;
                         }
                         "--limit" => args.limit = value.parse().map_err(|_| bad())?,
+                        "--seeds" => args.seeds = value.parse().map_err(|_| bad())?,
+                        "--threads" => args.threads = value.parse().map_err(|_| bad())?,
                         _ => unreachable!(),
                     }
                 }
@@ -154,6 +169,9 @@ impl Args {
         }
         if args.switches == 0 {
             return Err(ParseError::BadValue("--switches".into(), "0".into()));
+        }
+        if args.seeds == 0 {
+            return Err(ParseError::BadValue("--seeds".into(), "0".into()));
         }
         Ok(args)
     }
@@ -236,6 +254,23 @@ mod tests {
             Args::parse(&argv("trace --limit banana")).unwrap_err(),
             ParseError::BadValue(_, _)
         ));
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let a = Args::parse(&argv("sweep --seeds 8 --threads 2 --switches 4")).unwrap();
+        assert_eq!(a.command, Command::Sweep);
+        assert_eq!(a.seeds, 8);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.switches, 4);
+        assert!(matches!(
+            Args::parse(&argv("sweep --seeds 0")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+        // Defaults: 4 seeds, auto threads.
+        let a = Args::parse(&argv("sweep")).unwrap();
+        assert_eq!(a.seeds, 4);
+        assert_eq!(a.threads, 0);
     }
 
     #[test]

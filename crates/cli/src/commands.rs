@@ -193,6 +193,60 @@ pub fn run_experiment(args: &Args) -> String {
     out
 }
 
+/// `ibaqos sweep` — one experiment per seed (`--seeds` points starting
+/// at `--seed`), sharded over `--threads` workers by the deterministic
+/// parallel engine. The table is identical at any thread count.
+#[must_use]
+pub fn sweep(args: &Args) -> String {
+    let threads = if args.threads > 0 {
+        args.threads
+    } else {
+        iba_harness::threads_from_env()
+    };
+    let points: Vec<iba_harness::SimPoint> = (0..args.seeds)
+        .map(|i| iba_harness::SimPoint {
+            switches: args.switches,
+            seed: args.seed + i,
+            mtu: args.mtu,
+            background: args.background,
+            steady_packets: args.steady_packets,
+            reject_limit: 120,
+        })
+        .collect();
+    let (outcomes, merged) = iba_harness::run_points(&points, threads);
+
+    let mut t = Table::new(
+        "Seed sweep",
+        &[
+            "Seed",
+            "Connections",
+            "Delivered (B/cyc/node)",
+            "QoS util (%)",
+            "Packets",
+            "Digest",
+        ],
+    );
+    for o in &outcomes {
+        t.row(vec![
+            o.point.seed.to_string(),
+            format!("{}/{}", o.accepted, o.attempted),
+            format!("{:.4}", o.delivered_per_node),
+            format!("{:.2}", o.qos_utilization),
+            o.delivered_packets.to_string(),
+            format!("{:016x}", o.delivery_digest),
+        ]);
+    }
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "\n{} run(s) on {} worker thread(s); {} sim events merged",
+        merged.metrics.harness_runs.get(),
+        merged.metrics.harness_threads.get(),
+        merged.metrics.sim_events.get(),
+    );
+    out
+}
+
 /// Fill + simulate with instrumentation: the shared body of `report`
 /// and `trace`. Every admission attempt and every arbitration grant of
 /// the steady-state window lands in `rec`.
@@ -339,6 +393,8 @@ mod tests {
             mtu: 256,
             steady_packets: 2,
             limit: 32,
+            seeds: 2,
+            threads: 0,
             background: false,
             dot: false,
         }
@@ -371,6 +427,32 @@ mod tests {
         let out = run_experiment(&args(crate::Command::Run));
         assert!(out.contains("deadline misses"));
         assert!(out.contains("Per-SL delay"));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let mut a = args(crate::Command::Sweep);
+        a.seeds = 3;
+        a.threads = 1;
+        let serial = sweep(&a);
+        a.threads = 3;
+        let parallel = sweep(&a);
+        // Identical table; the footer differs only in the thread count.
+        let table = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.is_empty())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&serial), table(&parallel));
+        assert!(
+            serial.contains("3 run(s) on 1 worker thread(s)"),
+            "{serial}"
+        );
+        assert!(
+            parallel.contains("3 run(s) on 3 worker thread(s)"),
+            "{parallel}"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ibaqos fill   [--switches N] [--seed S] [--mtu M]     admission to saturation
 //! ibaqos run    [--switches N] [--seed S] [--mtu M]
 //!               [--steady-packets P] [--background]     full experiment
+//! ibaqos sweep  [run options] [--seeds N] [--threads T] parallel seed sweep
 //! ibaqos report [run options]                           per-VL metrics report
 //! ibaqos trace  [run options] [--limit L]               decoded event trace
 //! ibaqos demo                                           table-filling walkthrough
@@ -31,6 +32,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Topo => Ok(commands::topo(&args)),
         Command::Fill => Ok(commands::fill(&args)),
         Command::Run => Ok(commands::run_experiment(&args)),
+        Command::Sweep => Ok(commands::sweep(&args)),
         Command::Report => Ok(commands::report(&args)),
         Command::Trace => Ok(commands::trace(&args)),
         Command::Demo => Ok(commands::demo()),

@@ -1,0 +1,212 @@
+//! The work-sharing core: a chunked work queue over scoped threads
+//! with a run-order merge.
+//!
+//! Workers claim contiguous chunks of the item range from an atomic
+//! cursor, compute each item, and tag every result with its item index.
+//! After the scope joins, results are sorted back into item order —
+//! which makes the merged output a pure function of the item list,
+//! independent of thread count and scheduling.
+
+use iba_obs::ObsRecorder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count: `IBA_THREADS` if set (and nonzero), otherwise
+/// the machine's available parallelism.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    std::env::var("IBA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Chunk size for `n` items over `t` workers: small enough that a slow
+/// item cannot strand a large tail behind one worker, large enough to
+/// amortize the atomic claim.
+fn chunk_size(n: usize, t: usize) -> usize {
+    (n / (t * 4)).max(1)
+}
+
+/// Runs `f` over every item, sharded across `threads` workers, and
+/// returns the results **in item order** — byte-identical regardless of
+/// `threads`.
+///
+/// `f` receives `(item_index, &item)`. With `threads <= 1` (or a single
+/// item) everything runs inline on the calling thread, which is also
+/// the reference order the parallel path is sorted back into.
+pub fn run_sweep<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = chunk_size(items.len(), threads);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            out.push((i, f(i, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_sweep`] with per-worker metric registries: each worker owns an
+/// [`ObsRecorder`] passed to every `f` call it executes, and the worker
+/// recorders are merged (commutatively — see `Metrics::merge`) into one.
+///
+/// The merged recorder additionally counts every run in
+/// `harness_runs_total` and reports the worker count in
+/// `harness_threads`. Trace rings are per-worker and deliberately not
+/// merged; the returned recorder's ring only holds events recorded
+/// after the merge.
+pub fn run_sweep_recorded<T, R, F>(items: &[T], threads: usize, f: F) -> (Vec<R>, ObsRecorder)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut ObsRecorder) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let (results, mut merged) = if threads == 1 {
+        let mut rec = ObsRecorder::new();
+        let results = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                rec.metrics.harness_runs.incr();
+                f(i, t, &mut rec)
+            })
+            .collect();
+        (results, rec)
+    } else {
+        let next = AtomicUsize::new(0);
+        let chunk = chunk_size(items.len(), threads);
+        let per_worker: Vec<(Vec<(usize, R)>, ObsRecorder)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut rec = ObsRecorder::new();
+                        let mut out = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                rec.metrics.harness_runs.incr();
+                                out.push((i, f(i, item, &mut rec)));
+                            }
+                        }
+                        (out, rec)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut merged = ObsRecorder::new();
+        let mut indexed = Vec::new();
+        for (part, rec) in per_worker {
+            indexed.extend(part);
+            merged.merge(&rec);
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        (indexed.into_iter().map(|(_, r)| r).collect(), merged)
+    };
+    merged.metrics.harness_threads.set(threads as i64);
+    (results, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_wins() {
+        // Not a parallel test: mutating the environment is only safe
+        // while no sibling thread reads it.
+        std::env::set_var("IBA_THREADS", "3");
+        assert_eq!(threads_from_env(), 3);
+        std::env::set_var("IBA_THREADS", "0");
+        assert!(threads_from_env() >= 1);
+        std::env::remove_var("IBA_THREADS");
+        assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let reference = run_sweep(&items, 1, |i, x| (i, x * x));
+        for threads in [2, 3, 8, 64] {
+            let got = run_sweep(&items, threads, |i, x| (i, x * x));
+            assert_eq!(got, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_sweep(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(run_sweep(&[7u32], 8, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn recorded_sweep_merges_worker_registries() {
+        let items: Vec<u64> = (1..=100).collect();
+        let run = |threads| {
+            run_sweep_recorded(&items, threads, |_, x, rec| {
+                // Deterministic per-item metric activity.
+                for _ in 0..*x {
+                    rec.metrics.sim_events.incr();
+                }
+                rec.metrics.arb_queue_depth.observe(*x);
+                *x
+            })
+        };
+        let (r1, m1) = run(1);
+        let (r8, m8) = run(8);
+        assert_eq!(r1, r8);
+        assert_eq!(m1.metrics.harness_runs.get(), 100);
+        assert_eq!(m8.metrics.harness_runs.get(), 100);
+        assert_eq!(m1.metrics.sim_events.get(), 5050);
+        assert_eq!(m8.metrics.sim_events.get(), 5050);
+        assert_eq!(
+            m1.metrics.arb_queue_depth.count(),
+            m8.metrics.arb_queue_depth.count()
+        );
+        assert_eq!(m1.metrics.harness_threads.get(), 1);
+        assert_eq!(m8.metrics.harness_threads.get(), 8);
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Every experiment in this repository is a set of *independent*
+//! simulation runs — seed x topology x SL-configuration points. This
+//! crate shards those runs across `std::thread::scope` workers with a
+//! chunked work queue and merges the results **in run order**, so the
+//! merged output is byte-identical no matter how many threads executed
+//! it. Per-worker [`iba_obs::ObsRecorder`] registries are combined with
+//! the order-independent `Metrics::merge`, keeping the observability
+//! contract intact under parallelism.
+//!
+//! | Variable | Default | Meaning |
+//! |----------|---------|---------|
+//! | `IBA_THREADS` | available parallelism | worker threads for sweeps |
+//!
+//! The determinism guarantee, knobs and repro commands are documented
+//! in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod experiment;
+pub mod sweep;
+
+pub use engine::{run_sweep, run_sweep_recorded, threads_from_env};
+pub use experiment::{
+    build_experiment_sized, run_measured, run_measured_recorded, Experiment, Measured,
+};
+pub use sweep::{run_points, PointOutcome, SimPoint};

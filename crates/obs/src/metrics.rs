@@ -23,6 +23,12 @@ impl Counter {
         self.0 = self.0.saturating_add(n);
     }
 
+    /// Folds another counter in (saturating sum; commutative).
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.add(other.0);
+    }
+
     /// Adds one, saturating at `u64::MAX`.
     #[inline]
     pub fn incr(&mut self) {
@@ -52,6 +58,14 @@ impl Gauge {
     #[inline]
     pub fn add(&mut self, delta: i64) {
         self.0 = self.0.saturating_add(delta);
+    }
+
+    /// Folds another gauge in by taking the maximum — the only
+    /// order-independent combination for a level-style reading (used
+    /// when per-worker registries are merged).
+    #[inline]
+    pub fn merge(&mut self, other: Gauge) {
+        self.0 = self.0.max(other.0);
     }
 
     /// Current value.
@@ -167,6 +181,17 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Folds `other` into `self` bucket-by-bucket. Histograms share
+    /// fixed bucket boundaries, so merging is an exact, commutative and
+    /// associative sum — the result is independent of merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
 }
 
 /// Sixteen instances of a metric, indexed by lane (VL or SL).
@@ -198,9 +223,13 @@ pub const METRIC_NAMES: &[&str] = &[
     "arb_weight_exhausted_total",
     "arb_hol_stall_total",
     "arb_queue_depth",
+    "sim_events_total",
+    "sim_event_queue_depth",
     "cac_admit_total",
     "cac_reject_total",
     "cac_release_total",
+    "harness_runs_total",
+    "harness_threads",
 ];
 
 /// A metric dimension attached to a [`Sample`].
@@ -295,6 +324,11 @@ pub struct Metrics {
     pub arb_hol_stall: PerLane<Counter>,
     /// `arb_queue_depth`: queue depth (packets) at grant time.
     pub arb_queue_depth: Histogram,
+    /// `sim_events_total`: events processed by the fabric event loop.
+    pub sim_events: Counter,
+    /// `sim_event_queue_depth`: pending events in the calendar queue,
+    /// observed after each pop.
+    pub sim_event_queue_depth: Histogram,
     /// `cac_admit_total`: admitted connections per SL.
     pub cac_admit: PerLane<Counter>,
     /// `cac_reject_total`: rejected requests, indexed like
@@ -302,6 +336,12 @@ pub struct Metrics {
     pub cac_reject: [Counter; 4],
     /// `cac_release_total`: connection teardowns.
     pub cac_release: Counter,
+    /// `harness_runs_total`: sweep points completed by the experiment
+    /// harness.
+    pub harness_runs: Counter,
+    /// `harness_threads`: worker threads used by the last sweep
+    /// (merged across registries by maximum).
+    pub harness_threads: Gauge,
 }
 
 impl Metrics {
@@ -397,6 +437,13 @@ impl Metrics {
         if self.arb_queue_depth.count() > 0 {
             out.push(Self::hist_sample("arb_queue_depth", &self.arb_queue_depth));
         }
+        counter(&mut out, "sim_events_total", Dim::None, self.sim_events);
+        if self.sim_event_queue_depth.count() > 0 {
+            out.push(Self::hist_sample(
+                "sim_event_queue_depth",
+                &self.sim_event_queue_depth,
+            ));
+        }
         for (i, c) in self.cac_admit.0.iter().enumerate() {
             counter(&mut out, "cac_admit_total", Dim::Sl(i as u8), *c);
         }
@@ -409,7 +456,68 @@ impl Metrics {
             );
         }
         counter(&mut out, "cac_release_total", Dim::None, self.cac_release);
+        counter(&mut out, "harness_runs_total", Dim::None, self.harness_runs);
+        if self.harness_threads.get() > 0 {
+            out.push(Sample {
+                name: "harness_threads",
+                dim: Dim::None,
+                value: SampleValue::Count(self.harness_threads.get().max(0) as u64),
+            });
+        }
         out
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// Counters and histograms merge by (saturating) sum, gauges by
+    /// maximum — every combination is commutative and associative, so
+    /// merging a set of per-worker registries produces the same result
+    /// in **any** order. This is what makes the parallel experiment
+    /// harness deterministic: however runs were sharded over threads,
+    /// the merged registry is identical.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.alloc_probe.merge(other.alloc_probe);
+        self.alloc_probe_rejected.merge(other.alloc_probe_rejected);
+        self.alloc_select_fail.merge(other.alloc_select_fail);
+        self.alloc_probe_depth.merge(&other.alloc_probe_depth);
+        for (a, b) in self.arb_grant.0.iter_mut().zip(other.arb_grant.0.iter()) {
+            a.merge(*b);
+        }
+        for (a, b) in self.arb_bytes.0.iter_mut().zip(other.arb_bytes.0.iter()) {
+            a.merge(*b);
+        }
+        self.arb_high_bytes.merge(other.arb_high_bytes);
+        self.arb_low_bytes.merge(other.arb_low_bytes);
+        self.arb_vl15_bytes.merge(other.arb_vl15_bytes);
+        for (a, b) in self
+            .arb_weight_exhausted
+            .0
+            .iter_mut()
+            .zip(other.arb_weight_exhausted.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .arb_hol_stall
+            .0
+            .iter_mut()
+            .zip(other.arb_hol_stall.0.iter())
+        {
+            a.merge(*b);
+        }
+        self.arb_queue_depth.merge(&other.arb_queue_depth);
+        self.sim_events.merge(other.sim_events);
+        self.sim_event_queue_depth
+            .merge(&other.sim_event_queue_depth);
+        for (a, b) in self.cac_admit.0.iter_mut().zip(other.cac_admit.0.iter()) {
+            a.merge(*b);
+        }
+        for (a, b) in self.cac_reject.iter_mut().zip(other.cac_reject.iter()) {
+            a.merge(*b);
+        }
+        self.cac_release.merge(other.cac_release);
+        self.harness_runs.merge(other.harness_runs);
+        self.harness_threads.merge(other.harness_threads);
     }
 }
 
@@ -508,9 +616,13 @@ mod tests {
         m.arb_weight_exhausted.lane(1).incr();
         m.arb_hol_stall.lane(2).incr();
         m.arb_queue_depth.observe(4);
+        m.sim_events.incr();
+        m.sim_event_queue_depth.observe(8);
         m.cac_admit.lane(3).incr();
         m.cac_reject[0].incr();
         m.cac_release.incr();
+        m.harness_runs.incr();
+        m.harness_threads.set(4);
         let snap = m.snapshot();
         assert!(!snap.is_empty());
         for s in &snap {
@@ -527,5 +639,57 @@ mod tests {
                 "{name} never snapshotted"
             );
         }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 1, 2, 5, 9] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [3u64, 70_000, 4] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.buckets(), whole.buckets());
+    }
+
+    #[test]
+    fn metrics_merge_is_order_independent() {
+        let mut parts: Vec<Metrics> = Vec::new();
+        for i in 0..3u64 {
+            let mut m = Metrics::new();
+            m.alloc_probe.add(i + 1);
+            m.arb_grant.lane(i as u8).add(10 * (i + 1));
+            m.arb_bytes.lane(i as u8).add(256 * (i + 1));
+            m.arb_queue_depth.observe(i);
+            m.sim_events.add(100 * (i + 1));
+            m.sim_event_queue_depth.observe(2 * i);
+            m.harness_runs.incr();
+            m.harness_threads.set(i as i64 + 1);
+            parts.push(m);
+        }
+        let mut fwd = Metrics::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Metrics::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        let render = |m: &Metrics| format!("{:?}", m.snapshot());
+        assert_eq!(render(&fwd), render(&rev));
+        assert_eq!(fwd.alloc_probe.get(), 6);
+        assert_eq!(fwd.sim_events.get(), 600);
+        assert_eq!(fwd.harness_runs.get(), 3);
+        // Gauges merge by max, the only order-independent choice.
+        assert_eq!(fwd.harness_threads.get(), 3);
+        assert_eq!(fwd.arb_queue_depth.count(), 3);
     }
 }

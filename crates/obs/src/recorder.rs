@@ -143,6 +143,11 @@ pub trait Recorder {
     #[inline]
     fn arb_queue_depth(&mut self, _packets: u64) {}
 
+    /// One event popped from the simulator's calendar queue;
+    /// `pending` is the number of events still queued after the pop.
+    #[inline]
+    fn sim_event(&mut self, _pending: u64) {}
+
     /// A connection of service level `sl` was admitted end to end.
     #[inline]
     fn cac_admit(&mut self, _sl: u8) {}
@@ -201,7 +206,29 @@ impl ObsRecorder {
             t.push(self.now, ev);
         }
     }
+
+    /// Folds another recorder's **metrics** into this one (see
+    /// [`Metrics::merge`]: commutative, so merge order never matters).
+    ///
+    /// Trace rings are deliberately *not* merged — a ring is a bounded
+    /// window of one run's newest events, and interleaving two rings
+    /// would fabricate an ordering that never existed. The parallel
+    /// harness therefore merges metrics and leaves per-run traces with
+    /// their runs.
+    pub fn merge(&mut self, other: &ObsRecorder) {
+        self.metrics.merge(&other.metrics);
+        self.now = self.now.max(other.now);
+    }
 }
+
+// The harness moves recorders across worker threads; keep the whole
+// recording stack `Send` by construction (compile-time check).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ObsRecorder>();
+    assert_send::<Metrics>();
+    assert_send::<NullRecorder>();
+};
 
 impl Recorder for ObsRecorder {
     #[inline]
@@ -253,6 +280,12 @@ impl Recorder for ObsRecorder {
     #[inline]
     fn arb_queue_depth(&mut self, packets: u64) {
         self.metrics.arb_queue_depth.observe(packets);
+    }
+
+    #[inline]
+    fn sim_event(&mut self, pending: u64) {
+        self.metrics.sim_events.incr();
+        self.metrics.sim_event_queue_depth.observe(pending);
     }
 
     fn cac_admit(&mut self, sl: u8) {
@@ -322,6 +355,34 @@ mod tests {
             .unwrap_or_default();
         assert!(!records.is_empty());
         assert!(records.iter().all(|(t, _)| *t == 100));
+    }
+
+    #[test]
+    fn sim_event_hook_counts_and_observes_depth() {
+        let mut r = ObsRecorder::new();
+        r.sim_event(3);
+        r.sim_event(0);
+        assert_eq!(r.metrics.sim_events.get(), 2);
+        assert_eq!(r.metrics.sim_event_queue_depth.count(), 2);
+        assert_eq!(r.metrics.sim_event_queue_depth.sum(), 3);
+    }
+
+    #[test]
+    fn recorder_merge_combines_metrics_and_keeps_traces_separate() {
+        let mut a = ObsRecorder::with_tracer(4);
+        a.tick(10);
+        a.arb_grant(1, 100, ServedKind::High);
+        let mut b = ObsRecorder::with_tracer(4);
+        b.tick(20);
+        b.arb_grant(1, 50, ServedKind::Low);
+        b.arb_grant(2, 25, ServedKind::High);
+        a.merge(&b);
+        assert_eq!(a.metrics.arb_bytes.0[1].get(), 150);
+        assert_eq!(a.metrics.arb_bytes.0[2].get(), 25);
+        assert_eq!(a.now(), 20);
+        // The target's own trace ring is untouched by the merge.
+        let records = a.tracer.as_ref().map(RingTracer::records).unwrap();
+        assert_eq!(records.len(), 1);
     }
 
     #[test]

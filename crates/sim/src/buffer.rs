@@ -1,14 +1,109 @@
-//! Virtual-lane buffers and credit accounting.
+//! Virtual-lane buffers, the shared packet pool, and credit accounting.
+//!
+//! Every queued packet in the fabric — switch input VL buffers and host
+//! injection queues alike — lives in one [`PacketPool`]: a slab of
+//! reusable slots threaded by an intrusive free list. Queues
+//! ([`VlBuffer`]) are intrusive singly-linked lists of slot indices, so
+//! pushing and popping a packet is two or three index writes and **no
+//! allocation** once the pool has warmed up to the fabric's peak
+//! population. The previous design kept a `VecDeque<Packet>` per VL per
+//! port (16 lanes x ports x switches of them), each growing its own
+//! heap block; the pool replaces all of that with a single arena that
+//! the steady state never grows.
+//!
+//! Pool placement is driven purely by push/pop order, which is itself
+//! fully determined by the simulation's event order — pooling does not
+//! perturb determinism.
 
 use crate::packet::Packet;
-use std::collections::VecDeque;
+
+/// Sentinel index: "no slot".
+const NIL: u32 = u32::MAX;
+
+struct Slot {
+    packet: Packet,
+    /// Next slot in whichever list (queue or free list) owns this slot.
+    next: u32,
+}
+
+/// A slab of packet slots with an intrusive free list, shared by every
+/// queue of a fabric.
+#[derive(Default)]
+pub struct PacketPool {
+    slots: Vec<Slot>,
+    free_head: u32,
+    in_use: usize,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        PacketPool {
+            slots: Vec::new(),
+            free_head: NIL,
+            in_use: 0,
+        }
+    }
+
+    /// A pool with `capacity` slots pre-allocated (queues still start
+    /// empty).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut pool = PacketPool::new();
+        pool.slots.reserve(capacity);
+        pool
+    }
+
+    /// Packets currently held in queues.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total slots ever allocated (the high-water mark of the live
+    /// packet population).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn alloc(&mut self, packet: Packet) -> u32 {
+        self.in_use += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next;
+            slot.packet = packet;
+            slot.next = NIL;
+            idx
+        } else {
+            assert!(
+                self.slots.len() < NIL as usize,
+                "packet pool exhausted the u32 index space"
+            );
+            self.slots.push(Slot { packet, next: NIL });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.in_use -= 1;
+        let slot = &mut self.slots[idx as usize];
+        slot.next = self.free_head;
+        self.free_head = idx;
+    }
+}
 
 /// One VL's receive buffer at an input port: a FIFO of whole packets
 /// with a byte-capacity bound ("each VL is large enough to store four
-/// whole packets").
+/// whole packets"). The packets themselves live in the fabric's shared
+/// [`PacketPool`]; the buffer is an intrusive list of slot indices.
 #[derive(Clone, Debug)]
 pub struct VlBuffer {
-    queue: VecDeque<Packet>,
+    head: u32,
+    tail: u32,
+    len: usize,
     used: u64,
     capacity: u64,
 }
@@ -18,10 +113,19 @@ impl VlBuffer {
     #[must_use]
     pub fn new(capacity: u64) -> Self {
         VlBuffer {
-            queue: VecDeque::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
             used: 0,
             capacity,
         }
+    }
+
+    /// An empty buffer with no byte bound (host injection queues:
+    /// sources are paced by their arrival process, not back-pressure).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        VlBuffer::new(u64::MAX)
     }
 
     /// Capacity in bytes.
@@ -39,42 +143,65 @@ impl VlBuffer {
     /// Whether `bytes` more would fit.
     #[must_use]
     pub fn fits(&self, bytes: u64) -> bool {
-        self.used + bytes <= self.capacity
+        self.used.saturating_add(bytes) <= self.capacity
     }
 
     /// Packets queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// No packets queued?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
     }
 
     /// The head packet, if any.
     #[must_use]
-    pub fn head(&self) -> Option<&Packet> {
-        self.queue.front()
+    pub fn head<'p>(&self, pool: &'p PacketPool) -> Option<&'p Packet> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(&pool.slots[self.head as usize].packet)
+        }
     }
 
     /// Appends a packet. Panics on overflow — the sender must have held
     /// credits, so an overflow is a flow-control bug.
-    pub fn push(&mut self, p: Packet) {
+    pub fn push(&mut self, pool: &mut PacketPool, p: Packet) {
         assert!(
             self.fits(u64::from(p.bytes)),
             "VL buffer overflow: flow control violated"
         );
         self.used += u64::from(p.bytes);
-        self.queue.push_back(p);
+        self.len += 1;
+        let idx = pool.alloc(p);
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            pool.slots[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
     }
 
-    /// Removes and returns the head packet.
-    pub fn pop(&mut self) -> Option<Packet> {
-        let p = self.queue.pop_front()?;
+    /// Removes and returns the head packet, returning its slot to the
+    /// pool.
+    pub fn pop(&mut self, pool: &mut PacketPool) -> Option<Packet> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        let slot = &pool.slots[idx as usize];
+        let p = slot.packet.clone();
+        self.head = slot.next;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        pool.release(idx);
         self.used -= u64::from(p.bytes);
+        self.len -= 1;
         Some(p)
     }
 }
@@ -141,34 +268,73 @@ mod tests {
 
     #[test]
     fn buffer_fifo_and_accounting() {
+        let mut pool = PacketPool::new();
         let mut b = VlBuffer::new(1024);
         assert!(b.is_empty());
-        b.push(pkt(256));
-        b.push(pkt(512));
+        b.push(&mut pool, pkt(256));
+        b.push(&mut pool, pkt(512));
         assert_eq!(b.len(), 2);
         assert_eq!(b.used(), 768);
         assert!(b.fits(256));
         assert!(!b.fits(257));
-        assert_eq!(b.pop().unwrap().bytes, 256);
+        assert_eq!(b.pop(&mut pool).unwrap().bytes, 256);
         assert_eq!(b.used(), 512);
-        assert_eq!(b.head().unwrap().bytes, 512);
+        assert_eq!(b.head(&pool).unwrap().bytes, 512);
     }
 
     #[test]
     #[should_panic(expected = "flow control violated")]
     fn buffer_overflow_is_a_bug() {
+        let mut pool = PacketPool::new();
         let mut b = VlBuffer::new(100);
-        b.push(pkt(101));
+        b.push(&mut pool, pkt(101));
     }
 
     #[test]
     fn four_packet_rule() {
         // Four whole packets fit, a fifth does not.
+        let mut pool = PacketPool::new();
         let mut b = VlBuffer::new(4 * 256);
         for _ in 0..4 {
-            b.push(pkt(256));
+            b.push(&mut pool, pkt(256));
         }
         assert!(!b.fits(256));
+    }
+
+    #[test]
+    fn pool_recycles_slots_across_queues() {
+        let mut pool = PacketPool::new();
+        let mut a = VlBuffer::new(10_000);
+        let mut b = VlBuffer::new(10_000);
+        for _ in 0..4 {
+            a.push(&mut pool, pkt(100));
+        }
+        assert_eq!(pool.in_use(), 4);
+        assert_eq!(pool.capacity(), 4);
+        while a.pop(&mut pool).is_some() {}
+        assert_eq!(pool.in_use(), 0);
+        // A different queue reuses the same four slots: the arena does
+        // not grow in steady state.
+        for i in 0..4u32 {
+            b.push(&mut pool, pkt(100 + i));
+        }
+        assert_eq!(pool.capacity(), 4);
+        assert_eq!(pool.in_use(), 4);
+        // FIFO order survived recycling (free list is LIFO, queues are
+        // linked in push order regardless).
+        for i in 0..4u32 {
+            assert_eq!(b.pop(&mut pool).unwrap().bytes, 100 + i);
+        }
+    }
+
+    #[test]
+    fn unbounded_buffer_never_overflows() {
+        let mut pool = PacketPool::new();
+        let mut q = VlBuffer::unbounded();
+        for _ in 0..100 {
+            q.push(&mut pool, pkt(u32::MAX / 2));
+        }
+        assert_eq!(q.len(), 100);
     }
 
     #[test]

@@ -1,7 +1,31 @@
-//! Deterministic discrete-event queue.
+//! Deterministic discrete-event queue: a bucketed **calendar queue**.
+//!
+//! The fabric's event loop pops tens of millions of events per run, and
+//! the previous `BinaryHeap` paid an `O(log n)` chain of `(time, seq)`
+//! comparisons (plus sift-up/sift-down moves) on every operation. A
+//! calendar queue exploits the workload's structure instead: event
+//! times advance monotonically and cluster within a few packet
+//! durations of *now*, so hashing events into time-bucketed "days"
+//! makes both `push` and `pop` amortized `O(1)`.
+//!
+//! Layout: `1 << bucket_bits` buckets, each `1 << width_shift` cycles
+//! wide (a power of two, so the bucket of a timestamp is a shift and a
+//! mask — no division). An event at time `t` lives in virtual bucket
+//! `t >> width_shift`, mapped onto the ring by the bucket mask. Each
+//! bucket keeps its entries sorted descending by `(time, seq)` so the
+//! earliest entry is a `Vec::pop` from the end; with the width sized
+//! near the mean event gap, buckets hold only a handful of entries and
+//! the insertion memmove is tiny. The queue resizes (and re-calibrates
+//! the width from the live event span) when the population outgrows the
+//! ring.
+//!
+//! **Determinism is untouched by the layout.** Pop order is the total
+//! order on `(time, seq)` — exactly the old heap's order: earliest time
+//! first, FIFO within a cycle. The bucket geometry only changes *how*
+//! that minimum is found, never *which* entry is the minimum, so
+//! replacing the heap is invisible to every simulation.
 
 use crate::time::Cycles;
-use std::collections::BinaryHeap;
 
 /// An event kind processed by the fabric loop.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -21,33 +45,65 @@ pub enum Event {
     },
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Entry {
     time: Cycles,
     seq: u64,
     event: Event,
 }
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; wrap in Reverse at the call sites is
-        // avoided by inverting here: earliest time first, then FIFO.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl Entry {
+    #[inline]
+    fn key(&self) -> (Cycles, u64) {
+        (self.time, self.seq)
     }
 }
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Initial ring size (`1 << INITIAL_BUCKET_BITS` buckets).
+const INITIAL_BUCKET_BITS: u32 = 8;
+
+/// Initial bucket width: 256 cycles, one small-MTU packet duration —
+/// the natural event gap of the simulated fabrics.
+const INITIAL_WIDTH_SHIFT: u32 = 8;
+
+/// Ring size ceiling (a million buckets is far beyond any fabric here).
+const MAX_BUCKET_BITS: u32 = 20;
+
+/// Grow when the population exceeds `buckets * GROW_FACTOR`.
+const GROW_FACTOR: usize = 2;
 
 /// A time-ordered event queue with FIFO tie-breaking (two events at the
 /// same cycle fire in insertion order), which makes runs reproducible.
-#[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    /// Ring of buckets, each sorted **descending** by `(time, seq)` —
+    /// the bucket's earliest entry is its last element.
+    buckets: Vec<Vec<Entry>>,
+    /// `buckets.len() - 1`; the ring size is a power of two.
+    bucket_mask: u64,
+    /// Bucket width in cycles is `1 << width_shift`.
+    width_shift: u32,
+    /// Virtual bucket (`time >> width_shift`) the search cursor is on;
+    /// never ahead of the earliest pending event.
+    cursor_vb: u64,
+    /// Memoized earliest entry: `(time, ring index)`. Invalidated by
+    /// pops and by pushes that beat it.
+    next_cache: Option<(Cycles, usize)>,
+    len: usize,
     seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            buckets: vec![Vec::new(); 1 << INITIAL_BUCKET_BITS],
+            bucket_mask: (1 << INITIAL_BUCKET_BITS) - 1,
+            width_shift: INITIAL_WIDTH_SHIFT,
+            cursor_vb: 0,
+            next_cache: None,
+            len: 0,
+            seq: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -61,30 +117,137 @@ impl EventQueue {
     pub fn push(&mut self, time: Cycles, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.insert(Entry { time, seq, event });
+        self.len += 1;
+        if self.len > self.buckets.len() * GROW_FACTOR
+            && self.buckets.len() < (1 << MAX_BUCKET_BITS)
+        {
+            self.rebuild(self.buckets.len().trailing_zeros() + 1);
+        }
     }
 
     /// Removes the earliest event.
     pub fn pop(&mut self) -> Option<(Cycles, Event)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let (_, idx) = self.find_next()?;
+        // find_next returned this bucket precisely because its tail is
+        // the queue minimum.
+        let e = self.buckets[idx].pop()?;
+        self.len -= 1;
+        self.next_cache = None;
+        Some((e.time, e.event))
     }
 
     /// Time of the next event without removing it.
     #[must_use]
-    pub fn peek_time(&self) -> Option<Cycles> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        self.find_next().map(|(t, _)| t)
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// No pending events?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn ring_index(&self, vb: u64) -> usize {
+        (vb & self.bucket_mask) as usize
+    }
+
+    fn insert(&mut self, e: Entry) {
+        let vb = e.time >> self.width_shift;
+        // A push that beats the cached minimum becomes the minimum
+        // (equal times keep FIFO order: the cached entry has the lower
+        // seq and wins, so only a strictly earlier time displaces it).
+        match self.next_cache {
+            Some((t, _)) if e.time < t => {
+                self.cursor_vb = vb;
+                self.next_cache = Some((e.time, self.ring_index(vb)));
+            }
+            // No memoized minimum: an insert behind the cursor (legal
+            // for out-of-order pushes) must pull the cursor back, or
+            // the day scan would start past the true minimum. When a
+            // minimum IS cached, `e.time >= t` implies `vb >= cursor`.
+            None if vb < self.cursor_vb => self.cursor_vb = vb,
+            _ => {}
+        }
+        let idx = self.ring_index(vb);
+        let bucket = &mut self.buckets[idx];
+        // Descending order: binary-search the insertion point. New
+        // events usually carry the newest time for their bucket, so
+        // this lands near the front of a short vector.
+        let pos = bucket.partition_point(|x| x.key() > e.key());
+        bucket.insert(pos, e);
+    }
+
+    /// Locates the earliest entry: `(time, ring index)`.
+    ///
+    /// Walks day-by-day from the cursor (amortized O(1): the cursor
+    /// only moves forward with simulated time); if one full lap finds
+    /// nothing — the pending events are all far in the future — falls
+    /// back to a direct scan over the ring and jumps the cursor there.
+    fn find_next(&mut self) -> Option<(Cycles, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some((t, idx)) = self.next_cache {
+            return Some((t, idx));
+        }
+        let n = self.bucket_mask + 1;
+        for step in 0..n {
+            let vb = self.cursor_vb + step;
+            let idx = self.ring_index(vb);
+            if let Some(e) = self.buckets[idx].last() {
+                // Only entries belonging to this very day count; the
+                // bucket's tail may be an event a whole lap ahead.
+                if e.time >> self.width_shift == vb {
+                    self.cursor_vb = vb;
+                    self.next_cache = Some((e.time, idx));
+                    return Some((e.time, idx));
+                }
+            }
+        }
+        // Sparse tail: scan every bucket for the global minimum.
+        let mut best: Option<(Cycles, u64, usize)> = None;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            if let Some(e) = bucket.last() {
+                if best.is_none_or(|(t, s, _)| e.key() < (t, s)) {
+                    best = Some((e.time, e.seq, idx));
+                }
+            }
+        }
+        let (t, _, idx) = best?;
+        self.cursor_vb = t >> self.width_shift;
+        self.next_cache = Some((t, idx));
+        Some((t, idx))
+    }
+
+    /// Re-hashes every entry into a ring of `1 << bits` buckets, with
+    /// the bucket width re-calibrated to the mean gap of the live
+    /// population (clamped to a power of two via its bit length).
+    fn rebuild(&mut self, bits: u32) {
+        let entries: Vec<Entry> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        if let (Some(min_t), Some(max_t)) = (
+            entries.iter().map(|e| e.time).min(),
+            entries.iter().map(|e| e.time).max(),
+        ) {
+            let mean_gap = ((max_t - min_t) / entries.len() as u64).max(1);
+            // floor(log2(mean_gap)), clamped to a sane range.
+            self.width_shift = (63 - mean_gap.leading_zeros()).clamp(2, 24);
+            self.cursor_vb = min_t >> self.width_shift;
+        }
+        self.buckets = vec![Vec::new(); 1 << bits];
+        self.bucket_mask = (1u64 << bits) - 1;
+        self.next_cache = None;
+        for e in entries {
+            self.insert(e);
+        }
     }
 }
 
@@ -129,5 +292,112 @@ mod tests {
         assert!(!q.is_empty());
         q.pop().unwrap();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_survive_ring_wraparound() {
+        let mut q = EventQueue::new();
+        // Default geometry: 256 buckets x 256 cycles = one 65536-cycle
+        // lap. These events straddle several laps.
+        q.push(5, Event::Generate { flow: 0 });
+        q.push(70_000, Event::Generate { flow: 1 });
+        q.push(1_000_000, Event::Generate { flow: 2 });
+        q.push(70_001, Event::Generate { flow: 3 });
+        let order: Vec<(Cycles, Event)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![5, 70_000, 70_001, 1_000_000]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(100, Event::Generate { flow: 0 });
+        assert_eq!(q.pop().unwrap().0, 100);
+        // Pushes at the current time after a pop still surface.
+        q.push(100, Event::Generate { flow: 1 });
+        q.push(356, Event::Generate { flow: 2 });
+        assert_eq!(q.pop().unwrap().0, 100);
+        assert_eq!(q.pop().unwrap().0, 356);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn resize_preserves_order_and_fifo() {
+        // Push far past the grow threshold (512 events for the initial
+        // 256-bucket ring) with clustered and duplicate times.
+        let mut q = EventQueue::new();
+        let mut expect: Vec<(Cycles, u64)> = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..4096u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = state % 10_000;
+            q.push(t, Event::Generate { flow: i as u32 });
+            expect.push((t, i));
+        }
+        expect.sort();
+        let got: Vec<(Cycles, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::Generate { flow } => (t, flow),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got.len(), expect.len());
+        for ((t, seq), (gt, gflow)) in expect.iter().zip(got.iter()) {
+            assert_eq!(t, gt);
+            assert_eq!(*seq as u32, *gflow, "FIFO broken at t={t}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_workload() {
+        // Differential check against a BinaryHeap with the same
+        // (time, seq) order, under a mixed push/pop pattern that mimics
+        // the simulator (times never before the last popped time).
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = EventQueue::new();
+        let mut h: BinaryHeap<Reverse<(Cycles, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut state = 42u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..20_000u32 {
+            let burst = rand() % 4;
+            for _ in 0..burst {
+                let t = now + rand() % 5000;
+                q.push(t, Event::Generate { flow: round });
+                h.push(Reverse((t, seq, round)));
+                seq += 1;
+            }
+            if rand() % 3 != 0 {
+                let got = q.pop();
+                let want = h.pop();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some((t, Event::Generate { flow })), Some(Reverse((wt, _, wf)))) => {
+                        assert_eq!((t, flow), (wt, wf), "diverged at round {round}");
+                        now = t;
+                    }
+                    other => panic!("diverged at round {round}: {other:?}"),
+                }
+            }
+        }
+        while let Some(Reverse((wt, _, wf))) = h.pop() {
+            let (t, e) = q.pop().expect("calendar queue ran dry early");
+            let Event::Generate { flow } = e else {
+                unreachable!()
+            };
+            assert_eq!((t, flow), (wt, wf));
+        }
+        assert!(q.pop().is_none());
     }
 }

@@ -35,6 +35,7 @@ pub mod time;
 pub mod trace;
 
 pub use config::SimConfig;
+pub use event::{Event, EventQueue};
 pub use fabric::{Fabric, FabricStats, NodeId};
 pub use packet::{Arrival, FlowSpec, Packet};
 pub use port::PortStats;

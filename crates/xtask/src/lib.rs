@@ -315,6 +315,86 @@ pub fn extract_relative_links(source: &str) -> Vec<(usize, String)> {
     out
 }
 
+/// Extracts `(name, ns_per_op)` pairs from a `BENCH_*.json` document
+/// written by `iba_obs::bench_json`. A deliberately narrow line
+/// scanner (no JSON parser in the workspace): a bench record is a
+/// `"name": "<...>"` line followed — before the next name — by an
+/// `"ns_per_op": <float>` line. Unparseable lines are skipped, so the
+/// caller should treat an empty result as an error.
+#[must_use]
+pub fn extract_bench_ns(source: &str) -> Vec<(String, f64)> {
+    fn quoted(line: &str, key: &str) -> Option<String> {
+        let rest = line.split_once(key)?.1;
+        let rest = rest.split_once('"')?.1;
+        Some(rest.split_once('"')?.0.to_string())
+    }
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in source.lines() {
+        if line.contains("\"name\":") {
+            pending = quoted(line, "\"name\":");
+        } else if line.contains("\"ns_per_op\":") {
+            if let Some(name) = pending.take() {
+                let value = line
+                    .split_once("\"ns_per_op\":")
+                    .map(|(_, v)| v.trim().trim_end_matches(','))
+                    .and_then(|v| v.parse::<f64>().ok());
+                if let Some(ns) = value {
+                    out.push((name, ns));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark name as it appears in both documents.
+    pub name: String,
+    /// Baseline ns/op.
+    pub base_ns: f64,
+    /// Current ns/op.
+    pub cur_ns: f64,
+    /// `cur / base` (1.0 = unchanged, 2.0 = twice as slow).
+    pub ratio: f64,
+    /// True when `ratio > 1 + tolerance`.
+    pub regressed: bool,
+}
+
+/// Compares two bench documents name-by-name. `tolerance` is the
+/// allowed fractional slowdown (0.25 = fail beyond +25% wall clock).
+/// Benchmarks present on only one side are ignored — adding or
+/// retiring a benchmark is not a regression — but thread-scaling rows
+/// and microbenchmarks that exist in both must stay within tolerance.
+#[must_use]
+pub fn compare_benches(baseline: &str, current: &str, tolerance: f64) -> Vec<BenchDelta> {
+    let base = extract_bench_ns(baseline);
+    let cur = extract_bench_ns(current);
+    let mut out = Vec::new();
+    for (name, base_ns) in &base {
+        let Some((_, cur_ns)) = cur.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        // Sub-nanosecond baselines are noise-dominated; never gate on
+        // them (and avoid dividing by zero).
+        let ratio = if *base_ns > 1.0 {
+            cur_ns / base_ns
+        } else {
+            1.0
+        };
+        out.push(BenchDelta {
+            name: name.clone(),
+            base_ns: *base_ns,
+            cur_ns: *cur_ns,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +524,50 @@ pub const OTHER: &[&str] = &["not_a_metric"];
         let f = scan_no_panics("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 6);
+    }
+
+    fn bench_doc(rows: &[(&str, f64)]) -> String {
+        let mut out = String::from("{\n  \"suite\": \"sim\",\n  \"benches\": [\n");
+        for (name, ns) in rows {
+            out.push_str(&format!(
+                "    {{\n      \"name\": \"{name}\",\n      \"iters\": 8,\n      \
+                 \"ns_per_op\": {ns},\n      \"p50_ns\": {ns},\n      \"p99_ns\": {ns}\n    }},\n"
+            ));
+        }
+        out.push_str("  ],\n  \"per_vl_shares\": []\n}\n");
+        out
+    }
+
+    #[test]
+    fn bench_ns_pairs_are_extracted_in_order() {
+        let doc = bench_doc(&[("sim/hot", 120.5), ("harness/sweep", 9000.0)]);
+        assert_eq!(
+            extract_bench_ns(&doc),
+            vec![
+                ("sim/hot".to_string(), 120.5),
+                ("harness/sweep".to_string(), 9000.0)
+            ]
+        );
+        assert!(extract_bench_ns("{}").is_empty());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base = bench_doc(&[("a", 100.0), ("b", 100.0), ("gone", 50.0)]);
+        let cur = bench_doc(&[("a", 124.0), ("b", 126.0), ("new", 1.0)]);
+        let deltas = compare_benches(&base, &cur, 0.25);
+        // "gone"/"new" are unpaired and ignored; only b crosses +25%.
+        assert_eq!(deltas.len(), 2);
+        assert!(!deltas[0].regressed, "a is within tolerance: {deltas:?}");
+        assert!(deltas[1].regressed, "b is past tolerance: {deltas:?}");
+    }
+
+    #[test]
+    fn sub_nanosecond_baselines_never_gate() {
+        let base = bench_doc(&[("tiny", 0.4)]);
+        let cur = bench_doc(&[("tiny", 400.0)]);
+        let deltas = compare_benches(&base, &cur, 0.25);
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].regressed);
     }
 }

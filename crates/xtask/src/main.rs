@@ -18,14 +18,20 @@
 //!
 //! Exit status is non-zero when any executed step fails; skipped steps
 //! never fail the run.
+//!
+//! A second subcommand, `cargo xtask bench-compare <baseline.json>
+//! <current.json> [tolerance]`, diffs two `BENCH_*.json` documents and
+//! fails on any shared benchmark that regressed by more than
+//! `tolerance` (default 0.25 = +25% wall clock) — the CI gate for the
+//! event-queue/packet-pool hot path.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use xtask::{
-    extract_metric_names, extract_relative_links, scan_forbid_unsafe, scan_no_panics,
-    scan_occupancy_arithmetic, Finding,
+    compare_benches, extract_metric_names, extract_relative_links, scan_forbid_unsafe,
+    scan_no_panics, scan_occupancy_arithmetic, Finding,
 };
 
 /// Clippy lints denied on top of the default `warn` set. Pinned so a
@@ -228,11 +234,75 @@ fn step_metrics_doc(root: &Path) -> StepResult {
     }
 }
 
+/// `cargo xtask bench-compare <baseline.json> <current.json> [tolerance]`
+/// — diffs two `BENCH_*.json` documents and fails when any benchmark
+/// present in both regressed by more than `tolerance` (default 0.25,
+/// i.e. +25% wall clock).
+fn bench_compare(args: &[String]) -> ExitCode {
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: cargo xtask bench-compare <baseline.json> <current.json> [tolerance]");
+        return ExitCode::from(2);
+    };
+    let tolerance = match args.get(2).map(|t| t.parse::<f64>()) {
+        None => 0.25,
+        Some(Ok(t)) if t >= 0.0 => t,
+        Some(_) => {
+            eprintln!("bench-compare: tolerance must be a non-negative float");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |p: &String| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench-compare: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(base), Some(cur)) = (read(base_path), read(cur_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let deltas = compare_benches(&base, &cur, tolerance);
+    if deltas.is_empty() {
+        eprintln!("bench-compare: no benchmark appears in both documents");
+        return ExitCode::FAILURE;
+    }
+    let mut regressed = 0usize;
+    for d in &deltas {
+        let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<40} {:>12.1} -> {:>12.1} ns/op  ({:+6.1}%)  {verdict}",
+            d.name,
+            d.base_ns,
+            d.cur_ns,
+            (d.ratio - 1.0) * 100.0
+        );
+        regressed += usize::from(d.regressed);
+    }
+    if regressed > 0 {
+        println!(
+            "bench-compare: FAIL ({regressed} of {} benchmark(s) regressed beyond +{:.0}%)",
+            deltas.len(),
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-compare: PASS ({} benchmark(s) within +{:.0}%)",
+            deltas.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("check");
+    if cmd == "bench-compare" {
+        return bench_compare(&args[1..]);
+    }
     if cmd != "check" {
-        eprintln!("usage: cargo xtask check");
+        eprintln!("usage: cargo xtask check | cargo xtask bench-compare <base> <cur> [tol]");
         return ExitCode::from(2);
     }
     let root = repo_root();

@@ -15,7 +15,9 @@
 //! * [`sim`] (`iba-sim`) — the discrete-event fabric simulator;
 //! * [`traffic`] (`iba-traffic`) — CBR/VBR sources and workloads;
 //! * [`qos`] (`iba-qos`) — admission control and the global QoS frame;
-//! * [`stats`] (`iba-stats`) — delay/jitter/utilisation measurement.
+//! * [`stats`] (`iba-stats`) — delay/jitter/utilisation measurement;
+//! * [`harness`] (`iba-harness`) — the deterministic parallel
+//!   experiment engine behind the sweeps and bench binaries.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub use iba_core as core;
+pub use iba_harness as harness;
 pub use iba_qos as qos;
 pub use iba_sim as sim;
 pub use iba_stats as stats;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_alloc-2da14e1f28a78f79.d: crates/bench/src/bin/ablation_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_alloc-2da14e1f28a78f79.rmeta: crates/bench/src/bin/ablation_alloc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alloc-ae81365ca679f524.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/debug/deps/ablation_alloc-ae81365ca679f524: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_headers-8d0afdf1dc8e27e0.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/debug/deps/ablation_headers-8d0afdf1dc8e27e0: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

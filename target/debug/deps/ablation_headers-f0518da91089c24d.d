@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_headers-f0518da91089c24d.d: crates/bench/src/bin/ablation_headers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_headers-f0518da91089c24d.rmeta: crates/bench/src/bin/ablation_headers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_headers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

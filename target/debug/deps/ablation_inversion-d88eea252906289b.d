@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_inversion-d88eea252906289b.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/debug/deps/ablation_inversion-d88eea252906289b: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversend-aad7d14348ccbfda.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/debug/deps/ablation_oversend-aad7d14348ccbfda: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc-0fdc015f72970787.d: crates/bench/benches/alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc-0fdc015f72970787.rmeta: crates/bench/benches/alloc.rs Cargo.toml
+
+crates/bench/benches/alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/churn-79b1245ab8e50f55.d: crates/bench/src/bin/churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchurn-79b1245ab8e50f55.rmeta: crates/bench/src/bin/churn.rs Cargo.toml
+
+crates/bench/src/bin/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-8f9ef5eda3c3d072.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/debug/deps/churn-8f9ef5eda3c3d072: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

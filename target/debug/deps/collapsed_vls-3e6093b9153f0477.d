@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collapsed_vls-3e6093b9153f0477.d: tests/collapsed_vls.rs
+
+/root/repo/target/debug/deps/collapsed_vls-3e6093b9153f0477: tests/collapsed_vls.rs
+
+tests/collapsed_vls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collapsed_vls-758dce4ff2964230.d: tests/collapsed_vls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollapsed_vls-758dce4ff2964230.rmeta: tests/collapsed_vls.rs Cargo.toml
+
+tests/collapsed_vls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

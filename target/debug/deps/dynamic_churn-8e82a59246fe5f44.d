@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_churn-8e82a59246fe5f44.d: tests/dynamic_churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_churn-8e82a59246fe5f44.rmeta: tests/dynamic_churn.rs Cargo.toml
+
+tests/dynamic_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

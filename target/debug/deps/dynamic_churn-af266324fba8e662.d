@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_churn-af266324fba8e662.d: tests/dynamic_churn.rs
+
+/root/repo/target/debug/deps/dynamic_churn-af266324fba8e662: tests/dynamic_churn.rs
+
+tests/dynamic_churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-1eaa644246434e70.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-1eaa644246434e70.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

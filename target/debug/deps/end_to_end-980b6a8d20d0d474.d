@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-980b6a8d20d0d474.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-980b6a8d20d0d474: tests/end_to_end.rs
+
+tests/end_to_end.rs:

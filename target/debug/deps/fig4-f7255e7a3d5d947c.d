@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f7255e7a3d5d947c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-f7255e7a3d5d947c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f99070f775df697b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f99070f775df697b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-1bbaf8072aabdd51.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-1bbaf8072aabdd51.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

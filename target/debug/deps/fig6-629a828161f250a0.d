@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-629a828161f250a0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-629a828161f250a0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_cli-5836dcda4af8b4bc.d: tests/golden_cli.rs
+
+/root/repo/target/debug/deps/golden_cli-5836dcda4af8b4bc: tests/golden_cli.rs
+
+tests/golden_cli.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

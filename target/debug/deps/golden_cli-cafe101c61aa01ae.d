@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_cli-cafe101c61aa01ae.d: tests/golden_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_cli-cafe101c61aa01ae.rmeta: tests/golden_cli.rs Cargo.toml
+
+tests/golden_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

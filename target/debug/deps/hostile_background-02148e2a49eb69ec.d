@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hostile_background-02148e2a49eb69ec.d: tests/hostile_background.rs
+
+/root/repo/target/debug/deps/hostile_background-02148e2a49eb69ec: tests/hostile_background.rs
+
+tests/hostile_background.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hostile_background-e8904bfe7fc0bd4e.d: tests/hostile_background.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostile_background-e8904bfe7fc0bd4e.rmeta: tests/hostile_background.rs Cargo.toml
+
+tests/hostile_background.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iba_bench-b76d8be9cb1c242b.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-b76d8be9cb1c242b.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libiba_bench-b76d8be9cb1c242b.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

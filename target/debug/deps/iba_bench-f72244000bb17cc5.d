@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iba_bench-f72244000bb17cc5.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_bench-f72244000bb17cc5.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

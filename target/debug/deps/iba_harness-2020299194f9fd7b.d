@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iba_harness-2020299194f9fd7b.d: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiba_harness-2020299194f9fd7b.rmeta: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/engine.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iba_harness-2e75b47544785cab.d: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_harness-2e75b47544785cab.rlib: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+/root/repo/target/debug/deps/libiba_harness-2e75b47544785cab.rmeta: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/engine.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/sweep.rs:

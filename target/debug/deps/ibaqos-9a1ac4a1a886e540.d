@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibaqos-9a1ac4a1a886e540.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibaqos-9a1ac4a1a886e540.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

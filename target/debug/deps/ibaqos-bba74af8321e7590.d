@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-bba74af8321e7590.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-bba74af8321e7590: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibaqos-e5a43cf40a44942b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibaqos-e5a43cf40a44942b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

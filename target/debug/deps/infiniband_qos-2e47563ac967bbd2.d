@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/infiniband_qos-2e47563ac967bbd2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-2e47563ac967bbd2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinfiniband_qos-2e47563ac967bbd2.rmeta: src/lib.rs
+
+src/lib.rs:

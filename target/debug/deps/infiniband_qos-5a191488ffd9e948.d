@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/infiniband_qos-5a191488ffd9e948.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinfiniband_qos-5a191488ffd9e948.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

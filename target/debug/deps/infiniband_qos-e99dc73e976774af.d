@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/infiniband_qos-e99dc73e976774af.d: src/lib.rs
+
+/root/repo/target/debug/deps/infiniband_qos-e99dc73e976774af: src/lib.rs
+
+src/lib.rs:

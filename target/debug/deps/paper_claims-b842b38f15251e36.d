@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b842b38f15251e36.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b842b38f15251e36: tests/paper_claims.rs
+
+tests/paper_claims.rs:

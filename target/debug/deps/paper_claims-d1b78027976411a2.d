@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-d1b78027976411a2.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-d1b78027976411a2.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-063228f9e20febf3.d: tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-063228f9e20febf3.rmeta: tests/parallel_determinism.rs Cargo.toml
+
+tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

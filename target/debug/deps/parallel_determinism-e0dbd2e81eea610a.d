@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-e0dbd2e81eea610a.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-e0dbd2e81eea610a: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

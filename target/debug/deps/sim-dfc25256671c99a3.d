@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-dfc25256671c99a3.d: crates/bench/benches/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-dfc25256671c99a3.rmeta: crates/bench/benches/sim.rs Cargo.toml
+
+crates/bench/benches/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

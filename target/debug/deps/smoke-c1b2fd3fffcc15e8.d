@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-c1b2fd3fffcc15e8.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-c1b2fd3fffcc15e8: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-c4827be9bf41002d.d: crates/bench/src/bin/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-c4827be9bf41002d.rmeta: crates/bench/src/bin/smoke.rs Cargo.toml
+
+crates/bench/src/bin/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

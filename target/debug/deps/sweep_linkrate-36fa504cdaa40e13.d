@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_linkrate-36fa504cdaa40e13.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/debug/deps/sweep_linkrate-36fa504cdaa40e13: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_mtu-e5b557ad4256af4e.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/debug/deps/sweep_mtu-e5b557ad4256af4e: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

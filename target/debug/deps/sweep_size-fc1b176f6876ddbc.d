@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_size-fc1b176f6876ddbc.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/debug/deps/sweep_size-fc1b176f6876ddbc: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_vls-279b8c22d5cb9d2c.d: crates/bench/src/bin/sweep_vls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_vls-279b8c22d5cb9d2c.rmeta: crates/bench/src/bin/sweep_vls.rs Cargo.toml
+
+crates/bench/src/bin/sweep_vls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

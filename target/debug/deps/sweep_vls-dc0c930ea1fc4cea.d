@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_vls-dc0c930ea1fc4cea.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/debug/deps/sweep_vls-dc0c930ea1fc4cea: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

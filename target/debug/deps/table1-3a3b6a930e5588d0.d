@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3a3b6a930e5588d0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3a3b6a930e5588d0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

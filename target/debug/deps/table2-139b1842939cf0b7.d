@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-139b1842939cf0b7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-139b1842939cf0b7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

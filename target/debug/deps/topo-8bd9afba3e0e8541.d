@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-8bd9afba3e0e8541.d: crates/bench/benches/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-8bd9afba3e0e8541.rmeta: crates/bench/benches/topo.rs Cargo.toml
+
+crates/bench/benches/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

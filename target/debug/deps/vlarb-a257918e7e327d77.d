@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vlarb-a257918e7e327d77.d: crates/bench/benches/vlarb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvlarb-a257918e7e327d77.rmeta: crates/bench/benches/vlarb.rs Cargo.toml
+
+crates/bench/benches/vlarb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

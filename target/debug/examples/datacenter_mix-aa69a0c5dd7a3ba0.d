@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter_mix-aa69a0c5dd7a3ba0.d: examples/datacenter_mix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter_mix-aa69a0c5dd7a3ba0.rmeta: examples/datacenter_mix.rs Cargo.toml
+
+examples/datacenter_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_mix-ea65e73e9b4caada.d: examples/datacenter_mix.rs
+
+/root/repo/target/debug/examples/datacenter_mix-ea65e73e9b4caada: examples/datacenter_mix.rs
+
+examples/datacenter_mix.rs:

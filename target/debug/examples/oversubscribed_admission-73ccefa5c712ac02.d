@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed_admission-73ccefa5c712ac02.d: examples/oversubscribed_admission.rs
+
+/root/repo/target/debug/examples/oversubscribed_admission-73ccefa5c712ac02: examples/oversubscribed_admission.rs
+
+examples/oversubscribed_admission.rs:

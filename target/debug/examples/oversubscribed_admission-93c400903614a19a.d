@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oversubscribed_admission-93c400903614a19a.d: examples/oversubscribed_admission.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboversubscribed_admission-93c400903614a19a.rmeta: examples/oversubscribed_admission.rs Cargo.toml
+
+examples/oversubscribed_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

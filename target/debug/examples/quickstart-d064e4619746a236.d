@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d064e4619746a236.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d064e4619746a236: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/video_streaming-0a114519e9517eba.d: examples/video_streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideo_streaming-0a114519e9517eba.rmeta: examples/video_streaming.rs Cargo.toml
+
+examples/video_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-Dwarnings__CLIPPY_HACKERY__-Dclippy::dbg_macro__CLIPPY_HACKERY__-Dclippy::todo__CLIPPY_HACKERY__-Dclippy::unimplemented__CLIPPY_HACKERY__-Dclippy::mem_forget__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_streaming-6c9333aa6e5f1b3e.d: examples/video_streaming.rs
+
+/root/repo/target/debug/examples/video_streaming-6c9333aa6e5f1b3e: examples/video_streaming.rs
+
+examples/video_streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alloc-cb05866411ea6c94.d: crates/bench/src/bin/ablation_alloc.rs
+
+/root/repo/target/release/deps/ablation_alloc-cb05866411ea6c94: crates/bench/src/bin/ablation_alloc.rs
+
+crates/bench/src/bin/ablation_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_headers-9ceb718fbdbd9780.d: crates/bench/src/bin/ablation_headers.rs
+
+/root/repo/target/release/deps/ablation_headers-9ceb718fbdbd9780: crates/bench/src/bin/ablation_headers.rs
+
+crates/bench/src/bin/ablation_headers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_inversion-6eed6fe836085477.d: crates/bench/src/bin/ablation_inversion.rs
+
+/root/repo/target/release/deps/ablation_inversion-6eed6fe836085477: crates/bench/src/bin/ablation_inversion.rs
+
+crates/bench/src/bin/ablation_inversion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_oversend-d50483a2bf5ad817.d: crates/bench/src/bin/ablation_oversend.rs
+
+/root/repo/target/release/deps/ablation_oversend-d50483a2bf5ad817: crates/bench/src/bin/ablation_oversend.rs
+
+crates/bench/src/bin/ablation_oversend.rs:

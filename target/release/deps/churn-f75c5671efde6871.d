@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/churn-f75c5671efde6871.d: crates/bench/src/bin/churn.rs
+
+/root/repo/target/release/deps/churn-f75c5671efde6871: crates/bench/src/bin/churn.rs
+
+crates/bench/src/bin/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collapsed_vls-93cf2d89eddbb88d.d: tests/collapsed_vls.rs
+
+/root/repo/target/release/deps/collapsed_vls-93cf2d89eddbb88d: tests/collapsed_vls.rs
+
+tests/collapsed_vls.rs:

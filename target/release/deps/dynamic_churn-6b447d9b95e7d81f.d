@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_churn-6b447d9b95e7d81f.d: tests/dynamic_churn.rs
+
+/root/repo/target/release/deps/dynamic_churn-6b447d9b95e7d81f: tests/dynamic_churn.rs
+
+tests/dynamic_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-8cf1840ea81dcc8b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-8cf1840ea81dcc8b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

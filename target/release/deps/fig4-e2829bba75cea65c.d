@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-e2829bba75cea65c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-e2829bba75cea65c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-1b8d2c26b47bef67.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-1b8d2c26b47bef67: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-38645139f93a7aec.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-38645139f93a7aec: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

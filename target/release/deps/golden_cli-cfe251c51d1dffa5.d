@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_cli-cfe251c51d1dffa5.d: tests/golden_cli.rs
+
+/root/repo/target/release/deps/golden_cli-cfe251c51d1dffa5: tests/golden_cli.rs
+
+tests/golden_cli.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

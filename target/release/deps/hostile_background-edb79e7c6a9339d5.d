@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hostile_background-edb79e7c6a9339d5.d: tests/hostile_background.rs
+
+/root/repo/target/release/deps/hostile_background-edb79e7c6a9339d5: tests/hostile_background.rs
+
+tests/hostile_background.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iba_bench-1b2bd2e3adfbd419.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libiba_bench-1b2bd2e3adfbd419.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libiba_bench-1b2bd2e3adfbd419.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:

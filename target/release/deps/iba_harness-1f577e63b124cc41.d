@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iba_harness-1f577e63b124cc41.d: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+/root/repo/target/release/deps/libiba_harness-1f577e63b124cc41.rlib: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+/root/repo/target/release/deps/libiba_harness-1f577e63b124cc41.rmeta: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/engine.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/sweep.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iba_harness-66a842cb5a1deb22.d: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+/root/repo/target/release/deps/iba_harness-66a842cb5a1deb22: crates/harness/src/lib.rs crates/harness/src/engine.rs crates/harness/src/experiment.rs crates/harness/src/sweep.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/engine.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/sweep.rs:

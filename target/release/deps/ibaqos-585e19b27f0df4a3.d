@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ibaqos-585e19b27f0df4a3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ibaqos-585e19b27f0df4a3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

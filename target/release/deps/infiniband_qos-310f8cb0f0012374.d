@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/infiniband_qos-310f8cb0f0012374.d: src/lib.rs
+
+/root/repo/target/release/deps/infiniband_qos-310f8cb0f0012374: src/lib.rs
+
+src/lib.rs:

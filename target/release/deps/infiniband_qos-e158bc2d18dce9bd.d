@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/infiniband_qos-e158bc2d18dce9bd.d: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-e158bc2d18dce9bd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinfiniband_qos-e158bc2d18dce9bd.rmeta: src/lib.rs
+
+src/lib.rs:

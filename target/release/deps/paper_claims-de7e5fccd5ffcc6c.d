@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-de7e5fccd5ffcc6c.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-de7e5fccd5ffcc6c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

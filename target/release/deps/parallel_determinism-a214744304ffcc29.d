@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-a214744304ffcc29.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-a214744304ffcc29: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-8b11007047d21fd8.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-8b11007047d21fd8: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

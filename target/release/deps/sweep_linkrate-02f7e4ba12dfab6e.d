@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_linkrate-02f7e4ba12dfab6e.d: crates/bench/src/bin/sweep_linkrate.rs
+
+/root/repo/target/release/deps/sweep_linkrate-02f7e4ba12dfab6e: crates/bench/src/bin/sweep_linkrate.rs
+
+crates/bench/src/bin/sweep_linkrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_mtu-8ca197325d00a115.d: crates/bench/src/bin/sweep_mtu.rs
+
+/root/repo/target/release/deps/sweep_mtu-8ca197325d00a115: crates/bench/src/bin/sweep_mtu.rs
+
+crates/bench/src/bin/sweep_mtu.rs:

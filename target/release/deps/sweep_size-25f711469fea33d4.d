@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_size-25f711469fea33d4.d: crates/bench/src/bin/sweep_size.rs
+
+/root/repo/target/release/deps/sweep_size-25f711469fea33d4: crates/bench/src/bin/sweep_size.rs
+
+crates/bench/src/bin/sweep_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_vls-a322b930f06c4c0d.d: crates/bench/src/bin/sweep_vls.rs
+
+/root/repo/target/release/deps/sweep_vls-a322b930f06c4c0d: crates/bench/src/bin/sweep_vls.rs
+
+crates/bench/src/bin/sweep_vls.rs:

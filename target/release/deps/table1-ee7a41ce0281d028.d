@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ee7a41ce0281d028.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ee7a41ce0281d028: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

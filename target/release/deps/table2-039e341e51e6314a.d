@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-039e341e51e6314a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-039e341e51e6314a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/datacenter_mix-849a2cf0e86856bf.d: examples/datacenter_mix.rs
+
+/root/repo/target/release/examples/datacenter_mix-849a2cf0e86856bf: examples/datacenter_mix.rs
+
+examples/datacenter_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/oversubscribed_admission-0ac87852c8e403de.d: examples/oversubscribed_admission.rs
+
+/root/repo/target/release/examples/oversubscribed_admission-0ac87852c8e403de: examples/oversubscribed_admission.rs
+
+examples/oversubscribed_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a07af17968189b9a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a07af17968189b9a: examples/quickstart.rs
+
+examples/quickstart.rs:

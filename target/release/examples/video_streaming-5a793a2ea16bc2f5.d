@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/video_streaming-5a793a2ea16bc2f5.d: examples/video_streaming.rs
+
+/root/repo/target/release/examples/video_streaming-5a793a2ea16bc2f5: examples/video_streaming.rs
+
+examples/video_streaming.rs:

@@ -1,0 +1,86 @@
+//! Golden-file tests for the `ibaqos` CLI output.
+//!
+//! `report` and `trace` render the observability contract (`METRICS.md`)
+//! for a fixed small experiment; the expected output is committed under
+//! `tests/golden/`. Any change to metric names, table layout, or — more
+//! importantly — the simulation results themselves shows up here as a
+//! diff, which keeps the deterministic-engine guarantee honest: the
+//! calendar event queue, the packet pool, and the harness refactors must
+//! all reproduce the exact pre-refactor event order.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! cargo run -p iba-cli -- report --switches 4 --seed 3 --steady-packets 2 \
+//!     --mtu 256 > tests/golden/report_s4_seed3.txt
+//! cargo run -p iba-cli -- trace --switches 4 --seed 3 --steady-packets 2 \
+//!     --mtu 256 --limit 12 > tests/golden/trace_s4_seed3_limit12.txt
+//! ```
+
+fn run_cli(argv: &[&str]) -> String {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    iba_cli::run(&argv).expect("golden CLI invocation parses and runs")
+}
+
+/// Diffs `got` against the committed fixture, with a line-numbered
+/// first-mismatch report so a failure is actionable without a local
+/// rerun.
+fn assert_matches_golden(got: &str, fixture: &str) {
+    let path = format!("{}/tests/golden/{}", env!("CARGO_MANIFEST_DIR"), fixture);
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden fixture {path}: {e}"));
+    // The fixtures were captured from the binary, whose `println!`
+    // appends one newline beyond what `iba_cli::run` returns.
+    let (got, want) = (got.trim_end_matches('\n'), want.trim_end_matches('\n'));
+    if got == want {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "first divergence from {fixture} at line {} (regenerate the \
+             fixture only if the output change is intentional)",
+            i + 1
+        );
+    }
+    panic!(
+        "{fixture}: line count differs (got {}, want {})",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+#[test]
+fn report_output_matches_golden_file() {
+    let out = run_cli(&[
+        "report",
+        "--switches",
+        "4",
+        "--seed",
+        "3",
+        "--steady-packets",
+        "2",
+        "--mtu",
+        "256",
+    ]);
+    assert_matches_golden(&out, "report_s4_seed3.txt");
+}
+
+#[test]
+fn trace_output_matches_golden_file() {
+    let out = run_cli(&[
+        "trace",
+        "--switches",
+        "4",
+        "--seed",
+        "3",
+        "--steady-packets",
+        "2",
+        "--mtu",
+        "256",
+        "--limit",
+        "12",
+    ]);
+    assert_matches_golden(&out, "trace_s4_seed3_limit12.txt");
+}

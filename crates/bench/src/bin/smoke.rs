@@ -1,7 +1,7 @@
 //! Micro-benchmark smoke tier: a fast pass over the allocator and
-//! simulator hot paths that emits machine-readable `BENCH_alloc.json`
-//! and `BENCH_sim.json` reports (schema documented in `EXPERIMENTS.md`,
-//! metric semantics in `METRICS.md`).
+//! simulator hot paths that emits machine-readable `BENCH_alloc.json`,
+//! `BENCH_sim.json` and `BENCH_audit.json` reports (schema documented
+//! in `EXPERIMENTS.md`, metric semantics in `METRICS.md`).
 //!
 //! The JSON goes to `IBA_BENCH_OUT` (directory, default: the current
 //! working directory). Intended for CI artifact upload:
@@ -16,7 +16,7 @@ use iba_bench::microbench::{black_box, Harness, Summary};
 use iba_core::{
     AllocatorKind, ArbEntry, Distance, ServiceLevel, VirtualLane, VlArbConfig, VlArbEngine,
 };
-use iba_harness::{run_points, SimPoint};
+use iba_harness::{run_audit, run_points, AuditConfig, SimPoint};
 use iba_obs::{bench_json, vl_shares, BenchRecord, ObsRecorder, VlShare};
 use iba_sim::{Arrival, Event, EventQueue, Fabric, FlowSpec, SimConfig};
 use iba_topo::{updown, HostId, SwitchId, Topology};
@@ -175,6 +175,42 @@ fn bench_harness_sweep() -> Vec<BenchRecord> {
     records
 }
 
+/// Audit tier: wall time of the service-guarantee audit drive per
+/// allocator, plus a cross-check of the paper's claim — bit reversal
+/// must audit clean; the strawmen report their violation counts.
+fn bench_audit() -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for kind in AllocatorKind::ALL {
+        let cfg = AuditConfig::new(kind, 4096, 42);
+        let started = std::time::Instant::now();
+        let out = run_audit(&cfg);
+        let wall = started.elapsed();
+        if kind == AllocatorKind::BitReversal {
+            assert!(
+                out.passed(),
+                "bit-reversal audit failed:\n{}",
+                out.render_report()
+            );
+        }
+        println!(
+            "audit {}: {} violation(s), {} fallback install(s), {:.3}s wall",
+            kind.name(),
+            out.violations(),
+            out.fallback_installs,
+            wall.as_secs_f64()
+        );
+        let per_grant = wall.as_nanos() as f64 / cfg.grants.max(1) as f64;
+        records.push(BenchRecord {
+            name: format!("audit/drive/{}", kind.name()),
+            iters: cfg.grants,
+            ns_per_op: per_grant,
+            p50_ns: per_grant,
+            p99_ns: per_grant,
+        });
+    }
+    records
+}
+
 /// The 2-VL weighted fabric used both as a benchmark body and as the
 /// instrumented run behind `per_vl_shares` (weights 12:4 = 3:1).
 fn shares_fabric() -> Fabric {
@@ -236,6 +272,11 @@ fn main() {
     sim_results.extend(bench_harness_sweep());
     let shares = measured_shares();
     write_report("BENCH_sim.json", &bench_json("sim", &sim_results, &shares));
+
+    write_report(
+        "BENCH_audit.json",
+        &bench_json("audit", &bench_audit(), &[]),
+    );
 
     h.finish();
     h2.finish();

@@ -1,5 +1,6 @@
 //! Dependency-free argument parsing.
 
+use iba_core::AllocatorKind;
 use std::fmt;
 
 /// Usage text.
@@ -16,6 +17,7 @@ COMMANDS:
     sweep   run one experiment per seed in parallel (deterministic merge)
     report  instrumented run: per-VL metrics and serviced-bytes shares
     trace   instrumented run: decode the newest ring-buffer events
+    audit   check the per-SL service guarantee against a live grant stream
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
 
@@ -27,8 +29,13 @@ OPTIONS:
     --limit <L>            (trace) events to print, 0 = all  [default: 32]
     --seeds <N>            (sweep) points: seeds S..S+N-1    [default: 4]
     --threads <T>          (sweep) worker threads, 0 = IBA_THREADS/auto
+    --allocator <A>        (audit) bit-reversal | first-fit | reverse-fit
+    --perfetto <FILE>      (audit/trace/sweep) write a Perfetto/Chrome
+                           trace-event JSON timeline to FILE
     --background           add best-effort background traffic
     --dot                  (topo) emit Graphviz DOT instead of a summary
+
+`audit` exits non-zero when any service-guarantee violation is observed.
 ";
 
 /// Which subcommand to run.
@@ -46,6 +53,8 @@ pub enum Command {
     Report,
     /// Instrumented run decoding the event ring buffer.
     Trace,
+    /// Service-guarantee audit of one saturated port.
+    Audit,
     /// Educational walkthrough.
     Demo,
     /// Print usage.
@@ -71,6 +80,11 @@ pub struct Args {
     pub seeds: u64,
     /// `--threads` (sweep): worker threads; 0 = `IBA_THREADS`/auto.
     pub threads: usize,
+    /// `--allocator` (audit): allocation policy under audit.
+    pub allocator: AllocatorKind,
+    /// `--perfetto` (audit/trace/sweep): write a Perfetto/Chrome
+    /// trace-event JSON file here.
+    pub perfetto: Option<String>,
     /// `--background`.
     pub background: bool,
     /// `--dot`.
@@ -88,6 +102,8 @@ impl Default for Args {
             limit: 32,
             seeds: 4,
             threads: 0,
+            allocator: AllocatorKind::BitReversal,
+            perfetto: None,
             background: false,
             dot: false,
         }
@@ -136,6 +152,7 @@ impl Args {
             "sweep" => Command::Sweep,
             "report" => Command::Report,
             "trace" => Command::Trace,
+            "audit" => Command::Audit,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError::UnknownCommand(other.to_string())),
@@ -146,7 +163,7 @@ impl Args {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
                 "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
-                | "--threads" => {
+                | "--threads" | "--allocator" | "--perfetto" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -161,6 +178,18 @@ impl Args {
                         "--limit" => args.limit = value.parse().map_err(|_| bad())?,
                         "--seeds" => args.seeds = value.parse().map_err(|_| bad())?,
                         "--threads" => args.threads = value.parse().map_err(|_| bad())?,
+                        "--allocator" => {
+                            args.allocator = AllocatorKind::ALL
+                                .into_iter()
+                                .find(|k| k.name() == value.as_str())
+                                .ok_or_else(bad)?;
+                        }
+                        "--perfetto" => {
+                            if value.is_empty() {
+                                return Err(bad());
+                            }
+                            args.perfetto = Some(value.clone());
+                        }
                         _ => unreachable!(),
                     }
                 }
@@ -271,6 +300,39 @@ mod tests {
         let a = Args::parse(&argv("sweep")).unwrap();
         assert_eq!(a.seeds, 4);
         assert_eq!(a.threads, 0);
+    }
+
+    #[test]
+    fn audit_flags_parse() {
+        let a = Args::parse(&argv("audit")).unwrap();
+        assert_eq!(a.command, Command::Audit);
+        assert_eq!(a.allocator, AllocatorKind::BitReversal);
+        assert_eq!(a.perfetto, None);
+        let a = Args::parse(&argv(
+            "audit --allocator first-fit --mtu 4096 --perfetto out.json",
+        ))
+        .unwrap();
+        assert_eq!(a.allocator, AllocatorKind::FirstFit);
+        assert_eq!(a.mtu, 4096);
+        assert_eq!(a.perfetto.as_deref(), Some("out.json"));
+        let a = Args::parse(&argv("audit --allocator reverse-fit")).unwrap();
+        assert_eq!(a.allocator, AllocatorKind::ReverseFit);
+        assert!(matches!(
+            Args::parse(&argv("audit --allocator worst-fit")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("audit --perfetto")).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn perfetto_applies_to_trace_and_sweep_too() {
+        let a = Args::parse(&argv("trace --perfetto t.json")).unwrap();
+        assert_eq!(a.perfetto.as_deref(), Some("t.json"));
+        let a = Args::parse(&argv("sweep --perfetto s.json --seeds 2")).unwrap();
+        assert_eq!(a.perfetto.as_deref(), Some("s.json"));
     }
 
     #[test]

@@ -193,11 +193,27 @@ pub fn run_experiment(args: &Args) -> String {
     out
 }
 
+/// Writes a Perfetto/Chrome trace-event JSON timeline built from the
+/// given span and ring-trace sources (either may be absent).
+fn write_perfetto(
+    path: &str,
+    spans: Option<&iba_obs::SpanRecorder>,
+    sim: Option<&iba_obs::RingTracer>,
+) -> Result<String, String> {
+    let json = iba_obs::perfetto_trace(spans, sim).pretty();
+    std::fs::write(path, &json).map_err(|e| format!("cannot write '{path}': {e}"))?;
+    Ok(format!(
+        "perfetto timeline written to {path} ({} bytes) — open with ui.perfetto.dev\n",
+        json.len()
+    ))
+}
+
 /// `ibaqos sweep` — one experiment per seed (`--seeds` points starting
 /// at `--seed`), sharded over `--threads` workers by the deterministic
-/// parallel engine. The table is identical at any thread count.
-#[must_use]
-pub fn sweep(args: &Args) -> String {
+/// parallel engine. The table is identical at any thread count. With
+/// `--perfetto` the workers also record wall-clock spans, exported as a
+/// per-thread timeline.
+pub fn sweep(args: &Args) -> Result<String, String> {
     let threads = if args.threads > 0 {
         args.threads
     } else {
@@ -213,7 +229,10 @@ pub fn sweep(args: &Args) -> String {
             reject_limit: 120,
         })
         .collect();
-    let (outcomes, merged) = iba_harness::run_points(&points, threads);
+    let (outcomes, merged) = match args.perfetto {
+        Some(_) => iba_harness::run_points_spanned(&points, threads, 64 * 1024),
+        None => iba_harness::run_points(&points, threads),
+    };
 
     let mut t = Table::new(
         "Seed sweep",
@@ -244,7 +263,10 @@ pub fn sweep(args: &Args) -> String {
         merged.metrics.harness_threads.get(),
         merged.metrics.sim_events.get(),
     );
-    out
+    if let Some(path) = &args.perfetto {
+        out.push_str(&write_perfetto(path, merged.spans.as_ref(), None)?);
+    }
+    Ok(out)
 }
 
 /// Fill + simulate with instrumentation: the shared body of `report`
@@ -283,11 +305,15 @@ pub fn report(args: &Args) -> String {
 }
 
 /// `ibaqos trace` — the newest `--limit` ring-buffer events as text.
-#[must_use]
-pub fn trace(args: &Args) -> String {
+/// With `--perfetto`, spans and sim events are additionally merged onto
+/// one Perfetto timeline.
+pub fn trace(args: &Args) -> Result<String, String> {
     let mut rec = iba_obs::ObsRecorder::with_tracer(4096);
+    if args.perfetto.is_some() {
+        rec.spans = Some(iba_obs::SpanRecorder::new(16 * 1024));
+    }
     run_instrumented(args, &mut rec);
-    let tracer = rec.tracer.as_ref().expect("tracer installed above");
+    let tracer = rec.tracer.as_ref().ok_or("tracer installed above")?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -298,7 +324,38 @@ pub fn trace(args: &Args) -> String {
     for line in tracer.render(args.limit) {
         let _ = writeln!(out, "{line}");
     }
-    out
+    if let Some(path) = &args.perfetto {
+        out.push_str(&write_perfetto(
+            path,
+            rec.spans.as_ref(),
+            rec.tracer.as_ref(),
+        )?);
+    }
+    Ok(out)
+}
+
+/// `ibaqos audit` — fills one port's table with paper-Table-1 requests
+/// under the selected `--allocator`, drives the arbitration engine to
+/// saturation and audits every grant against the contracted per-SL
+/// distance budgets. Returns `Err` (non-zero process exit) when any
+/// guarantee was violated, so CI can assert both directions.
+pub fn audit(args: &Args) -> Result<String, String> {
+    let cfg = iba_harness::AuditConfig::new(args.allocator, args.mtu, args.seed);
+    let mut spans = iba_obs::SpanRecorder::new(1024);
+    let outcome = iba_harness::run_audit_spanned(&cfg, Some(&mut spans));
+    let mut out = outcome.render_report();
+    if let Some(path) = &args.perfetto {
+        out.push_str(&write_perfetto(
+            path,
+            Some(&spans),
+            outcome.auditor.tracer(),
+        )?);
+    }
+    if outcome.passed() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
 }
 
 /// `ibaqos demo` — a narrated walk through the paper's algorithm.
@@ -395,8 +452,7 @@ mod tests {
             limit: 32,
             seeds: 2,
             threads: 0,
-            background: false,
-            dot: false,
+            ..Args::default()
         }
     }
 
@@ -434,9 +490,9 @@ mod tests {
         let mut a = args(crate::Command::Sweep);
         a.seeds = 3;
         a.threads = 1;
-        let serial = sweep(&a);
+        let serial = sweep(&a).unwrap();
         a.threads = 3;
-        let parallel = sweep(&a);
+        let parallel = sweep(&a).unwrap();
         // Identical table; the footer differs only in the thread count.
         let table = |s: &str| {
             s.lines()
@@ -475,11 +531,43 @@ mod tests {
     fn trace_decodes_events() {
         let mut a = args(crate::Command::Trace);
         a.limit = 8;
-        let out = trace(&a);
+        let out = trace(&a).unwrap();
         assert!(out.starts_with("trace:"), "{out}");
         assert!(out.contains("grant"), "{out}");
         // --limit 8: header plus at most 8 event lines.
         assert!(out.lines().count() <= 9, "{out}");
+    }
+
+    #[test]
+    fn audit_passes_for_bit_reversal_and_fails_for_first_fit() {
+        let mut a = args(crate::Command::Audit);
+        a.mtu = 4096;
+        a.seed = 42;
+        let passing = audit(&a).expect("bit-reversal must audit clean");
+        assert!(passing.contains("verdict: PASS"), "{passing}");
+        assert!(passing.contains("allocator=bit-reversal"), "{passing}");
+        a.allocator = iba_core::AllocatorKind::FirstFit;
+        let failing = audit(&a).expect_err("first-fit must be indicted");
+        assert!(failing.contains("verdict: FAIL"), "{failing}");
+        assert!(failing.contains("worst offender"), "{failing}");
+    }
+
+    #[test]
+    fn audit_writes_a_parseable_perfetto_file() {
+        let path =
+            std::env::temp_dir().join(format!("ibaqos_audit_perfetto_{}.json", std::process::id()));
+        let mut a = args(crate::Command::Audit);
+        a.mtu = 4096;
+        a.seed = 42;
+        a.allocator = iba_core::AllocatorKind::FirstFit;
+        a.perfetto = Some(path.to_string_lossy().into_owned());
+        let report = audit(&a).expect_err("first-fit fails, but the file is still written");
+        assert!(report.contains("perfetto timeline written"), "{report}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = iba_obs::Json::parse(&text).expect("valid JSON");
+        let events = json.get("traceEvents").expect("traceEvents key");
+        assert!(matches!(events, iba_obs::Json::Array(v) if !v.is_empty()));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

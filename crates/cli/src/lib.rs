@@ -7,15 +7,22 @@
 //! ibaqos fill   [--switches N] [--seed S] [--mtu M]     admission to saturation
 //! ibaqos run    [--switches N] [--seed S] [--mtu M]
 //!               [--steady-packets P] [--background]     full experiment
-//! ibaqos sweep  [run options] [--seeds N] [--threads T] parallel seed sweep
+//! ibaqos sweep  [run options] [--seeds N] [--threads T]
+//!               [--perfetto FILE]                       parallel seed sweep
 //! ibaqos report [run options]                           per-VL metrics report
-//! ibaqos trace  [run options] [--limit L]               decoded event trace
+//! ibaqos trace  [run options] [--limit L]
+//!               [--perfetto FILE]                       decoded event trace
+//! ibaqos audit  [--allocator A] [--mtu M] [--seed S]
+//!               [--perfetto FILE]                       service-guarantee audit
 //! ibaqos demo                                           table-filling walkthrough
 //! ```
 //!
 //! `report` and `trace` run the experiment with the `iba-obs`
 //! instrumentation enabled; the metric names they print are documented
-//! in the repository-level `METRICS.md` contract.
+//! in the repository-level `METRICS.md` contract. `audit` checks the
+//! paper's distance guarantee against a live grant stream and exits
+//! non-zero on any violation; `--perfetto` writes a Chrome trace-event
+//! timeline viewable at <https://ui.perfetto.dev>.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,9 +39,10 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Topo => Ok(commands::topo(&args)),
         Command::Fill => Ok(commands::fill(&args)),
         Command::Run => Ok(commands::run_experiment(&args)),
-        Command::Sweep => Ok(commands::sweep(&args)),
+        Command::Sweep => commands::sweep(&args),
         Command::Report => Ok(commands::report(&args)),
-        Command::Trace => Ok(commands::trace(&args)),
+        Command::Trace => commands::trace(&args),
+        Command::Audit => commands::audit(&args),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),
     }

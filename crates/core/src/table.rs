@@ -261,10 +261,10 @@ impl HighPriorityTable {
             });
         }
 
-        let eset = self
-            .allocator
-            .select_observed(self.occupancy, d_eff, rec)
-            .ok_or(TableError::NoFreeSequence)?;
+        rec.span_begin("alloc.select");
+        let selected = self.allocator.select_observed(self.occupancy, d_eff, rec);
+        rec.span_end("alloc.select");
+        let eset = selected.ok_or(TableError::NoFreeSequence)?;
         let id = self.insert_sequence(Sequence {
             eset,
             vl,

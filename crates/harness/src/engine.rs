@@ -95,9 +95,41 @@ where
     R: Send,
     F: Fn(usize, &T, &mut ObsRecorder) -> R + Sync,
 {
+    run_sweep_recorded_with(items, threads, ObsRecorder::new, f)
+}
+
+/// [`run_sweep_recorded`] with a caller-supplied recorder factory.
+///
+/// `mk` builds each worker's recorder (and the merge target), so a
+/// caller can enable tracing or wall-clock span profiling on every
+/// worker — e.g. `|| { let mut r = ObsRecorder::new(); r.spans =
+/// Some(SpanRecorder::with_epoch(cap, epoch)); r }` with one shared
+/// epoch so the merged span timeline has aligned tracks.
+///
+/// When span profiling is enabled, each worker's lifetime is wrapped in
+/// a `harness.worker` span and every claimed work chunk in a
+/// `harness.chunk` span. Span data stays out of the metrics registry
+/// (see `SpanRecorder::export_into`), so the merged **metrics** remain
+/// byte-identical at any thread count; the span *timeline* is
+/// wall-clock data and varies by nature.
+pub fn run_sweep_recorded_with<T, R, M, F>(
+    items: &[T],
+    threads: usize,
+    mk: M,
+    f: F,
+) -> (Vec<R>, ObsRecorder)
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> ObsRecorder + Sync,
+    F: Fn(usize, &T, &mut ObsRecorder) -> R + Sync,
+{
+    use iba_obs::Recorder as _;
     let threads = threads.clamp(1, items.len().max(1));
     let (results, mut merged) = if threads == 1 {
-        let mut rec = ObsRecorder::new();
+        let mut rec = mk();
+        rec.span_begin("harness.worker");
+        rec.span_begin("harness.chunk");
         let results = items
             .iter()
             .enumerate()
@@ -106,6 +138,8 @@ where
                 f(i, t, &mut rec)
             })
             .collect();
+        rec.span_end("harness.chunk");
+        rec.span_end("harness.worker");
         (results, rec)
     } else {
         let next = AtomicUsize::new(0);
@@ -114,7 +148,8 @@ where
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut rec = ObsRecorder::new();
+                        let mut rec = mk();
+                        rec.span_begin("harness.worker");
                         let mut out = Vec::new();
                         loop {
                             let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -122,11 +157,14 @@ where
                                 break;
                             }
                             let end = (start + chunk).min(items.len());
+                            rec.span_begin("harness.chunk");
                             for (i, item) in items.iter().enumerate().take(end).skip(start) {
                                 rec.metrics.harness_runs.incr();
                                 out.push((i, f(i, item, &mut rec)));
                             }
+                            rec.span_end("harness.chunk");
                         }
+                        rec.span_end("harness.worker");
                         (out, rec)
                     })
                 })
@@ -136,7 +174,7 @@ where
                 .map(|h| h.join().expect("sweep worker panicked"))
                 .collect()
         });
-        let mut merged = ObsRecorder::new();
+        let mut merged = mk();
         let mut indexed = Vec::new();
         for (part, rec) in per_worker {
             indexed.extend(part);
@@ -180,6 +218,41 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(run_sweep(&empty, 8, |_, x| *x).is_empty());
         assert_eq!(run_sweep(&[7u32], 8, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn span_enabled_sweep_profiles_workers_and_chunks() {
+        use iba_obs::SpanRecorder;
+        let items: Vec<u64> = (0..20).collect();
+        let epoch = std::time::Instant::now();
+        let mk = || {
+            let mut r = ObsRecorder::new();
+            r.spans = Some(SpanRecorder::with_epoch(256, epoch));
+            r
+        };
+        for threads in [1usize, 4] {
+            let (results, merged) = run_sweep_recorded_with(&items, threads, mk, |_, x, _| x + 1);
+            assert_eq!(results.len(), 20);
+            let spans = merged.spans.as_ref().expect("span profiling enabled");
+            let recs = spans.records();
+            // Worker lifecycle and at least one chunk show up.
+            assert!(recs.iter().any(|r| r.name == "harness.worker"));
+            assert!(recs.iter().any(|r| r.name == "harness.chunk"));
+            // Begin/end counts balance per name.
+            for name in ["harness.worker", "harness.chunk"] {
+                let begins = recs
+                    .iter()
+                    .filter(|r| r.name == name && r.phase == iba_obs::SpanPhase::Begin)
+                    .count();
+                let ends = recs
+                    .iter()
+                    .filter(|r| r.name == name && r.phase == iba_obs::SpanPhase::End)
+                    .count();
+                assert_eq!(begins, ends, "unbalanced {name} spans");
+            }
+            // Metrics stay span-free: wall-clock data is opt-in only.
+            assert_eq!(merged.metrics.span_records.get(), 0);
+        }
     }
 
     #[test]

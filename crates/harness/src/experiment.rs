@@ -124,6 +124,21 @@ pub fn run_measured_recorded(
     run_measured_with(exp, steady_packets, background, rec)
 }
 
+/// [`run_measured`] generic over **any** [`Recorder`] — the seam for
+/// attaching special-purpose recorders such as an observe-only
+/// `iba_obs::GuaranteeAuditor`. Instrumentation must never perturb the
+/// run: the differential audit tests hold the delivery digest
+/// byte-identical to the unrecorded run.
+#[must_use]
+pub fn run_measured_instrumented<R: Recorder>(
+    exp: &Experiment,
+    steady_packets: u64,
+    background: bool,
+    rec: &mut R,
+) -> Measured {
+    run_measured_with(exp, steady_packets, background, rec)
+}
+
 fn run_measured_with<R: Recorder>(
     exp: &Experiment,
     steady_packets: u64,

@@ -1,9 +1,9 @@
 //! Sweep points: one independent simulation run per point, executed in
 //! parallel by the engine with deterministic merged output.
 
-use crate::engine::run_sweep_recorded;
+use crate::engine::{run_sweep_recorded, run_sweep_recorded_with};
 use crate::experiment::{build_experiment_sized, run_measured_recorded};
-use iba_obs::ObsRecorder;
+use iba_obs::{ObsRecorder, SpanRecorder};
 
 /// One independent run of the paper pipeline: a (topology size, seed,
 /// packet size, background) coordinate of a sweep.
@@ -115,6 +115,27 @@ pub fn run_point_recorded(point: &SimPoint, rec: &mut ObsRecorder) -> PointOutco
 #[must_use]
 pub fn run_points(points: &[SimPoint], threads: usize) -> (Vec<PointOutcome>, ObsRecorder) {
     run_sweep_recorded(points, threads, |_, p, rec| run_point_recorded(p, rec))
+}
+
+/// [`run_points`] with wall-clock span profiling: every worker records
+/// `harness.worker`/`harness.chunk` spans into a ring of
+/// `span_capacity` records, all sharing one epoch so the merged
+/// recorder's span timeline has aligned per-thread tracks (feed it to
+/// `iba_obs::perfetto_trace`). Outcomes and merged *metrics* stay
+/// byte-identical to [`run_points`] at any thread count.
+#[must_use]
+pub fn run_points_spanned(
+    points: &[SimPoint],
+    threads: usize,
+    span_capacity: usize,
+) -> (Vec<PointOutcome>, ObsRecorder) {
+    let epoch = std::time::Instant::now();
+    let mk = move || {
+        let mut rec = ObsRecorder::new();
+        rec.spans = Some(SpanRecorder::with_epoch(span_capacity, epoch));
+        rec
+    };
+    run_sweep_recorded_with(points, threads, mk, |_, p, rec| run_point_recorded(p, rec))
 }
 
 #[cfg(test)]

@@ -1,0 +1,476 @@
+//! Live service-guarantee auditor.
+//!
+//! The paper's contract is a *runtime* property: a class admitted at
+//! distance `d` must see at most `d` table slots — a bounded number of
+//! cycles — between consecutive high-priority grants. The
+//! [`GuaranteeAuditor`] checks that claim against the actual grant
+//! stream: it implements [`Recorder`], so it can sit anywhere an
+//! `ObsRecorder` can, and compares every observed inter-grant gap
+//! (in cycles *and* in table-slot distance) against the per-VL budget
+//! derived from the installed arbitration table.
+//!
+//! Slot distance is measured by counting slot activations: under the
+//! engine's weighted round-robin, each visited table entry ends with
+//! exactly one weight-exhausted event when its credit drains, so the
+//! number of [`Recorder::arb_weight_exhausted`] calls between two
+//! grants of the same VL is the number of table slots the arbiter
+//! walked in between.
+//!
+//! Budgets are optional per lane. With no budget a lane is merely
+//! *observed* (gap maxima are tracked, violations are impossible) —
+//! that is the mode used when an auditor rides along a full-fabric
+//! simulation, where the recorder hooks carry no port identity and a
+//! single slot counter would mix ports. Strict per-port auditing is
+//! done by `iba-harness`'s audit drive, which replays one port's
+//! table through a dedicated engine.
+
+use crate::metrics::Metrics;
+use crate::recorder::{Recorder, ServedKind};
+use crate::trace::{RingTracer, TraceEvent};
+
+/// The guarantee one virtual lane must honour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LaneBudget {
+    /// Maximum admissible inter-grant distance in table slots — the
+    /// contracted `d` of the strictest sequence installed for this VL.
+    pub d_slots: u64,
+    /// Maximum admissible inter-grant gap in cycles (bytes on a 1×
+    /// link): `d_slots` worst-case slot activations plus one packet.
+    pub bound_cycles: u64,
+}
+
+/// Per-lane audit state: budget, observed maxima, violation count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneAudit {
+    budget: Option<LaneBudget>,
+    grants: u64,
+    gap_slots_max: u64,
+    gap_cycles_max: u64,
+    violations: u64,
+    last_cycle: Option<u64>,
+    last_visit: Option<u64>,
+}
+
+impl LaneAudit {
+    /// The budget installed for this lane, if any.
+    #[must_use]
+    pub fn budget(&self) -> Option<LaneBudget> {
+        self.budget
+    }
+
+    /// High-priority grants observed on this lane.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Largest observed inter-grant distance in table slots.
+    #[must_use]
+    pub fn gap_slots_max(&self) -> u64 {
+        self.gap_slots_max
+    }
+
+    /// Largest observed inter-grant gap in cycles.
+    #[must_use]
+    pub fn gap_cycles_max(&self) -> u64 {
+        self.gap_cycles_max
+    }
+
+    /// Grants whose gap exceeded the budget (slot or cycle bound).
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// `Some(true)` if the lane held its budget, `Some(false)` if it
+    /// violated it, `None` for budget-less (observe-only) lanes.
+    #[must_use]
+    pub fn passed(&self) -> Option<bool> {
+        self.budget.map(|_| self.violations == 0)
+    }
+}
+
+/// Checks the per-VL inter-grant guarantee live from a grant stream.
+///
+/// Feed it as the [`Recorder`] of an arbitration drive (or merge it
+/// behind another recorder); then read per-lane verdicts, export
+/// `audit_*` metrics, or render the pass/fail report.
+#[derive(Clone, Debug, Default)]
+pub struct GuaranteeAuditor {
+    lanes: [LaneAudit; 16],
+    now: u64,
+    slot_visits: u64,
+    tracer: Option<RingTracer>,
+}
+
+impl GuaranteeAuditor {
+    /// An auditor with no budgets (observe-only until budgets are set).
+    #[must_use]
+    pub fn new() -> Self {
+        GuaranteeAuditor::default()
+    }
+
+    /// An auditor that also traces each violation into a bounded ring
+    /// of `capacity` records (kind `audit-violation`).
+    #[must_use]
+    pub fn with_tracer(capacity: usize) -> Self {
+        GuaranteeAuditor {
+            tracer: Some(RingTracer::new(capacity)),
+            ..GuaranteeAuditor::default()
+        }
+    }
+
+    /// Installs the guarantee for `vl`. Lanes without a budget are
+    /// observed but can never violate.
+    pub fn set_budget(&mut self, vl: u8, budget: LaneBudget) {
+        self.lanes[usize::from(vl & 0x0F)].budget = Some(budget);
+    }
+
+    /// The audit state of one lane.
+    #[must_use]
+    pub fn lane(&self, vl: u8) -> &LaneAudit {
+        &self.lanes[usize::from(vl & 0x0F)]
+    }
+
+    /// Iterates `(vl, lane)` over lanes that have a budget or saw at
+    /// least one grant.
+    pub fn active_lanes(&self) -> impl Iterator<Item = (u8, &LaneAudit)> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.budget.is_some() || l.grants > 0)
+            .map(|(i, l)| (i as u8, l))
+    }
+
+    /// Total violations across all lanes.
+    #[must_use]
+    pub fn violations_total(&self) -> u64 {
+        self.lanes.iter().map(|l| l.violations).sum()
+    }
+
+    /// Table-slot activations observed so far.
+    #[must_use]
+    pub fn slot_visits(&self) -> u64 {
+        self.slot_visits
+    }
+
+    /// The violation trace ring, when tracing was enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&RingTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// The lane that came closest to (or furthest past) its slot
+    /// budget, as `(vl, lane)` — the worst offender. Budget-less lanes
+    /// are ranked by raw gap. `None` before the second grant.
+    #[must_use]
+    pub fn worst_offender(&self) -> Option<(u8, &LaneAudit)> {
+        self.active_lanes()
+            .filter(|(_, l)| l.grants > 1)
+            .max_by_key(|(_, l)| match l.budget {
+                // Scale to a per-mille ratio so lanes with different
+                // budgets compare fairly; saturating for safety.
+                Some(b) if b.d_slots > 0 => l.gap_slots_max.saturating_mul(1000) / b.d_slots,
+                _ => l.gap_slots_max,
+            })
+    }
+
+    /// Exports `audit_gap_max{vl}` (cycles), `audit_bound_cycles{vl}`
+    /// and `audit_violations_total{vl}` into a metrics registry.
+    pub fn export_into(&self, metrics: &mut Metrics) {
+        for (vl, lane) in self.active_lanes() {
+            let gauge = metrics.audit_gap_max.lane(vl);
+            let cur = gauge.get();
+            let observed = i64::try_from(lane.gap_cycles_max).unwrap_or(i64::MAX);
+            gauge.set(cur.max(observed));
+            if let Some(b) = lane.budget {
+                metrics
+                    .audit_bound_cycles
+                    .lane(vl)
+                    .set(i64::try_from(b.bound_cycles).unwrap_or(i64::MAX));
+            }
+            metrics.audit_violations.lane(vl).add(lane.violations);
+        }
+    }
+
+    /// Renders the pass/fail table plus the worst-offender line —
+    /// the body of `ibaqos audit`.
+    #[must_use]
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "vl  d.slots  bound.cycles  gap.slots.max  gap.cycles.max  grants  violations  verdict\n",
+        );
+        for (vl, lane) in self.active_lanes() {
+            let (d, bound) = match lane.budget {
+                Some(b) => (b.d_slots.to_string(), b.bound_cycles.to_string()),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            let verdict = match lane.passed() {
+                Some(true) => "pass",
+                Some(false) => "FAIL",
+                None => "observed",
+            };
+            out.push_str(&format!(
+                "{vl:<3} {d:>7}  {bound:>12}  {:>13}  {:>14}  {:>6}  {:>10}  {verdict}\n",
+                lane.gap_slots_max, lane.gap_cycles_max, lane.grants, lane.violations,
+            ));
+        }
+        if let Some((vl, lane)) = self.worst_offender() {
+            let budget = match lane.budget {
+                Some(b) => format!("{} slots / {} cycles", b.d_slots, b.bound_cycles),
+                None => "unbudgeted".to_string(),
+            };
+            out.push_str(&format!(
+                "worst offender: vl={vl} gap={} slots / {} cycles (budget {budget})\n",
+                lane.gap_slots_max, lane.gap_cycles_max,
+            ));
+        }
+        out
+    }
+}
+
+impl Recorder for GuaranteeAuditor {
+    #[inline]
+    fn tick(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    #[inline]
+    fn arb_weight_exhausted(&mut self, _vl: u8) {
+        // One exhaustion == one finished slot activation: the arbiter
+        // moved (or is about to move) past one table entry.
+        self.slot_visits = self.slot_visits.saturating_add(1);
+    }
+
+    fn arb_grant(&mut self, vl: u8, _bytes: u64, served: ServedKind) {
+        // The d·slot guarantee is a high-priority-table property; low
+        // table and VL15 bypass grants are out of contract.
+        if served != ServedKind::High {
+            return;
+        }
+        let now = self.now;
+        let visits = self.slot_visits;
+        let lane = &mut self.lanes[usize::from(vl & 0x0F)];
+        lane.grants += 1;
+        if let (Some(prev_cycle), Some(prev_visit)) = (lane.last_cycle, lane.last_visit) {
+            let gap_cycles = now.saturating_sub(prev_cycle);
+            let gap_slots = visits.saturating_sub(prev_visit);
+            lane.gap_cycles_max = lane.gap_cycles_max.max(gap_cycles);
+            lane.gap_slots_max = lane.gap_slots_max.max(gap_slots);
+            if let Some(b) = lane.budget {
+                if gap_slots > b.d_slots || gap_cycles > b.bound_cycles {
+                    lane.violations += 1;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.push(
+                            now,
+                            TraceEvent::AuditViolation {
+                                vl,
+                                gap_slots: u32::try_from(gap_slots).unwrap_or(u32::MAX),
+                                budget_slots: u16::try_from(b.d_slots).unwrap_or(u16::MAX),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        lane.last_cycle = Some(now);
+        lane.last_visit = Some(visits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(a: &mut GuaranteeAuditor, now: u64, vl: u8) {
+        a.tick(now);
+        a.arb_grant(vl, 64, ServedKind::High);
+        a.arb_weight_exhausted(vl);
+    }
+
+    #[test]
+    fn within_budget_never_violates() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            2,
+            LaneBudget {
+                d_slots: 4,
+                bound_cycles: 1000,
+            },
+        );
+        // Grants every 4 slot visits / 400 cycles: exactly on budget.
+        for i in 0..10u64 {
+            a.tick(i * 400);
+            a.arb_grant(2, 64, ServedKind::High);
+            for _ in 0..4 {
+                a.arb_weight_exhausted(0);
+            }
+        }
+        assert_eq!(a.lane(2).violations(), 0);
+        assert_eq!(a.lane(2).gap_slots_max(), 4);
+        assert_eq!(a.lane(2).gap_cycles_max(), 400);
+        assert_eq!(a.lane(2).passed(), Some(true));
+        assert_eq!(a.violations_total(), 0);
+    }
+
+    #[test]
+    fn slot_budget_overrun_is_a_violation() {
+        let mut a = GuaranteeAuditor::with_tracer(8);
+        a.set_budget(
+            3,
+            LaneBudget {
+                d_slots: 2,
+                bound_cycles: u64::MAX,
+            },
+        );
+        grant(&mut a, 0, 3);
+        // Walk 3 other slots before the next grant: gap 4 > budget 2.
+        for _ in 0..3 {
+            a.arb_weight_exhausted(0);
+        }
+        grant(&mut a, 100, 3);
+        assert_eq!(a.lane(3).violations(), 1);
+        assert_eq!(a.lane(3).gap_slots_max(), 4);
+        assert_eq!(a.lane(3).passed(), Some(false));
+        let traced = a.tracer().map(RingTracer::records).unwrap_or_default();
+        assert_eq!(traced.len(), 1);
+        assert!(matches!(
+            traced[0].1,
+            TraceEvent::AuditViolation {
+                vl: 3,
+                gap_slots: 4,
+                budget_slots: 2,
+            }
+        ));
+    }
+
+    #[test]
+    fn cycle_budget_overrun_is_a_violation() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            1,
+            LaneBudget {
+                d_slots: u64::MAX,
+                bound_cycles: 500,
+            },
+        );
+        grant(&mut a, 0, 1);
+        grant(&mut a, 501, 1);
+        assert_eq!(a.lane(1).violations(), 1);
+        assert_eq!(a.lane(1).gap_cycles_max(), 501);
+    }
+
+    #[test]
+    fn low_and_vl15_grants_are_out_of_contract() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            0,
+            LaneBudget {
+                d_slots: 1,
+                bound_cycles: 1,
+            },
+        );
+        a.tick(0);
+        a.arb_grant(0, 64, ServedKind::Low);
+        a.tick(10_000);
+        a.arb_grant(0, 64, ServedKind::Management);
+        assert_eq!(a.lane(0).grants(), 0);
+        assert_eq!(a.violations_total(), 0);
+    }
+
+    #[test]
+    fn observe_only_lane_tracks_gaps_without_violations() {
+        let mut a = GuaranteeAuditor::new();
+        grant(&mut a, 0, 5);
+        grant(&mut a, 9_999, 5);
+        assert_eq!(a.lane(5).gap_cycles_max(), 9_999);
+        assert_eq!(a.lane(5).violations(), 0);
+        assert_eq!(a.lane(5).passed(), None);
+    }
+
+    #[test]
+    fn worst_offender_ranks_by_budget_ratio() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            1,
+            LaneBudget {
+                d_slots: 16,
+                bound_cycles: u64::MAX,
+            },
+        );
+        a.set_budget(
+            2,
+            LaneBudget {
+                d_slots: 2,
+                bound_cycles: u64::MAX,
+            },
+        );
+        // vl=1 gap 8 of 16 (50%); vl=2 gap 3 of 2 (150%) — vl=2 is worse
+        // despite the smaller absolute gap.
+        a.tick(0);
+        a.arb_grant(1, 64, ServedKind::High);
+        a.arb_grant(2, 64, ServedKind::High);
+        for _ in 0..3 {
+            a.arb_weight_exhausted(0);
+        }
+        a.tick(5);
+        a.arb_grant(2, 64, ServedKind::High); // gap 3 of 2
+        for _ in 0..5 {
+            a.arb_weight_exhausted(0);
+        }
+        a.tick(9);
+        a.arb_grant(1, 64, ServedKind::High); // gap 8 of 16
+        let (vl, lane) = a.worst_offender().expect("two lanes granted twice");
+        assert_eq!(vl, 2);
+        assert_eq!(lane.gap_slots_max(), 3);
+        assert_eq!(a.lane(2).violations(), 1);
+        assert_eq!(a.lane(1).violations(), 0);
+    }
+
+    #[test]
+    fn export_feeds_audit_metrics() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            4,
+            LaneBudget {
+                d_slots: 2,
+                bound_cycles: 100,
+            },
+        );
+        grant(&mut a, 0, 4);
+        grant(&mut a, 250, 4);
+        let mut m = Metrics::new();
+        a.export_into(&mut m);
+        assert_eq!(m.audit_gap_max.0[4].get(), 250);
+        assert_eq!(m.audit_bound_cycles.0[4].get(), 100);
+        assert_eq!(m.audit_violations.0[4].get(), 1);
+    }
+
+    #[test]
+    fn report_renders_pass_and_fail_rows() {
+        let mut a = GuaranteeAuditor::new();
+        a.set_budget(
+            0,
+            LaneBudget {
+                d_slots: 4,
+                bound_cycles: 1_000,
+            },
+        );
+        a.set_budget(
+            1,
+            LaneBudget {
+                d_slots: 1,
+                bound_cycles: 10,
+            },
+        );
+        grant(&mut a, 0, 0);
+        grant(&mut a, 100, 0);
+        grant(&mut a, 100, 1);
+        grant(&mut a, 500, 1);
+        let report = a.render_report();
+        assert!(report.contains("pass"));
+        assert!(report.contains("FAIL"));
+        assert!(report.contains("worst offender: vl=1"));
+    }
+}

@@ -42,6 +42,45 @@ impl Json {
         Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
     }
 
+    /// Parses a JSON document (strict: one value, only trailing
+    /// whitespace after it). Integers without fraction/exponent become
+    /// [`Json::Int`] (falling back to [`Json::Float`] on overflow);
+    /// everything else numeric becomes [`Json::Float`]. Used by the
+    /// golden tests to structurally validate Perfetto exports without
+    /// pulling in serde.
+    ///
+    /// # Errors
+    /// Returns a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` when this value is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, for `Int` and `Float` alike.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
     /// Serializes with two-space indentation and a trailing newline —
     /// the format of the `BENCH_*.json` artifacts.
     #[must_use]
@@ -109,6 +148,170 @@ impl Json {
             }
         }
     }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect_literal(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected `\"` at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our own
+                        // output; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                if let Some(c) = s.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a number at byte {start}"));
+    }
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
 }
 
 fn push_indent(out: &mut String, levels: usize) {
@@ -179,6 +382,53 @@ mod tests {
         ]);
         let expected = "{\n  \"name\": \"bitrev\",\n  \"iters\": 100,\n  \"samples\": [\n    1.25,\n    2\n  ]\n}\n";
         assert_eq!(j.pretty(), expected);
+    }
+
+    #[test]
+    fn parse_roundtrips_own_output() {
+        let j = Json::Object(vec![
+            ("name".into(), Json::str("a\"b\\c\nd")),
+            ("n".into(), Json::Int(-42)),
+            ("x".into(), Json::Float(1.25)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "arr".into(),
+                Json::Array(vec![Json::Int(1), Json::str("two"), Json::Array(vec![])]),
+            ),
+            ("empty".into(), Json::Object(vec![])),
+        ]);
+        assert_eq!(Json::parse(&j.pretty()), Ok(j));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nulL").is_err());
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_escapes() {
+        assert_eq!(Json::parse("-17"), Ok(Json::Int(-17)));
+        assert_eq!(Json::parse("2.5e3"), Ok(Json::Float(2500.0)));
+        assert_eq!(Json::parse("\"\\u0041\\t\\/\""), Ok(Json::str("A\t/")));
+        // i64 overflow degrades to float rather than failing.
+        assert_eq!(Json::parse("99999999999999999999"), Ok(Json::Float(1e20)));
+    }
+
+    #[test]
+    fn get_and_as_f64_accessors() {
+        let j = Json::parse("{\"ts\": 12, \"x\": 1.5}").unwrap();
+        assert_eq!(j.get("ts").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(j.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("ts"), None);
+        assert_eq!(Json::str("s").as_f64(), None);
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //! * [`report`] — renderers: human-readable metric reports
 //!   (`ibaqos report`) and the machine-readable `BENCH_*.json` schema
 //!   written by the bench smoke tier;
-//! * [`json`] — a minimal JSON value type and serializer so the
-//!   workspace stays dependency-free.
+//! * [`json`] — a minimal JSON value type, serializer and strict
+//!   parser so the workspace stays dependency-free;
+//! * [`audit`] — the [`audit::GuaranteeAuditor`], a [`recorder::Recorder`]
+//!   that checks the paper's per-VL `d`·slot service guarantee live
+//!   against the observed inter-grant gaps (driven by `ibaqos audit`);
+//! * [`span`] — the [`span::SpanRecorder`] wall-clock profiler:
+//!   begin/end records with thread ids in a bounded ring;
+//! * [`perfetto`] — merges span records and sim trace events into a
+//!   Perfetto/Chrome trace-event JSON timeline.
 //!
 //! The full list of metric names, dimensions and units is the
 //! **metrics contract** in `METRICS.md` at the repository root;
@@ -29,14 +36,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod recorder;
 pub mod report;
+pub mod span;
 pub mod trace;
 
+pub use audit::{GuaranteeAuditor, LaneAudit, LaneBudget};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Metrics, PerLane, METRIC_NAMES};
+pub use perfetto::perfetto_trace;
 pub use recorder::{NullRecorder, ObsRecorder, Recorder, RejectKind, ServedKind};
 pub use report::{bench_json, render_metrics, vl_shares, BenchRecord, VlShare};
+pub use span::{SpanEvent, SpanPhase, SpanRecorder};
 pub use trace::{RingTracer, TraceEvent, RECORD_BYTES};

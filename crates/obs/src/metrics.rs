@@ -230,6 +230,11 @@ pub const METRIC_NAMES: &[&str] = &[
     "cac_release_total",
     "harness_runs_total",
     "harness_threads",
+    "audit_gap_max",
+    "audit_bound_cycles",
+    "audit_violations_total",
+    "span_records_total",
+    "span_dropped_total",
 ];
 
 /// A metric dimension attached to a [`Sample`].
@@ -342,6 +347,22 @@ pub struct Metrics {
     /// `harness_threads`: worker threads used by the last sweep
     /// (merged across registries by maximum).
     pub harness_threads: Gauge,
+    /// `audit_gap_max`: worst observed inter-grant gap (cycles) per VL,
+    /// from the service-guarantee auditor.
+    pub audit_gap_max: PerLane<Gauge>,
+    /// `audit_bound_cycles`: the audited cycle budget per VL (the
+    /// `d`·slot guarantee translated to worst-case cycles).
+    pub audit_bound_cycles: PerLane<Gauge>,
+    /// `audit_violations_total`: grants whose gap exceeded the budget,
+    /// per VL.
+    pub audit_violations: PerLane<Counter>,
+    /// `span_records_total`: span profiler records exported (explicit
+    /// [`crate::span::SpanRecorder::export_into`] only — wall-clock
+    /// data never enters a registry implicitly).
+    pub span_records: Counter,
+    /// `span_dropped_total`: span records overwritten because the span
+    /// ring was full.
+    pub span_dropped: Counter,
 }
 
 impl Metrics {
@@ -464,6 +485,24 @@ impl Metrics {
                 value: SampleValue::Count(self.harness_threads.get().max(0) as u64),
             });
         }
+        let lane_gauge = |out: &mut Vec<Sample>, name: &'static str, g: &PerLane<Gauge>| {
+            for (i, v) in g.0.iter().enumerate() {
+                if v.get() > 0 {
+                    out.push(Sample {
+                        name,
+                        dim: Dim::Vl(i as u8),
+                        value: SampleValue::Count(v.get().max(0) as u64),
+                    });
+                }
+            }
+        };
+        lane_gauge(&mut out, "audit_gap_max", &self.audit_gap_max);
+        lane_gauge(&mut out, "audit_bound_cycles", &self.audit_bound_cycles);
+        for (i, c) in self.audit_violations.0.iter().enumerate() {
+            counter(&mut out, "audit_violations_total", Dim::Vl(i as u8), *c);
+        }
+        counter(&mut out, "span_records_total", Dim::None, self.span_records);
+        counter(&mut out, "span_dropped_total", Dim::None, self.span_dropped);
         out
     }
 
@@ -518,6 +557,32 @@ impl Metrics {
         self.cac_release.merge(other.cac_release);
         self.harness_runs.merge(other.harness_runs);
         self.harness_threads.merge(other.harness_threads);
+        for (a, b) in self
+            .audit_gap_max
+            .0
+            .iter_mut()
+            .zip(other.audit_gap_max.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .audit_bound_cycles
+            .0
+            .iter_mut()
+            .zip(other.audit_bound_cycles.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .audit_violations
+            .0
+            .iter_mut()
+            .zip(other.audit_violations.0.iter())
+        {
+            a.merge(*b);
+        }
+        self.span_records.merge(other.span_records);
+        self.span_dropped.merge(other.span_dropped);
     }
 }
 
@@ -623,6 +688,11 @@ mod tests {
         m.cac_release.incr();
         m.harness_runs.incr();
         m.harness_threads.set(4);
+        m.audit_gap_max.lane(1).set(400);
+        m.audit_bound_cycles.lane(1).set(1000);
+        m.audit_violations.lane(1).incr();
+        m.span_records.add(2);
+        m.span_dropped.incr();
         let snap = m.snapshot();
         assert!(!snap.is_empty());
         for s in &snap {

@@ -159,6 +159,16 @@ pub trait Recorder {
     /// A connection was torn down (its reservations released).
     #[inline]
     fn cac_release(&mut self) {}
+
+    /// A wall-clock profiling span named `name` opened on the calling
+    /// thread. No-op unless the recorder carries a
+    /// [`crate::span::SpanRecorder`].
+    #[inline]
+    fn span_begin(&mut self, _name: &'static str) {}
+
+    /// The matching close of [`Recorder::span_begin`].
+    #[inline]
+    fn span_end(&mut self, _name: &'static str) {}
 }
 
 /// The do-nothing recorder: the default for every non-observed run.
@@ -175,6 +185,8 @@ pub struct ObsRecorder {
     pub metrics: Metrics,
     /// The event tracer, when tracing is enabled.
     pub tracer: Option<RingTracer>,
+    /// The wall-clock span profiler, when profiling is enabled.
+    pub spans: Option<crate::span::SpanRecorder>,
     now: u64,
 }
 
@@ -190,6 +202,16 @@ impl ObsRecorder {
     pub fn with_tracer(capacity: usize) -> Self {
         ObsRecorder {
             tracer: Some(RingTracer::new(capacity)),
+            ..ObsRecorder::default()
+        }
+    }
+
+    /// A recorder that also profiles wall-clock spans into a ring of
+    /// `capacity` records.
+    #[must_use]
+    pub fn with_spans(capacity: usize) -> Self {
+        ObsRecorder {
+            spans: Some(crate::span::SpanRecorder::new(capacity)),
             ..ObsRecorder::default()
         }
     }
@@ -215,9 +237,17 @@ impl ObsRecorder {
     /// would fabricate an ordering that never existed. The parallel
     /// harness therefore merges metrics and leaves per-run traces with
     /// their runs.
+    ///
+    /// Span rings *are* merged when both sides carry one: span records
+    /// are tagged with their recording thread, so a union is a valid
+    /// multi-track wall-clock timeline (workers share the merge
+    /// target's epoch via [`crate::span::SpanRecorder::with_epoch`]).
     pub fn merge(&mut self, other: &ObsRecorder) {
         self.metrics.merge(&other.metrics);
         self.now = self.now.max(other.now);
+        if let (Some(mine), Some(theirs)) = (self.spans.as_mut(), other.spans.as_ref()) {
+            mine.merge(theirs);
+        }
     }
 }
 
@@ -302,6 +332,20 @@ impl Recorder for ObsRecorder {
         self.metrics.cac_release.incr();
         self.trace(TraceEvent::Release);
     }
+
+    #[inline]
+    fn span_begin(&mut self, name: &'static str) {
+        if let Some(s) = self.spans.as_mut() {
+            s.begin(name);
+        }
+    }
+
+    #[inline]
+    fn span_end(&mut self, name: &'static str) {
+        if let Some(s) = self.spans.as_mut() {
+            s.end(name);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +427,45 @@ mod tests {
         // The target's own trace ring is untouched by the merge.
         let records = a.tracer.as_ref().map(RingTracer::records).unwrap();
         assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn span_hooks_record_only_when_enabled() {
+        let mut plain = ObsRecorder::new();
+        plain.span_begin("x");
+        plain.span_end("x");
+        assert!(plain.spans.is_none());
+
+        let mut prof = ObsRecorder::with_spans(8);
+        prof.span_begin("alloc.select");
+        prof.span_end("alloc.select");
+        let spans = prof.spans.as_ref().expect("span recorder installed");
+        assert_eq!(spans.len(), 2);
+        // Span counts never leak into metrics implicitly.
+        assert_eq!(prof.metrics.span_records.get(), 0);
+    }
+
+    #[test]
+    fn merge_unions_span_rings_when_both_present() {
+        let mut a = ObsRecorder::with_spans(8);
+        a.span_begin("main");
+        a.span_end("main");
+        let epoch = a.spans.as_ref().map(|s| s.epoch()).expect("spans on");
+        let mut b = ObsRecorder {
+            spans: Some(crate::span::SpanRecorder::with_epoch(8, epoch)),
+            ..ObsRecorder::default()
+        };
+        b.span_begin("worker");
+        b.span_end("worker");
+        a.merge(&b);
+        assert_eq!(
+            a.spans.as_ref().map(crate::span::SpanRecorder::len),
+            Some(4)
+        );
+        // Merging into a span-less recorder is a no-op, not an error.
+        let mut c = ObsRecorder::new();
+        c.merge(&a);
+        assert!(c.spans.is_none());
     }
 
     #[test]

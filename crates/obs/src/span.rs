@@ -1,0 +1,244 @@
+//! Zero-dependency span profiler: begin/end records with a thread id
+//! and a monotonic wall clock, held in a bounded ring like
+//! [`crate::trace::RingTracer`].
+//!
+//! Spans answer the question the simulator-cycle tracer cannot: where
+//! does the *wall clock* go — harness workers, sweep chunks, the sim
+//! event loop, allocator selects, CAC admissions. Span timestamps are
+//! nanoseconds since the recorder's epoch ([`std::time::Instant`], so
+//! they never go backwards), and every record carries the hash of the
+//! recording thread's id so records from several workers can be merged
+//! onto one multi-track timeline (see [`crate::perfetto`]).
+//!
+//! Recording is deliberately outside the deterministic contract: span
+//! data never feeds back into simulation state, so attaching a span
+//! recorder cannot change a delivery digest. Span *counts* reach the
+//! metrics registry only through the explicit
+//! [`SpanRecorder::export_into`] call, never implicitly, so the
+//! thread-count-invariant merge of `tests/parallel_determinism.rs` is
+//! unaffected.
+
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Whether a record opens or closes a span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanPhase {
+    /// The span started.
+    Begin,
+    /// The span ended.
+    End,
+}
+
+/// One span record: a begin or end mark on one thread's timeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanEvent {
+    /// Span name (a static label such as `"sim.run_until"`).
+    pub name: &'static str,
+    /// Hash of the recording thread's [`std::thread::ThreadId`] —
+    /// stable within a process, used as the timeline track id.
+    pub tid: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub ts_ns: u64,
+    /// Begin or end.
+    pub phase: SpanPhase,
+}
+
+/// A bounded ring of [`SpanEvent`]s with a shared monotonic epoch.
+///
+/// When full, pushing overwrites the oldest record and bumps
+/// [`SpanRecorder::dropped`], exactly like the sim-event
+/// [`crate::trace::RingTracer`].
+#[derive(Clone, Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+fn current_tid() -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+impl SpanRecorder {
+    /// A recorder holding at most `capacity` records (minimum 2, so one
+    /// begin/end pair always fits), with its epoch set to *now*.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, Instant::now())
+    }
+
+    /// A recorder with an explicit epoch. Workers that will be merged
+    /// onto one timeline should share one epoch so their tracks align.
+    #[must_use]
+    pub fn with_epoch(capacity: usize, epoch: Instant) -> Self {
+        SpanRecorder {
+            epoch,
+            buf: Vec::new(),
+            capacity: capacity.max(2),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The recorder's epoch (for spawning aligned siblings).
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Opens a span named `name` on the calling thread, stamped with
+    /// the monotonic clock.
+    pub fn begin(&mut self, name: &'static str) {
+        let ts_ns = self.now_ns();
+        self.push_raw(name, current_tid(), ts_ns, SpanPhase::Begin);
+    }
+
+    /// Closes the span named `name` on the calling thread.
+    pub fn end(&mut self, name: &'static str) {
+        let ts_ns = self.now_ns();
+        self.push_raw(name, current_tid(), ts_ns, SpanPhase::End);
+    }
+
+    /// Nanoseconds elapsed since the epoch (clamped to `u64`).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Appends a fully explicit record — the seam for tests and golden
+    /// fixtures that need a deterministic timeline.
+    pub fn push_raw(&mut self, name: &'static str, tid: u64, ts_ns: u64, phase: SpanPhase) {
+        let rec = SpanEvent {
+            name,
+            tid,
+            ts_ns,
+            phase,
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Records in arrival order (oldest first). Within one thread this
+    /// is chronological; across threads the Perfetto exporter sorts.
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanEvent> {
+        let (tail, head) = self.buf.split_at(self.head.min(self.buf.len()));
+        head.iter().chain(tail.iter()).copied().collect()
+    }
+
+    /// Appends another recorder's records (oldest first), respecting
+    /// this ring's capacity. Unlike the sim-event tracer, merging span
+    /// rings is sound: every record carries its thread id, so a union
+    /// is a valid multi-track timeline rather than a fabricated
+    /// interleaving. Both recorders should share an epoch.
+    pub fn merge(&mut self, other: &SpanRecorder) {
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        for r in other.records() {
+            self.push_raw(r.name, r.tid, r.ts_ns, r.phase);
+        }
+    }
+
+    /// Exports span bookkeeping into a metrics registry
+    /// (`span_records_total`, `span_dropped_total`). Explicit by
+    /// design: spans are wall-clock data, so their counts enter the
+    /// deterministic metrics merge only when a caller opts in.
+    pub fn export_into(&self, metrics: &mut crate::metrics::Metrics) {
+        metrics.span_records.add(self.buf.len() as u64);
+        metrics.span_dropped.add(self.dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_are_monotone_on_one_thread() {
+        let mut s = SpanRecorder::new(16);
+        s.begin("outer");
+        s.begin("inner");
+        s.end("inner");
+        s.end("outer");
+        let recs = s.records();
+        assert_eq!(recs.len(), 4);
+        assert!(recs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert!(recs.iter().all(|r| r.tid == recs[0].tid));
+        assert_eq!(recs[0].phase, SpanPhase::Begin);
+        assert_eq!(recs[3].phase, SpanPhase::End);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut s = SpanRecorder::new(3);
+        for i in 0..5u64 {
+            s.push_raw("x", 1, i, SpanPhase::Begin);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let ts: Vec<u64> = s.records().iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_unions_tracks_and_sums_drops() {
+        let epoch = Instant::now();
+        let mut a = SpanRecorder::with_epoch(8, epoch);
+        a.push_raw("a", 1, 10, SpanPhase::Begin);
+        a.push_raw("a", 1, 20, SpanPhase::End);
+        let mut b = SpanRecorder::with_epoch(2, epoch);
+        b.push_raw("b", 2, 5, SpanPhase::Begin);
+        b.push_raw("b", 2, 15, SpanPhase::End);
+        b.push_raw("b2", 2, 25, SpanPhase::Begin);
+        assert_eq!(b.dropped(), 1);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.dropped(), 1);
+        assert!(a.records().iter().any(|r| r.tid == 2));
+    }
+
+    #[test]
+    fn export_feeds_span_metrics() {
+        let mut s = SpanRecorder::new(4);
+        s.begin("t");
+        s.end("t");
+        let mut m = crate::metrics::Metrics::new();
+        s.export_into(&mut m);
+        assert_eq!(m.span_records.get(), 2);
+        assert_eq!(m.span_dropped.get(), 0);
+    }
+
+    #[test]
+    fn threads_get_distinct_track_ids() {
+        let here = current_tid();
+        let there = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

@@ -26,6 +26,10 @@ pub const KIND_GRANT: u8 = 1;
 pub const KIND_HOL_STALL: u8 = 2;
 /// Record kind: a table entry's weight credit drained.
 pub const KIND_WEIGHT_EXHAUSTED: u8 = 3;
+/// Record kind: a service-guarantee audit violation (an inter-grant
+/// gap exceeded its lane's `d`·slot budget). Fills the historical gap
+/// between `KIND_WEIGHT_EXHAUSTED` and `KIND_ADMIT`.
+pub const KIND_AUDIT_VIOLATION: u8 = 4;
 /// Record kind: a connection admission.
 pub const KIND_ADMIT: u8 = 5;
 /// Record kind: a connection rejection.
@@ -56,6 +60,15 @@ pub enum TraceEvent {
     WeightExhausted {
         /// Virtual lane whose entry was exhausted.
         vl: u8,
+    },
+    /// An inter-grant gap exceeded the lane's service-guarantee budget.
+    AuditViolation {
+        /// Virtual lane that missed its guarantee.
+        vl: u8,
+        /// Observed inter-grant distance in table slots.
+        gap_slots: u32,
+        /// The lane's budget (`d`) in table slots.
+        budget_slots: u16,
     },
     /// A connection was admitted.
     Admit {
@@ -89,6 +102,11 @@ impl TraceEvent {
             }
             TraceEvent::HolStall { vl } => (KIND_HOL_STALL, vl, 0, 0),
             TraceEvent::WeightExhausted { vl } => (KIND_WEIGHT_EXHAUSTED, vl, 0, 0),
+            TraceEvent::AuditViolation {
+                vl,
+                gap_slots,
+                budget_slots,
+            } => (KIND_AUDIT_VIOLATION, vl, budget_slots, gap_slots),
             TraceEvent::Admit { sl } => (KIND_ADMIT, sl, 0, 0),
             TraceEvent::Reject { reason } => (KIND_REJECT, 0, reason.index() as u16, 0),
             TraceEvent::Release => (KIND_RELEASE, 0, 0, 0),
@@ -124,6 +142,11 @@ impl TraceEvent {
             },
             KIND_HOL_STALL => TraceEvent::HolStall { vl: lane },
             KIND_WEIGHT_EXHAUSTED => TraceEvent::WeightExhausted { vl: lane },
+            KIND_AUDIT_VIOLATION => TraceEvent::AuditViolation {
+                vl: lane,
+                gap_slots: value,
+                budget_slots: aux,
+            },
             KIND_ADMIT => TraceEvent::Admit { sl: lane },
             KIND_REJECT => TraceEvent::Reject {
                 reason: RejectKind::from_code(aux)?,
@@ -152,6 +175,13 @@ impl TraceEvent {
             TraceEvent::WeightExhausted { vl } => {
                 format!("{time:>10}  weight-exhausted vl={vl}")
             }
+            TraceEvent::AuditViolation {
+                vl,
+                gap_slots,
+                budget_slots,
+            } => format!(
+                "{time:>10}  audit-violation  vl={vl} gap={gap_slots}slots budget={budget_slots}"
+            ),
             TraceEvent::Admit { sl } => format!("{time:>10}  cac-admit        sl={sl}"),
             TraceEvent::Reject { reason } => {
                 format!("{time:>10}  cac-reject       reason={}", reason.label())
@@ -276,6 +306,11 @@ mod tests {
             },
             TraceEvent::HolStall { vl: 1 },
             TraceEvent::WeightExhausted { vl: 15 },
+            TraceEvent::AuditViolation {
+                vl: 2,
+                gap_slots: 8,
+                budget_slots: 4,
+            },
             TraceEvent::Admit { sl: 7 },
             TraceEvent::Reject {
                 reason: RejectKind::CapacityExceeded,
@@ -295,6 +330,26 @@ mod tests {
             let buf = ev.encode(t);
             assert_eq!(TraceEvent::decode(&buf), Some((t, *ev)));
         }
+        // Every declared KIND_* constant is exercised above: the wire
+        // kinds seen on encode must be exactly the declared set, with
+        // no numbering gaps left in 1..=8.
+        let mut kinds: Vec<u8> = events.iter().map(|ev| ev.encode(0)[8]).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(
+            kinds,
+            vec![
+                KIND_GRANT,
+                KIND_HOL_STALL,
+                KIND_WEIGHT_EXHAUSTED,
+                KIND_AUDIT_VIOLATION,
+                KIND_ADMIT,
+                KIND_REJECT,
+                KIND_RELEASE,
+                KIND_ALLOC_SELECT,
+            ]
+        );
+        assert_eq!(kinds, (1..=8).collect::<Vec<u8>>());
     }
 
     #[test]

@@ -145,6 +145,21 @@ impl PortTables {
         weight: Weight,
         rec: &mut dyn iba_obs::Recorder,
     ) -> Result<Vec<HopReservation>, RejectReason> {
+        rec.span_begin("cac.admit");
+        let result = self.admit_path_inner(path, sl, vl, distance, weight, rec);
+        rec.span_end("cac.admit");
+        result
+    }
+
+    fn admit_path_inner(
+        &mut self,
+        path: &[PortKey],
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<Vec<HopReservation>, RejectReason> {
         let mut done: Vec<HopReservation> = Vec::with_capacity(path.len());
         for &key in path {
             match self

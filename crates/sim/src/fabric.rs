@@ -328,6 +328,7 @@ impl Fabric {
         observer: &mut impl Observer,
         rec: &mut R,
     ) {
+        rec.span_begin("sim.run_until");
         while let Some(t) = self.queue.peek_time() {
             if t > t_end {
                 break;
@@ -352,6 +353,7 @@ impl Fabric {
             }
         }
         self.now = self.now.max(t_end);
+        rec.span_end("sim.run_until");
     }
 
     /// Per-port statistics of a switch output.

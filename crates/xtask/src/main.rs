@@ -15,6 +15,9 @@
 //! 5. **metrics-doc** — every metric name declared in `METRIC_NAMES`
 //!    (`crates/obs/src/metrics.rs`) must appear in the `METRICS.md`
 //!    contract, so the observability surface cannot drift undocumented.
+//! 6. **target-tracked** — `git ls-files` must list no path under
+//!    `target/`: build artifacts can never re-enter version control
+//!    (skipped with a notice when `git` is unavailable).
 //!
 //! Exit status is non-zero when any executed step fails; skipped steps
 //! never fail the run.
@@ -234,6 +237,38 @@ fn step_metrics_doc(root: &Path) -> StepResult {
     }
 }
 
+/// Fails when any build artifact under `target/` is tracked by git —
+/// the tree once carried ~16k committed artifacts and must never again.
+fn step_target_tracked(root: &Path) -> StepResult {
+    let output = Command::new("git")
+        .args(["ls-files", "--", "target/", "*/target/"])
+        .current_dir(root)
+        .output();
+    let output = match output {
+        Ok(o) if o.status.success() => o,
+        Ok(_) | Err(_) => {
+            return StepResult::Skip("git unavailable or not a repository".to_string());
+        }
+    };
+    let tracked: Vec<&str> = std::str::from_utf8(&output.stdout)
+        .unwrap_or("")
+        .lines()
+        .filter(|l| !l.is_empty())
+        .collect();
+    if tracked.is_empty() {
+        println!("      no target/ paths tracked by git");
+        StepResult::Pass
+    } else {
+        for t in tracked.iter().take(10) {
+            println!("      tracked build artifact: {t}");
+        }
+        StepResult::Fail(format!(
+            "{} tracked file(s) under target/ — run `git rm -r --cached target`",
+            tracked.len()
+        ))
+    }
+}
+
 /// `cargo xtask bench-compare <baseline.json> <current.json> [tolerance]`
 /// — diffs two `BENCH_*.json` documents and fails when any benchmark
 /// present in both regressed by more than `tolerance` (default 0.25,
@@ -313,6 +348,7 @@ fn main() -> ExitCode {
         ("scan", step_scan),
         ("doc-links", step_doc_links),
         ("metrics-doc", step_metrics_doc),
+        ("target-tracked", step_target_tracked),
     ];
     let mut failed = false;
     for (name, step) in steps {

@@ -15,6 +15,9 @@
 //!     --mtu 256 > tests/golden/report_s4_seed3.txt
 //! cargo run -p iba-cli -- trace --switches 4 --seed 3 --steady-packets 2 \
 //!     --mtu 256 --limit 12 > tests/golden/trace_s4_seed3_limit12.txt
+//! cargo run -p iba-cli -- audit --mtu 4096 --seed 42 \
+//!     > tests/golden/audit_bitrev_mtu4096_seed42.txt
+//! IBA_REGEN_GOLDEN=1 cargo test --test golden_cli   # perfetto_min.json
 //! ```
 
 fn run_cli(argv: &[&str]) -> String {
@@ -51,6 +54,38 @@ fn assert_matches_golden(got: &str, fixture: &str) {
     );
 }
 
+/// The synthetic two-source timeline behind the committed
+/// `perfetto_min.json` fixture: explicit span timestamps (no wall
+/// clock involved) plus a deterministic sim-cycle ring, so the
+/// rendered document is byte-stable across machines.
+fn minimal_perfetto_doc() -> iba_obs::Json {
+    use iba_obs::{perfetto_trace, RingTracer, ServedKind, SpanPhase, SpanRecorder, TraceEvent};
+    let mut spans = SpanRecorder::with_epoch(16, std::time::Instant::now());
+    spans.push_raw("audit.fill", 1, 1_000, SpanPhase::Begin);
+    spans.push_raw("audit.fill", 1, 4_000, SpanPhase::End);
+    spans.push_raw("audit.drive", 1, 4_500, SpanPhase::Begin);
+    spans.push_raw("audit.drive", 1, 9_000, SpanPhase::End);
+    let mut sim = RingTracer::new(8);
+    sim.push(
+        3,
+        TraceEvent::Grant {
+            vl: 2,
+            bytes: 4096,
+            served: ServedKind::High,
+        },
+    );
+    sim.push(7, TraceEvent::WeightExhausted { vl: 2 });
+    sim.push(
+        11,
+        TraceEvent::AuditViolation {
+            vl: 2,
+            gap_slots: 8,
+            budget_slots: 4,
+        },
+    );
+    perfetto_trace(Some(&spans), Some(&sim))
+}
+
 #[test]
 fn report_output_matches_golden_file() {
     let out = run_cli(&[
@@ -83,4 +118,70 @@ fn trace_output_matches_golden_file() {
         "12",
     ]);
     assert_matches_golden(&out, "trace_s4_seed3_limit12.txt");
+}
+
+#[test]
+fn audit_report_matches_golden_file() {
+    let out = run_cli(&["audit", "--mtu", "4096", "--seed", "42"]);
+    assert_matches_golden(&out, "audit_bitrev_mtu4096_seed42.txt");
+}
+
+#[test]
+fn minimal_perfetto_trace_matches_golden_file() {
+    let got = minimal_perfetto_doc().pretty();
+    let path = format!(
+        "{}/tests/golden/perfetto_min.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("IBA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n")).expect("regenerate perfetto fixture");
+        return;
+    }
+    assert_matches_golden(&got, "perfetto_min.json");
+}
+
+/// Structural contract on the real `audit --perfetto` export: the file
+/// must parse with the workspace JSON parser, every trace event must
+/// carry the `ph`/`ts`/`pid`/`tid`/`name` keys, and timestamps must be
+/// monotone within each `(pid, tid)` track.
+#[test]
+fn audit_perfetto_export_is_structurally_valid() {
+    use iba_obs::Json;
+    let path = std::env::temp_dir().join(format!(
+        "ibaqos_golden_perfetto_{}.json",
+        std::process::id()
+    ));
+    let path_str = path.to_str().expect("temp path is utf-8");
+    let _ = run_cli(&[
+        "audit",
+        "--mtu",
+        "4096",
+        "--seed",
+        "42",
+        "--perfetto",
+        path_str,
+    ]);
+    let text = std::fs::read_to_string(&path).expect("perfetto export written");
+    let _ = std::fs::remove_file(&path);
+    let doc = Json::parse(&text).expect("perfetto export parses");
+    let Some(Json::Array(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    assert!(!events.is_empty(), "perfetto export has no events");
+    let mut last: std::collections::HashMap<(String, String), f64> =
+        std::collections::HashMap::new();
+    for ev in events {
+        for key in ["ph", "ts", "pid", "tid", "name"] {
+            assert!(ev.get(key).is_some(), "missing `{key}` in {ev:?}");
+        }
+        if ev.get("ph") == Some(&Json::str("M")) {
+            continue;
+        }
+        let pid = format!("{:?}", ev.get("pid"));
+        let tid = format!("{:?}", ev.get("tid"));
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("numeric ts");
+        if let Some(prev) = last.insert((pid, tid), ts) {
+            assert!(prev <= ts, "track went backwards: {prev} > {ts}");
+        }
+    }
 }

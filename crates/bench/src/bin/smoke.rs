@@ -1,7 +1,8 @@
 //! Micro-benchmark smoke tier: a fast pass over the allocator and
 //! simulator hot paths that emits machine-readable `BENCH_alloc.json`,
-//! `BENCH_sim.json` and `BENCH_audit.json` reports (schema documented
-//! in `EXPERIMENTS.md`, metric semantics in `METRICS.md`).
+//! `BENCH_sim.json`, `BENCH_audit.json` and `BENCH_chaos.json` reports
+//! (schema documented in `EXPERIMENTS.md`, metric semantics in
+//! `METRICS.md`).
 //!
 //! The JSON goes to `IBA_BENCH_OUT` (directory, default: the current
 //! working directory). Intended for CI artifact upload:
@@ -16,7 +17,7 @@ use iba_bench::microbench::{black_box, Harness, Summary};
 use iba_core::{
     AllocatorKind, ArbEntry, Distance, ServiceLevel, VirtualLane, VlArbConfig, VlArbEngine,
 };
-use iba_harness::{run_audit, run_points, AuditConfig, SimPoint};
+use iba_harness::{run_audit, run_chaos, run_points, AuditConfig, ChaosConfig, SimPoint};
 use iba_obs::{bench_json, vl_shares, BenchRecord, ObsRecorder, VlShare};
 use iba_sim::{Arrival, Event, EventQueue, Fabric, FlowSpec, SimConfig};
 use iba_topo::{updown, HostId, SwitchId, Topology};
@@ -211,6 +212,53 @@ fn bench_audit() -> Vec<BenchRecord> {
     records
 }
 
+/// Chaos tier: wall time of the fault-injection + recovery drive, plus
+/// a cross-check of the recovery claim — bit-reversal must recover
+/// with zero post-repair violations; first-fit is the negative control
+/// and must stay in violation.
+fn bench_chaos() -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for kind in [AllocatorKind::BitReversal, AllocatorKind::FirstFit] {
+        let mut cfg = ChaosConfig::new(kind, 4096, 42);
+        cfg.sweep_points = 2;
+        let started = std::time::Instant::now();
+        let out = run_chaos(&cfg, 2);
+        let wall = started.elapsed();
+        if kind == AllocatorKind::BitReversal {
+            assert!(
+                out.passed(),
+                "bit-reversal chaos recovery failed:\n{}",
+                out.render_report()
+            );
+        } else {
+            assert!(
+                !out.passed(),
+                "first-fit negative control unexpectedly recovered clean"
+            );
+        }
+        println!(
+            "chaos {}: {} post-repair violation(s), {} evicted, {} reinstalled, \
+             {} fault(s) injected, {:.3}s wall",
+            kind.name(),
+            out.violations(),
+            out.recovery.evicted,
+            out.recovery.reinstalled,
+            out.faults_injected,
+            wall.as_secs_f64()
+        );
+        let rounds = u64::from(cfg.rounds.max(1));
+        let per_round = wall.as_nanos() as f64 / rounds as f64;
+        records.push(BenchRecord {
+            name: format!("chaos/recover/{}", kind.name()),
+            iters: rounds,
+            ns_per_op: per_round,
+            p50_ns: per_round,
+            p99_ns: per_round,
+        });
+    }
+    records
+}
+
 /// The 2-VL weighted fabric used both as a benchmark body and as the
 /// instrumented run behind `per_vl_shares` (weights 12:4 = 3:1).
 fn shares_fabric() -> Fabric {
@@ -276,6 +324,11 @@ fn main() {
     write_report(
         "BENCH_audit.json",
         &bench_json("audit", &bench_audit(), &[]),
+    );
+
+    write_report(
+        "BENCH_chaos.json",
+        &bench_json("chaos", &bench_chaos(), &[]),
     );
 
     h.finish();

@@ -18,6 +18,7 @@ COMMANDS:
     report  instrumented run: per-VL metrics and serviced-bytes shares
     trace   instrumented run: decode the newest ring-buffer events
     audit   check the per-SL service guarantee against a live grant stream
+    chaos   inject faults + table corruption, recover, re-audit guarantees
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
 
@@ -29,13 +30,16 @@ OPTIONS:
     --limit <L>            (trace) events to print, 0 = all  [default: 32]
     --seeds <N>            (sweep) points: seeds S..S+N-1    [default: 4]
     --threads <T>          (sweep) worker threads, 0 = IBA_THREADS/auto
-    --allocator <A>        (audit) bit-reversal | first-fit | reverse-fit
+    --allocator <A>        (audit/chaos) bit-reversal | first-fit | reverse-fit
+    --rounds <R>           (chaos) corruption/repair rounds   [default: 3]
     --perfetto <FILE>      (audit/trace/sweep) write a Perfetto/Chrome
                            trace-event JSON timeline to FILE
     --background           add best-effort background traffic
     --dot                  (topo) emit Graphviz DOT instead of a summary
 
 `audit` exits non-zero when any service-guarantee violation is observed.
+`chaos` exits non-zero when recovery leaves a violation (or an
+inconsistent table) behind; `--seeds` sizes its faulted fabric sweep.
 ";
 
 /// Which subcommand to run.
@@ -55,6 +59,8 @@ pub enum Command {
     Trace,
     /// Service-guarantee audit of one saturated port.
     Audit,
+    /// Fault injection + recovery with a post-repair guarantee audit.
+    Chaos,
     /// Educational walkthrough.
     Demo,
     /// Print usage.
@@ -80,8 +86,10 @@ pub struct Args {
     pub seeds: u64,
     /// `--threads` (sweep): worker threads; 0 = `IBA_THREADS`/auto.
     pub threads: usize,
-    /// `--allocator` (audit): allocation policy under audit.
+    /// `--allocator` (audit/chaos): allocation policy under audit.
     pub allocator: AllocatorKind,
+    /// `--rounds` (chaos): corruption/repair rounds.
+    pub rounds: u32,
     /// `--perfetto` (audit/trace/sweep): write a Perfetto/Chrome
     /// trace-event JSON file here.
     pub perfetto: Option<String>,
@@ -103,6 +111,7 @@ impl Default for Args {
             seeds: 4,
             threads: 0,
             allocator: AllocatorKind::BitReversal,
+            rounds: 3,
             perfetto: None,
             background: false,
             dot: false,
@@ -153,6 +162,7 @@ impl Args {
             "report" => Command::Report,
             "trace" => Command::Trace,
             "audit" => Command::Audit,
+            "chaos" => Command::Chaos,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError::UnknownCommand(other.to_string())),
@@ -163,7 +173,7 @@ impl Args {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
                 "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
-                | "--threads" | "--allocator" | "--perfetto" => {
+                | "--threads" | "--allocator" | "--rounds" | "--perfetto" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -184,6 +194,7 @@ impl Args {
                                 .find(|k| k.name() == value.as_str())
                                 .ok_or_else(bad)?;
                         }
+                        "--rounds" => args.rounds = value.parse().map_err(|_| bad())?,
                         "--perfetto" => {
                             if value.is_empty() {
                                 return Err(bad());
@@ -324,6 +335,26 @@ mod tests {
         assert!(matches!(
             Args::parse(&argv("audit --perfetto")).unwrap_err(),
             ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let a = Args::parse(&argv("chaos")).unwrap();
+        assert_eq!(a.command, Command::Chaos);
+        assert_eq!(a.allocator, AllocatorKind::BitReversal);
+        assert_eq!(a.rounds, 3);
+        let a = Args::parse(&argv(
+            "chaos --allocator first-fit --mtu 4096 --rounds 5 --seeds 2 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(a.allocator, AllocatorKind::FirstFit);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.seeds, 2);
+        assert_eq!(a.threads, 2);
+        assert!(matches!(
+            Args::parse(&argv("chaos --rounds banana")).unwrap_err(),
+            ParseError::BadValue(_, _)
         ));
     }
 

@@ -354,7 +354,40 @@ pub fn audit(args: &Args) -> Result<String, String> {
     if outcome.passed() {
         Ok(out)
     } else {
-        Err(out)
+        // Failure contract: the first stderr line is machine-readable.
+        Err(format!(
+            "audit: verdict=FAIL violations={} allocator={} mtu={} seed={}\n{out}",
+            outcome.violations(),
+            args.allocator.name(),
+            args.mtu,
+            args.seed,
+        ))
+    }
+}
+
+/// `ibaqos chaos` — fills a port's table, injects `--rounds` of seeded
+/// corruption each answered by the guarantee-preserving
+/// `RecoveryManager`, re-audits the repaired table against the original
+/// contracts, and runs a faulted full-fabric sweep (seeded fault plans
+/// through the event calendar) whose delivery digest witnesses
+/// determinism. Returns `Err` (non-zero process exit, machine-readable
+/// first stderr line) when recovery leaves a violation or an
+/// inconsistent table behind.
+pub fn chaos(args: &Args) -> Result<String, String> {
+    let mut cfg = iba_harness::ChaosConfig::new(args.allocator, args.mtu, args.seed);
+    cfg.rounds = args.rounds;
+    cfg.sweep_points = args.seeds as usize;
+    let threads = if args.threads == 0 {
+        iba_harness::threads_from_env()
+    } else {
+        args.threads
+    };
+    let outcome = iba_harness::run_chaos(&cfg, threads);
+    let out = outcome.render_report();
+    if outcome.passed() {
+        Ok(out)
+    } else {
+        Err(format!("{}\n{out}", outcome.summary_line()))
     }
 }
 

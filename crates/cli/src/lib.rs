@@ -14,6 +14,8 @@
 //!               [--perfetto FILE]                       decoded event trace
 //! ibaqos audit  [--allocator A] [--mtu M] [--seed S]
 //!               [--perfetto FILE]                       service-guarantee audit
+//! ibaqos chaos  [--allocator A] [--mtu M] [--seed S]
+//!               [--rounds R] [--seeds N] [--threads T]  fault-injection + recovery
 //! ibaqos demo                                           table-filling walkthrough
 //! ```
 //!
@@ -22,7 +24,11 @@
 //! in the repository-level `METRICS.md` contract. `audit` checks the
 //! paper's distance guarantee against a live grant stream and exits
 //! non-zero on any violation; `--perfetto` writes a Chrome trace-event
-//! timeline viewable at <https://ui.perfetto.dev>.
+//! timeline viewable at <https://ui.perfetto.dev>. `chaos` damages the
+//! filled table under seeded fault injection, recovers it with the
+//! guarantee-preserving `RecoveryManager` and exits non-zero when any
+//! post-repair violation remains; on failure both `audit` and `chaos`
+//! print a machine-readable `verdict=FAIL` line first on stderr.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Report => Ok(commands::report(&args)),
         Command::Trace => commands::trace(&args),
         Command::Audit => commands::audit(&args),
+        Command::Chaos => commands::chaos(&args),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),
     }

@@ -51,7 +51,7 @@ pub use eset::ESet;
 pub use rng::SplitMix64;
 pub use sequence::{SequenceId, SequenceInfo};
 pub use sl::{ServiceLevel, SlProfile, SlTable, SlToVlMap, TrafficClass};
-pub use table::{Admission, HighPriorityTable, TableError};
+pub use table::{Admission, EvictedSequence, HighPriorityTable, RepairReport, TableError};
 pub use vlarb::{ArbEntry, Grant, ServedBy, VlArbConfig, VlArbEngine};
 pub use weight::{
     bandwidth_for_weight, bytes_to_weight_units, weight_for_bandwidth, Weight, MAX_ENTRY_WEIGHT,

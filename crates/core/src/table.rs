@@ -7,6 +7,7 @@ use crate::defrag::{canonical_plan, Relocation};
 use crate::distance::{effective_request, Distance};
 use crate::entry::{TableSlot, VirtualLane, TABLE_ENTRIES};
 use crate::eset::ESet;
+use crate::rng::SplitMix64;
 use crate::sequence::{Sequence, SequenceId, SequenceInfo};
 use crate::sl::ServiceLevel;
 use crate::weight::{Weight, MAX_TABLE_WEIGHT};
@@ -52,6 +53,36 @@ pub struct Admission {
     /// `true` when a new sequence was allocated (vs joining an existing
     /// one).
     pub new_sequence: bool,
+}
+
+/// A sequence that [`HighPriorityTable::repair`] had to evict because
+/// its bookkeeping could not be trusted (overlapping entry set, drained
+/// weight). Carries everything an admission layer needs to re-install
+/// the reservation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvictedSequence {
+    /// Service level of the evicted reservation.
+    pub sl: ServiceLevel,
+    /// Virtual lane it was served on.
+    pub vl: VirtualLane,
+    /// Entry spacing the reservation held before eviction.
+    pub distance: Distance,
+    /// Total reserved weight (0 when the damage drained it).
+    pub weight: Weight,
+    /// Connections that shared the sequence.
+    pub connections: u32,
+}
+
+/// Outcome of one [`HighPriorityTable::repair`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Whether the table failed its consistency check before repair.
+    pub was_damaged: bool,
+    /// Sequences evicted because their bookkeeping was untrustworthy;
+    /// re-admitting them is the caller's (recovery manager's) job.
+    pub evicted: Vec<EvictedSequence>,
+    /// Relocations performed by the post-repair defragmentation.
+    pub relocations: usize,
 }
 
 /// The high-priority table of one output port.
@@ -451,6 +482,131 @@ impl HighPriorityTable {
         }
         Ok(())
     }
+
+    /// Deterministically damages the table (for fault injection):
+    /// garbles or drops slot contents, flips occupancy bits, orphans a
+    /// sequence's slots and collides entry sets — the failure modes a
+    /// VLArb table update loss or partial write would produce. Returns
+    /// the number of damage operations applied (0 on an empty table).
+    ///
+    /// The damage is repairable: [`HighPriorityTable::repair`] always
+    /// restores consistency afterwards.
+    pub fn inject_corruption(&mut self, rng: &mut SplitMix64) -> usize {
+        let busy_slots: Vec<usize> = (0..TABLE_ENTRIES)
+            .filter(|i| self.occupancy & (1 << i) != 0)
+            .collect();
+        let live_ids: Vec<usize> = (0..self.sequences.len())
+            .filter(|&i| self.sequences[i].is_some())
+            .collect();
+        if busy_slots.is_empty() || live_ids.is_empty() {
+            return 0;
+        }
+        let ops = 1 + (rng.next_u64() % 3) as usize;
+        for _ in 0..ops {
+            match rng.next_u64() % 5 {
+                0 => {
+                    // Garble a busy slot's weight.
+                    let slot = busy_slots[(rng.next_u64() as usize) % busy_slots.len()];
+                    self.slots[slot].weight = (rng.next_u64() & 0xFF) as u8;
+                }
+                1 => {
+                    // Entry loss: a busy slot reads back as free.
+                    let slot = busy_slots[(rng.next_u64() as usize) % busy_slots.len()];
+                    self.slots[slot] = TableSlot::FREE;
+                }
+                2 => {
+                    // Occupancy bit flip.
+                    let slot = busy_slots[(rng.next_u64() as usize) % busy_slots.len()];
+                    self.occupancy ^= 1 << slot;
+                }
+                3 => {
+                    // Orphan: drop a sequence's bookkeeping, leaving its
+                    // slots and occupancy bits behind.
+                    let id = live_ids[(rng.next_u64() as usize) % live_ids.len()];
+                    if let Some(seq) = self.sequences[id].take() {
+                        self.reserved_weight =
+                            self.reserved_weight.saturating_sub(seq.total_weight);
+                    }
+                }
+                _ => {
+                    // Entry-set collision: move a sequence onto a random
+                    // same-distance offset, possibly on top of another.
+                    let id = live_ids[(rng.next_u64() as usize) % live_ids.len()];
+                    if let Some(seq) = self.sequences[id].as_mut() {
+                        let d = seq.eset.distance();
+                        let offset = (rng.next_u64() as usize) % d.slots();
+                        seq.eset = ESet::new(d, offset);
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// Hot table repair: rebuilds a consistent table from the sequence
+    /// bookkeeping, evicting every sequence whose state cannot be
+    /// trusted (entry sets overlapping a lower-numbered survivor,
+    /// drained weight or zero connections), then re-packs the survivors
+    /// with the canonical bit-reversal defragmentation.
+    ///
+    /// Postcondition: [`HighPriorityTable::check_consistency`] passes.
+    /// Evicted reservations are reported for re-admission by the
+    /// recovery layer; their capacity is released here.
+    pub fn repair(&mut self) -> RepairReport {
+        let was_damaged = self.check_consistency().is_err();
+        let mut evicted = Vec::new();
+        // Eviction pass in ascending id order (deterministic): a
+        // sequence survives only if it does not overlap the already
+        // accepted set and still holds live weight.
+        let mut occ = 0u64;
+        for i in 0..self.sequences.len() {
+            let Some(seq) = self.sequences[i].as_ref() else {
+                continue;
+            };
+            let mask = seq.eset.mask();
+            if occ & mask != 0 || seq.total_weight == 0 || seq.connections == 0 {
+                if let Some(seq) = self.sequences[i].take() {
+                    evicted.push(EvictedSequence {
+                        sl: seq.sl,
+                        vl: seq.vl,
+                        distance: seq.eset.distance(),
+                        weight: seq.total_weight,
+                        connections: seq.connections,
+                    });
+                }
+                continue;
+            }
+            occ |= mask;
+        }
+        // Rebuild the derived state — occupancy, reserved weight and
+        // every slot — from the surviving sequences alone.
+        self.occupancy = occ;
+        self.reserved_weight = self
+            .sequences
+            .iter()
+            .flatten()
+            .map(|s| s.total_weight)
+            .sum();
+        self.slots = [TableSlot::FREE; TABLE_ENTRIES];
+        let ids: Vec<SequenceId> = self
+            .sequences
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| SequenceId(i as u32)))
+            .collect();
+        for id in ids {
+            self.rewrite_sequence_slots(id);
+        }
+        // Canonical re-pack: the repaired table serves the strictest
+        // requests its free-entry count permits.
+        let relocations = self.defragment().len();
+        debug_assert!(self.check_consistency().is_ok(), "repair left damage");
+        RepairReport {
+            was_damaged,
+            evicted,
+            relocations,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -609,6 +765,92 @@ mod tests {
         let adm = t.admit(sl(0), vl(0), Distance::D2, 32).unwrap();
         assert!(adm.new_sequence);
         t.check_consistency().unwrap();
+    }
+
+    fn filled_table(seed: u64) -> HighPriorityTable {
+        let mut t = HighPriorityTable::new();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for k in 0..8u8 {
+            let d = match rng.next_u64() % 4 {
+                0 => Distance::D8,
+                1 => Distance::D16,
+                2 => Distance::D32,
+                _ => Distance::D64,
+            };
+            let w = 10 + (rng.next_u64() % 80) as u32;
+            // Distinct SLs so nothing joins; ignore full-table rejects.
+            let _ = t.admit(sl(k % 10), vl(k % 10), d, w);
+        }
+        t.check_consistency().unwrap();
+        t
+    }
+
+    #[test]
+    fn corruption_damages_and_repair_heals() {
+        let mut t = filled_table(11);
+        let mut rng = SplitMix64::seed_from_u64(0xDEAD);
+        let ops = t.inject_corruption(&mut rng);
+        assert!(ops > 0);
+        let report = t.repair();
+        t.check_consistency().unwrap();
+        assert!(report.was_damaged || report.evicted.is_empty());
+    }
+
+    #[test]
+    fn repair_on_healthy_table_is_a_noop() {
+        let mut t = filled_table(3);
+        let before: Vec<_> = t.sequences().collect();
+        let report = t.repair();
+        assert!(!report.was_damaged);
+        assert!(report.evicted.is_empty());
+        let after: Vec<_> = t.sequences().collect();
+        assert_eq!(before.len(), after.len());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn repair_always_restores_consistency_property() {
+        // Seeded property sweep: whatever the damage, repair ends in a
+        // consistent table whose free entries serve the strictest
+        // request their count permits (canonical layout).
+        for seed in 0..200u64 {
+            let mut t = filled_table(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC0FFEE);
+            t.inject_corruption(&mut rng);
+            let report = t.repair();
+            t.check_consistency()
+                .unwrap_or_else(|e| panic!("seed {seed}: repair left damage: {e}"));
+            assert!(crate::defrag::is_canonical(t.occupancy()));
+            // Evicted capacity was released: survivors account for all
+            // reserved weight, so every eviction is re-admissible in
+            // principle.
+            for ev in &report.evicted {
+                assert!(ev.weight == 0 || ev.distance.slots() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_reports_overlap_evictions() {
+        let mut t = HighPriorityTable::new();
+        let a = t.admit(sl(1), vl(1), Distance::D16, 40).unwrap();
+        let b = t.admit(sl(2), vl(2), Distance::D16, 60).unwrap();
+        // Force b onto a's entry set: an overlap repair must resolve by
+        // evicting the higher-numbered sequence.
+        let eset_a = t.sequences[a.sequence.0 as usize].as_ref().unwrap().eset;
+        t.sequences[b.sequence.0 as usize].as_mut().unwrap().eset = eset_a;
+        assert!(t.check_consistency().is_err());
+        let report = t.repair();
+        assert!(report.was_damaged);
+        assert_eq!(report.evicted.len(), 1);
+        let ev = report.evicted[0];
+        assert_eq!(ev.weight, 60);
+        assert_eq!(ev.distance, Distance::D16);
+        t.check_consistency().unwrap();
+        // The survivor keeps its reservation; the evicted weight is
+        // released and re-admissible.
+        assert_eq!(t.reserved_weight(), 40);
+        assert!(t.can_admit(sl(2), Distance::D16, 60));
     }
 
     #[test]

@@ -168,15 +168,17 @@ pub fn run_audit_spanned(
 }
 
 /// Fill-phase result: the loaded table plus the per-VL contracted
-/// distances and counters.
-struct Fill {
-    table: HighPriorityTable,
+/// distances and counters. Crate-visible so the chaos drive
+/// (`crate::chaos`) can damage the filled table and re-audit after
+/// recovery.
+pub(crate) struct Fill {
+    pub(crate) table: HighPriorityTable,
     /// Strictest *contracted* distance per VL (what the class was sold,
     /// not what the allocator managed to install).
-    contracted: [Option<Distance>; 16],
-    accepted: u64,
-    rejected: u64,
-    fallback_installs: u64,
+    pub(crate) contracted: [Option<Distance>; 16],
+    pub(crate) accepted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) fallback_installs: u64,
 }
 
 /// Fills one port's high-priority table with random paper-Table-1
@@ -189,7 +191,7 @@ struct Fill {
 /// request is installed at the nearest distance that fits while the
 /// contract keeps the requested distance — the degraded-install
 /// fallback described in the module docs.
-fn fill_table(config: &AuditConfig) -> Fill {
+pub(crate) fn fill_table(config: &AuditConfig) -> Fill {
     let mut table = HighPriorityTable::with_allocator(config.allocator);
     table.set_capacity_limit((0.8 * f64::from(MAX_TABLE_WEIGHT)) as u32);
 
@@ -291,7 +293,7 @@ fn admit_with_fallback(
 /// Drives the filled table through a [`VlArbEngine`] under saturation
 /// (every admitted VL always has a whole-`mtu` packet ready) and audits
 /// the grant stream against the contracted budgets.
-fn drive_engine(config: &AuditConfig, fill: Fill) -> AuditOutcome {
+pub(crate) fn drive_engine(config: &AuditConfig, fill: Fill) -> AuditOutcome {
     let occupied_entries = TABLE_ENTRIES - fill.table.free_entries();
     let reserved_weight = fill.table.reserved_weight();
 

@@ -10,7 +10,7 @@
 use iba_core::SlTable;
 use iba_obs::{NullRecorder, ObsRecorder, Recorder};
 use iba_qos::{FillReport, QosFrame, QosObserver};
-use iba_sim::{DeliveryRecord, FabricStats, Observer, SimConfig};
+use iba_sim::{DeliveryRecord, FabricStats, FaultPlan, Observer, SimConfig};
 use iba_topo::irregular::{generate, IrregularConfig};
 use iba_topo::updown;
 use iba_traffic::besteffort::BackgroundConfig;
@@ -139,14 +139,44 @@ pub fn run_measured_instrumented<R: Recorder>(
     run_measured_with(exp, steady_packets, background, rec)
 }
 
+/// [`run_measured`] with a [`FaultPlan`] injected through the fabric's
+/// event calendar before the run starts. Faults scheduled inside the
+/// warm-up window fire uninstrumented (like everything else there); the
+/// digest and metrics cover only the steady-state window, and the
+/// result stays a pure function of `(exp, plan)` — the chaos sweep's
+/// determinism check holds the digest identical at any thread count.
+#[must_use]
+pub fn run_measured_faulted<R: Recorder>(
+    exp: &Experiment,
+    steady_packets: u64,
+    background: bool,
+    plan: &FaultPlan,
+    rec: &mut R,
+) -> Measured {
+    run_measured_inner(exp, steady_packets, background, Some(plan), rec)
+}
+
 fn run_measured_with<R: Recorder>(
     exp: &Experiment,
     steady_packets: u64,
     background: bool,
     rec: &mut R,
 ) -> Measured {
+    run_measured_inner(exp, steady_packets, background, None, rec)
+}
+
+fn run_measured_inner<R: Recorder>(
+    exp: &Experiment,
+    steady_packets: u64,
+    background: bool,
+    plan: Option<&FaultPlan>,
+    rec: &mut R,
+) -> Measured {
     let bg = background.then(BackgroundConfig::default);
     let (mut fabric, mut obs) = exp.frame.build_fabric(exp.seed ^ 0xABCD, bg.as_ref());
+    if let Some(p) = plan {
+        fabric.apply_fault_plan(p);
+    }
 
     let slowest_iat = exp.frame.steady_state_cycles(1);
     let transient = slowest_iat * 2;

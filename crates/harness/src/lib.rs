@@ -19,14 +19,16 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod chaos;
 pub mod engine;
 pub mod experiment;
 pub mod sweep;
 
 pub use audit::{run_audit, run_audit_spanned, AuditConfig, AuditOutcome};
+pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome};
 pub use engine::{run_sweep, run_sweep_recorded, run_sweep_recorded_with, threads_from_env};
 pub use experiment::{
-    build_experiment_sized, run_measured, run_measured_instrumented, run_measured_recorded,
-    Experiment, Measured,
+    build_experiment_sized, run_measured, run_measured_faulted, run_measured_instrumented,
+    run_measured_recorded, Experiment, Measured,
 };
 pub use sweep::{run_points, run_points_spanned, PointOutcome, SimPoint};

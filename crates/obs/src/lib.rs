@@ -52,4 +52,4 @@ pub use perfetto::perfetto_trace;
 pub use recorder::{NullRecorder, ObsRecorder, Recorder, RejectKind, ServedKind};
 pub use report::{bench_json, render_metrics, vl_shares, BenchRecord, VlShare};
 pub use span::{SpanEvent, SpanPhase, SpanRecorder};
-pub use trace::{RingTracer, TraceEvent, RECORD_BYTES};
+pub use trace::{fault_code, RingTracer, TraceEvent, RECORD_BYTES};

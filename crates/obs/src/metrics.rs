@@ -233,6 +233,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "audit_gap_max",
     "audit_bound_cycles",
     "audit_violations_total",
+    "fault_injected_total",
+    "fault_blocked_total",
+    "recovery_repairs_total",
+    "recovery_evicted_total",
+    "recovery_reinstalls_total",
+    "recovery_retries_total",
+    "recovery_degraded_total",
+    "recovery_backoff_cycles",
     "span_records_total",
     "span_dropped_total",
 ];
@@ -356,6 +364,30 @@ pub struct Metrics {
     /// `audit_violations_total`: grants whose gap exceeded the budget,
     /// per VL.
     pub audit_violations: PerLane<Counter>,
+    /// `fault_injected_total`: fault actions applied by the
+    /// fault-injection calendar.
+    pub fault_injected: Counter,
+    /// `fault_blocked_total`: arbitration candidates suppressed by an
+    /// active fault (link down, VL blackout or credit stall), per VL.
+    pub fault_blocked: PerLane<Counter>,
+    /// `recovery_repairs_total`: damaged-table repair passes performed
+    /// by the recovery manager.
+    pub recovery_repairs: Counter,
+    /// `recovery_evicted_total`: orphaned/corrupt sequences evicted
+    /// during repair.
+    pub recovery_evicted: Counter,
+    /// `recovery_reinstalls_total`: sequences re-installed after a
+    /// repair (at contracted or degraded distance).
+    pub recovery_reinstalls: Counter,
+    /// `recovery_retries_total`: bounded admission retries taken by the
+    /// recovery manager.
+    pub recovery_retries: Counter,
+    /// `recovery_degraded_total`: re-installs that had to loosen the
+    /// contracted distance (graceful-degradation ladder).
+    pub recovery_degraded: Counter,
+    /// `recovery_backoff_cycles`: deterministic exponential backoff
+    /// delay per retry, in cycles.
+    pub recovery_backoff_cycles: Histogram,
     /// `span_records_total`: span profiler records exported (explicit
     /// [`crate::span::SpanRecorder::export_into`] only — wall-clock
     /// data never enters a registry implicitly).
@@ -501,6 +533,51 @@ impl Metrics {
         for (i, c) in self.audit_violations.0.iter().enumerate() {
             counter(&mut out, "audit_violations_total", Dim::Vl(i as u8), *c);
         }
+        counter(
+            &mut out,
+            "fault_injected_total",
+            Dim::None,
+            self.fault_injected,
+        );
+        for (i, c) in self.fault_blocked.0.iter().enumerate() {
+            counter(&mut out, "fault_blocked_total", Dim::Vl(i as u8), *c);
+        }
+        counter(
+            &mut out,
+            "recovery_repairs_total",
+            Dim::None,
+            self.recovery_repairs,
+        );
+        counter(
+            &mut out,
+            "recovery_evicted_total",
+            Dim::None,
+            self.recovery_evicted,
+        );
+        counter(
+            &mut out,
+            "recovery_reinstalls_total",
+            Dim::None,
+            self.recovery_reinstalls,
+        );
+        counter(
+            &mut out,
+            "recovery_retries_total",
+            Dim::None,
+            self.recovery_retries,
+        );
+        counter(
+            &mut out,
+            "recovery_degraded_total",
+            Dim::None,
+            self.recovery_degraded,
+        );
+        if self.recovery_backoff_cycles.count() > 0 {
+            out.push(Self::hist_sample(
+                "recovery_backoff_cycles",
+                &self.recovery_backoff_cycles,
+            ));
+        }
         counter(&mut out, "span_records_total", Dim::None, self.span_records);
         counter(&mut out, "span_dropped_total", Dim::None, self.span_dropped);
         out
@@ -581,6 +658,22 @@ impl Metrics {
         {
             a.merge(*b);
         }
+        self.fault_injected.merge(other.fault_injected);
+        for (a, b) in self
+            .fault_blocked
+            .0
+            .iter_mut()
+            .zip(other.fault_blocked.0.iter())
+        {
+            a.merge(*b);
+        }
+        self.recovery_repairs.merge(other.recovery_repairs);
+        self.recovery_evicted.merge(other.recovery_evicted);
+        self.recovery_reinstalls.merge(other.recovery_reinstalls);
+        self.recovery_retries.merge(other.recovery_retries);
+        self.recovery_degraded.merge(other.recovery_degraded);
+        self.recovery_backoff_cycles
+            .merge(&other.recovery_backoff_cycles);
         self.span_records.merge(other.span_records);
         self.span_dropped.merge(other.span_dropped);
     }
@@ -691,6 +784,14 @@ mod tests {
         m.audit_gap_max.lane(1).set(400);
         m.audit_bound_cycles.lane(1).set(1000);
         m.audit_violations.lane(1).incr();
+        m.fault_injected.incr();
+        m.fault_blocked.lane(2).incr();
+        m.recovery_repairs.incr();
+        m.recovery_evicted.add(3);
+        m.recovery_reinstalls.add(2);
+        m.recovery_retries.incr();
+        m.recovery_degraded.incr();
+        m.recovery_backoff_cycles.observe(128);
         m.span_records.add(2);
         m.span_dropped.incr();
         let snap = m.snapshot();

@@ -90,6 +90,14 @@ fn sim_event_fields(ev: &TraceEvent) -> (u8, &'static str, Vec<(String, Json)>) 
                 ("found".to_string(), Json::Bool(found)),
             ],
         ),
+        TraceEvent::Fault { code, port, detail } => (
+            0,
+            crate::trace::fault_code::label(code),
+            vec![
+                ("port".to_string(), Json::uint(u64::from(port))),
+                ("detail".to_string(), Json::uint(u64::from(detail))),
+            ],
+        ),
     }
 }
 

@@ -160,6 +160,38 @@ pub trait Recorder {
     #[inline]
     fn cac_release(&mut self) {}
 
+    /// A fault action was applied by the fault-injection calendar.
+    /// `code` is one of the [`crate::trace::fault_code`] constants,
+    /// `port` the affected port and `detail` a code-specific value
+    /// (mask, rate shift, corruption seed).
+    #[inline]
+    fn fault_injected(&mut self, _code: u8, _port: u16, _detail: u32) {}
+
+    /// An arbitration candidate on `vl` was suppressed by an active
+    /// fault (link down, VL blackout or frozen credits).
+    #[inline]
+    fn fault_blocked(&mut self, _vl: u8) {}
+
+    /// The recovery manager repaired a damaged table, evicting
+    /// `evicted` orphaned or corrupt sequences.
+    #[inline]
+    fn recovery_repair(&mut self, _evicted: u64) {}
+
+    /// The recovery manager re-installed a repaired sequence (or a
+    /// repaired table onto the fabric).
+    #[inline]
+    fn recovery_reinstall(&mut self) {}
+
+    /// The recovery manager retried an admission after a deterministic
+    /// backoff of `backoff_cycles` cycles.
+    #[inline]
+    fn recovery_retry(&mut self, _backoff_cycles: u64) {}
+
+    /// A recovery re-install had to loosen the contracted distance
+    /// (one step down the graceful-degradation ladder).
+    #[inline]
+    fn recovery_degraded(&mut self) {}
+
     /// A wall-clock profiling span named `name` opened on the calling
     /// thread. No-op unless the recorder carries a
     /// [`crate::span::SpanRecorder`].
@@ -333,6 +365,54 @@ impl Recorder for ObsRecorder {
         self.trace(TraceEvent::Release);
     }
 
+    fn fault_injected(&mut self, code: u8, port: u16, detail: u32) {
+        self.metrics.fault_injected.incr();
+        self.trace(TraceEvent::Fault { code, port, detail });
+    }
+
+    #[inline]
+    fn fault_blocked(&mut self, vl: u8) {
+        self.metrics.fault_blocked.lane(vl).incr();
+    }
+
+    fn recovery_repair(&mut self, evicted: u64) {
+        self.metrics.recovery_repairs.incr();
+        self.metrics.recovery_evicted.add(evicted);
+        self.trace(TraceEvent::Fault {
+            code: crate::trace::fault_code::RECOVERY_REPAIR,
+            port: 0,
+            detail: u32::try_from(evicted).unwrap_or(u32::MAX),
+        });
+    }
+
+    fn recovery_reinstall(&mut self) {
+        self.metrics.recovery_reinstalls.incr();
+        self.trace(TraceEvent::Fault {
+            code: crate::trace::fault_code::RECOVERY_REINSTALL,
+            port: 0,
+            detail: 0,
+        });
+    }
+
+    fn recovery_retry(&mut self, backoff_cycles: u64) {
+        self.metrics.recovery_retries.incr();
+        self.metrics.recovery_backoff_cycles.observe(backoff_cycles);
+        self.trace(TraceEvent::Fault {
+            code: crate::trace::fault_code::RECOVERY_RETRY,
+            port: 0,
+            detail: u32::try_from(backoff_cycles).unwrap_or(u32::MAX),
+        });
+    }
+
+    fn recovery_degraded(&mut self) {
+        self.metrics.recovery_degraded.incr();
+        self.trace(TraceEvent::Fault {
+            code: crate::trace::fault_code::RECOVERY_DEGRADED,
+            port: 0,
+            detail: 0,
+        });
+    }
+
     #[inline]
     fn span_begin(&mut self, name: &'static str) {
         if let Some(s) = self.spans.as_mut() {
@@ -399,6 +479,43 @@ mod tests {
             .unwrap_or_default();
         assert!(!records.is_empty());
         assert!(records.iter().all(|(t, _)| *t == 100));
+    }
+
+    #[test]
+    fn fault_and_recovery_hooks_update_metrics_and_trace() {
+        use crate::trace::fault_code;
+        let mut r = ObsRecorder::with_tracer(16);
+        r.tick(42);
+        r.fault_injected(fault_code::LINK_DOWN, 3, 0);
+        r.fault_blocked(5);
+        r.recovery_repair(4);
+        r.recovery_reinstall();
+        r.recovery_retry(256);
+        r.recovery_degraded();
+
+        let m = &r.metrics;
+        assert_eq!(m.fault_injected.get(), 1);
+        assert_eq!(m.fault_blocked.0[5].get(), 1);
+        assert_eq!(m.recovery_repairs.get(), 1);
+        assert_eq!(m.recovery_evicted.get(), 4);
+        assert_eq!(m.recovery_reinstalls.get(), 1);
+        assert_eq!(m.recovery_retries.get(), 1);
+        assert_eq!(m.recovery_degraded.get(), 1);
+        assert_eq!(m.recovery_backoff_cycles.count(), 1);
+        assert_eq!(m.recovery_backoff_cycles.sum(), 256);
+
+        let records = r.tracer.as_ref().map(RingTracer::records).unwrap();
+        // fault_blocked is metrics-only; the other five hooks trace.
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|(t, _)| *t == 42));
+        assert!(matches!(
+            records[0].1,
+            TraceEvent::Fault {
+                code: fault_code::LINK_DOWN,
+                port: 3,
+                detail: 0
+            }
+        ));
     }
 
     #[test]

@@ -38,6 +38,58 @@ pub const KIND_REJECT: u8 = 6;
 pub const KIND_RELEASE: u8 = 7;
 /// Record kind: an allocator select (probe-sequence walk) finished.
 pub const KIND_ALLOC_SELECT: u8 = 8;
+/// Record kind: a fault-injection or recovery action. The `lane` byte
+/// carries a sub-kind from [`fault_code`], `aux` the affected port and
+/// `value` a sub-kind-specific detail (mask, rate shift, eviction
+/// count, backoff cycles).
+pub const KIND_FAULT: u8 = 9;
+
+/// Sub-kind codes carried in the `lane` byte of a
+/// [`TraceEvent::Fault`] record.
+pub mod fault_code {
+    /// Link rate degraded; `value` is the slow-down shift (0 restores
+    /// full rate).
+    pub const LINK_DEGRADE: u8 = 0;
+    /// Link taken down (no new transfers start).
+    pub const LINK_DOWN: u8 = 1;
+    /// Link restored.
+    pub const LINK_UP: u8 = 2;
+    /// VL blackout mask installed; `value` is the 16-bit VL mask.
+    pub const VL_BLACKOUT: u8 = 3;
+    /// Credit-stall mask installed; `value` is the 16-bit VL mask.
+    pub const CREDIT_STALL: u8 = 4;
+    /// Installed arbitration table corrupted; `value` is the
+    /// corruption seed's low 32 bits.
+    pub const TABLE_CORRUPT: u8 = 5;
+    /// Recovery repaired a damaged table; `value` is the number of
+    /// evicted sequences.
+    pub const RECOVERY_REPAIR: u8 = 8;
+    /// Recovery re-installed arbitration tables on the fabric.
+    pub const RECOVERY_REINSTALL: u8 = 9;
+    /// Recovery retried an admission; `value` is the backoff delay in
+    /// cycles.
+    pub const RECOVERY_RETRY: u8 = 10;
+    /// Recovery escalated a re-install down the distance ladder.
+    pub const RECOVERY_DEGRADED: u8 = 11;
+
+    /// Short label for reports; `"fault"` for unknown codes.
+    #[must_use]
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            LINK_DEGRADE => "link-degrade",
+            LINK_DOWN => "link-down",
+            LINK_UP => "link-up",
+            VL_BLACKOUT => "vl-blackout",
+            CREDIT_STALL => "credit-stall",
+            TABLE_CORRUPT => "table-corrupt",
+            RECOVERY_REPAIR => "recovery-repair",
+            RECOVERY_REINSTALL => "recovery-reinstall",
+            RECOVERY_RETRY => "recovery-retry",
+            RECOVERY_DEGRADED => "recovery-degraded",
+            _ => "fault",
+        }
+    }
+}
 
 /// A decoded trace event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,6 +141,15 @@ pub enum TraceEvent {
         /// Whether a free sequence was found.
         found: bool,
     },
+    /// A fault was injected or a recovery action taken.
+    Fault {
+        /// Sub-kind (one of the [`fault_code`] constants).
+        code: u8,
+        /// Affected port (or 0 for table-level recovery actions).
+        port: u16,
+        /// Sub-kind-specific detail (mask, shift, evictions, cycles).
+        detail: u32,
+    },
 }
 
 impl TraceEvent {
@@ -113,6 +174,7 @@ impl TraceEvent {
             TraceEvent::AllocSelect { depth, found } => {
                 (KIND_ALLOC_SELECT, 0, u16::from(found), depth)
             }
+            TraceEvent::Fault { code, port, detail } => (KIND_FAULT, code, port, detail),
         };
         let mut buf = [0u8; RECORD_BYTES];
         buf[0..8].copy_from_slice(&now.to_le_bytes());
@@ -156,6 +218,11 @@ impl TraceEvent {
                 depth: value,
                 found: aux != 0,
             },
+            KIND_FAULT => TraceEvent::Fault {
+                code: lane,
+                port: aux,
+                detail: value,
+            },
             _ => return None,
         };
         Some((time, ev))
@@ -190,6 +257,10 @@ impl TraceEvent {
             TraceEvent::AllocSelect { depth, found } => format!(
                 "{time:>10}  alloc-select     depth={depth} result={}",
                 if found { "found" } else { "exhausted" }
+            ),
+            TraceEvent::Fault { code, port, detail } => format!(
+                "{time:>10}  fault            kind={} port={port} detail={detail}",
+                fault_code::label(code)
             ),
         }
     }
@@ -324,6 +395,16 @@ mod tests {
                 depth: 64,
                 found: false,
             },
+            TraceEvent::Fault {
+                code: fault_code::LINK_DOWN,
+                port: 3,
+                detail: 0,
+            },
+            TraceEvent::Fault {
+                code: fault_code::RECOVERY_REPAIR,
+                port: 0,
+                detail: 5,
+            },
         ];
         for (i, ev) in events.iter().enumerate() {
             let t = 1000 + i as u64;
@@ -332,7 +413,7 @@ mod tests {
         }
         // Every declared KIND_* constant is exercised above: the wire
         // kinds seen on encode must be exactly the declared set, with
-        // no numbering gaps left in 1..=8.
+        // no numbering gaps left in 1..=9.
         let mut kinds: Vec<u8> = events.iter().map(|ev| ev.encode(0)[8]).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -347,9 +428,31 @@ mod tests {
                 KIND_REJECT,
                 KIND_RELEASE,
                 KIND_ALLOC_SELECT,
+                KIND_FAULT,
             ]
         );
-        assert_eq!(kinds, (1..=8).collect::<Vec<u8>>());
+        assert_eq!(kinds, (1..=9).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn fault_codes_have_distinct_labels() {
+        let codes = [
+            fault_code::LINK_DEGRADE,
+            fault_code::LINK_DOWN,
+            fault_code::LINK_UP,
+            fault_code::VL_BLACKOUT,
+            fault_code::CREDIT_STALL,
+            fault_code::TABLE_CORRUPT,
+            fault_code::RECOVERY_REPAIR,
+            fault_code::RECOVERY_REINSTALL,
+            fault_code::RECOVERY_RETRY,
+            fault_code::RECOVERY_DEGRADED,
+        ];
+        let mut labels: Vec<&str> = codes.iter().map(|&c| fault_code::label(c)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), codes.len(), "fault-code labels collide");
+        assert_eq!(fault_code::label(0xEE), "fault");
     }
 
     #[test]

@@ -63,6 +63,31 @@ impl std::fmt::Display for RejectReason {
     }
 }
 
+/// A release that did not match a prior admission: the hop's table
+/// rejected it (stale sequence id or weight mismatch). Returned instead
+/// of panicking so a damaged or repaired table degrades gracefully —
+/// the reservation may have been evicted by a repair pass between admit
+/// and release.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReleaseError {
+    /// Port whose table rejected the release.
+    pub key: PortKey,
+    /// The underlying table error.
+    pub error: TableError,
+}
+
+impl std::fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "release failed at {:?} port {}: {}",
+            self.key.node, self.key.port, self.error
+        )
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
 /// The registry of high-priority tables, one per output port, created
 /// lazily with a shared configuration.
 #[derive(Clone, Debug)]
@@ -172,9 +197,12 @@ impl PortTables {
                     sequence: adm.sequence,
                 }),
                 Err(e) => {
-                    // Roll back everything reserved so far.
+                    // Roll back everything reserved so far. These
+                    // releases mirror admissions made microseconds ago,
+                    // so a failure here means concurrent table damage —
+                    // absorb it; the recovery layer re-validates tables.
                     for hop in done.into_iter().rev() {
-                        self.release_hop(hop, weight);
+                        let _ = self.release_hop(hop, weight);
                     }
                     return Err(match e {
                         TableError::NoFreeSequence => RejectReason::NoFreeSequence(key),
@@ -188,25 +216,58 @@ impl PortTables {
         Ok(done)
     }
 
-    /// Releases one hop's reservation.
-    pub fn release_hop(&mut self, hop: HopReservation, weight: Weight) {
+    /// Releases one hop's reservation. A mismatched release (stale
+    /// sequence, weight underflow — e.g. after a repair pass evicted
+    /// the reservation) is reported, not panicked on.
+    pub fn release_hop(&mut self, hop: HopReservation, weight: Weight) -> Result<(), ReleaseError> {
         let key = PortKey {
             node: hop.node,
             port: hop.port,
         };
-        let released = self.table_mut(key).release(hop.sequence, weight);
-        assert!(
-            released.is_ok(),
-            "release must match a prior admit: {:?}",
-            released.err()
-        );
+        match self.table_mut(key).release(hop.sequence, weight) {
+            Ok(_) => Ok(()),
+            Err(error) => Err(ReleaseError { key, error }),
+        }
     }
 
-    /// Releases a whole path.
-    pub fn release_path(&mut self, hops: &[HopReservation], weight: Weight) {
+    /// Releases a whole path. Every hop is attempted even when one
+    /// fails (a partial release would strand capacity); the first error
+    /// is reported.
+    pub fn release_path(
+        &mut self,
+        hops: &[HopReservation],
+        weight: Weight,
+    ) -> Result<(), ReleaseError> {
+        let mut first_err = None;
         for &hop in hops.iter().rev() {
-            self.release_hop(hop, weight);
+            if let Err(e) = self.release_hop(hop, weight) {
+                first_err.get_or_insert(e);
+            }
         }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Deterministically ordered port keys of every table touched so
+    /// far (hosts before switches is *not* the order — switches sort
+    /// first; what matters is that the order is stable across runs).
+    pub(crate) fn sorted_keys(&self) -> Vec<PortKey> {
+        let mut keys: Vec<PortKey> = self.tables.keys().copied().collect();
+        keys.sort_by_key(|k| {
+            let (kind, idx) = match k.node {
+                NodeId::Switch(s) => (0u8, s),
+                NodeId::Host(h) => (1, h),
+            };
+            (kind, idx, k.port)
+        });
+        keys
+    }
+
+    /// Mutable access to one touched table (recovery layer).
+    pub(crate) fn get_table_mut(&mut self, key: PortKey) -> Option<&mut HighPriorityTable> {
+        self.tables.get_mut(&key)
     }
 
     /// Mean reserved bandwidth (Mbps) over a set of ports, given the
@@ -306,11 +367,30 @@ mod tests {
         let hops = pt
             .admit_path(&path, sl(0), vl(0), Distance::D2, 100)
             .unwrap();
-        pt.release_path(&hops, 100);
+        pt.release_path(&hops, 100).unwrap();
         for k in &path {
             assert_eq!(pt.table(*k).unwrap().reserved_weight(), 0);
             assert_eq!(pt.table(*k).unwrap().free_entries(), 64);
         }
+    }
+
+    #[test]
+    fn mismatched_release_reports_instead_of_panicking() {
+        let mut pt = PortTables::new(0.8);
+        let path = [key(0, 0), key(1, 1)];
+        let hops = pt
+            .admit_path(&path, sl(0), vl(0), Distance::D8, 50)
+            .unwrap();
+        // Releasing more weight than reserved is a typed error.
+        let err = pt.release_hop(hops[0], 51).unwrap_err();
+        assert_eq!(err.key, key(0, 0));
+        assert_eq!(err.error, TableError::WeightUnderflow);
+        // A double release of the whole path reports the first failure
+        // but still attempts every hop.
+        pt.release_path(&hops, 50).unwrap();
+        let err = pt.release_path(&hops, 50).unwrap_err();
+        assert_eq!(err.error, TableError::UnknownSequence);
+        pt.check_all().unwrap();
     }
 
     #[test]

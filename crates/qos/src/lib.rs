@@ -15,7 +15,10 @@
 //! * [`measure`] — a simulator observer that aggregates the paper's
 //!   metrics (delay vs deadline per SL and per connection, jitter);
 //! * [`frame`] — one-call experiment orchestration: fill the network to
-//!   its admission limit and produce the flows and fabric to run.
+//!   its admission limit and produce the flows and fabric to run;
+//! * [`recovery`] — guarantee-preserving recovery: hot table repair,
+//!   re-admission through a graceful-degradation ladder, and bounded
+//!   retry with deterministic backoff.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub mod connection;
 pub mod frame;
 pub mod manager;
 pub mod measure;
+pub mod recovery;
 
 pub use cac::{PortKey, PortTables, RejectReason};
 pub use churn::{ChurnEvent, ChurnRunner, ChurnStats};
@@ -33,3 +37,4 @@ pub use connection::{Connection, ConnectionId};
 pub use frame::{FillReport, QosFrame};
 pub use manager::{LowPriorityPolicy, QosManager};
 pub use measure::QosObserver;
+pub use recovery::{RecoveryManager, RecoveryPolicy, RecoveryStats, RecoverySummary};

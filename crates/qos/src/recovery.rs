@@ -1,0 +1,393 @@
+//! Guarantee-preserving recovery: hot table repair plus re-admission
+//! through a graceful-degradation ladder.
+//!
+//! The [`RecoveryManager`] is the control-plane reaction to the fault
+//! layer (`iba_sim::fault`): when a VLArb table is damaged — entry
+//! loss, garbled weights, orphaned or colliding sequences — it
+//!
+//! 1. **detects** the damage via the table's own
+//!    `check_consistency` (the repair pass reports `was_damaged`);
+//! 2. **repairs** in place: evicts untrustworthy sequences, rebuilds
+//!    the slot array and re-packs the survivors with the canonical
+//!    bit-reversal defragmentation ([`iba_core::HighPriorityTable::repair`]);
+//! 3. **re-admits** every evicted reservation, first at its contracted
+//!    distance, then escalating through [`iba_core::Distance::looser`]
+//!    — a degraded-but-served reservation beats a dropped one;
+//! 4. retries admissions a bounded number of times with deterministic
+//!    exponential backoff and jitter from the core SplitMix64 rng,
+//!    defragmenting between attempts.
+//!
+//! Everything is seeded and deterministic: the same damage and seed
+//! produce byte-identical recovery decisions, which is what lets the
+//! chaos harness assert exact outcomes.
+
+use crate::cac::PortTables;
+use iba_core::{
+    Admission, Distance, HighPriorityTable, ServiceLevel, SplitMix64, TableError, VirtualLane,
+    Weight,
+};
+
+/// Tunables of the recovery ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Bounded retry attempts per admission (on top of the first try).
+    pub max_retries: u32,
+    /// Base backoff in cycles; attempt `n` waits
+    /// `base << n` plus jitter in `[0, base)`.
+    pub backoff_base: u64,
+    /// How many [`Distance::looser`] steps the degradation ladder may
+    /// take before declaring the reservation lost.
+    pub max_degrade_steps: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base: 1024,
+            max_degrade_steps: 5,
+        }
+    }
+}
+
+/// Counters accumulated across every recovery action.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Repair passes that found (and fixed) damage.
+    pub repairs: u64,
+    /// Sequences evicted by repair passes.
+    pub evicted: u64,
+    /// Evicted reservations successfully re-installed.
+    pub reinstalled: u64,
+    /// Reservations re-installed at a loosened (degraded) distance.
+    pub degraded: u64,
+    /// Reservations the ladder could not place anywhere.
+    pub lost: u64,
+    /// Admission retries performed.
+    pub retries: u64,
+    /// Total deterministic backoff cycles accumulated by retries.
+    pub backoff_cycles: u64,
+}
+
+/// Outcome of one [`RecoveryManager::repair_all`] sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Tables inspected.
+    pub tables: usize,
+    /// Tables that were damaged and repaired.
+    pub repaired: usize,
+    /// Sequences evicted across all tables.
+    pub evicted: usize,
+    /// Evictions re-installed (at contracted or degraded distance).
+    pub reinstalled: usize,
+    /// Evictions lost (no placement up the whole ladder).
+    pub lost: usize,
+}
+
+/// The recovery manager: owns the seeded rng, the policy and the
+/// lifetime stats. One instance drives any number of tables.
+#[derive(Clone, Debug)]
+pub struct RecoveryManager {
+    rng: SplitMix64,
+    policy: RecoveryPolicy,
+    stats: RecoveryStats,
+}
+
+impl RecoveryManager {
+    /// A manager with the default policy.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_policy(seed, RecoveryPolicy::default())
+    }
+
+    /// A manager with an explicit policy.
+    #[must_use]
+    pub fn with_policy(seed: u64, policy: RecoveryPolicy) -> Self {
+        RecoveryManager {
+            rng: SplitMix64::seed_from_u64(seed ^ 0x5EC0_4E4F_1A2B_3C4D),
+            policy,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Repairs one table and re-admits what the repair evicted.
+    ///
+    /// Returns the per-table summary (`tables == 1`). Postcondition:
+    /// the table passes `check_consistency` — the repair itself never
+    /// fails; only re-admission can degrade or lose reservations.
+    pub fn repair_table(
+        &mut self,
+        table: &mut HighPriorityTable,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> RecoverySummary {
+        let report = table.repair();
+        let mut summary = RecoverySummary {
+            tables: 1,
+            ..RecoverySummary::default()
+        };
+        if !report.was_damaged && report.evicted.is_empty() {
+            return summary;
+        }
+        summary.repaired = 1;
+        summary.evicted = report.evicted.len();
+        self.stats.repairs += 1;
+        self.stats.evicted += report.evicted.len() as u64;
+        rec.recovery_repair(report.evicted.len() as u64);
+        for ev in &report.evicted {
+            if ev.weight == 0 || ev.connections == 0 {
+                // Damage debris, not a live reservation: nothing to
+                // re-install.
+                continue;
+            }
+            if self.reinstall(table, ev.sl, ev.vl, ev.distance, ev.weight, rec) {
+                summary.reinstalled += 1;
+            } else {
+                summary.lost += 1;
+            }
+        }
+        summary
+    }
+
+    /// Repairs every touched table of a registry in deterministic key
+    /// order.
+    pub fn repair_all(
+        &mut self,
+        tables: &mut PortTables,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> RecoverySummary {
+        let mut total = RecoverySummary::default();
+        for key in tables.sorted_keys() {
+            let Some(t) = tables.get_table_mut(key) else {
+                continue;
+            };
+            let s = self.repair_table(t, rec);
+            total.tables += s.tables;
+            total.repaired += s.repaired;
+            total.evicted += s.evicted;
+            total.reinstalled += s.reinstalled;
+            total.lost += s.lost;
+        }
+        total
+    }
+
+    /// Graceful-degradation ladder: contracted distance first, then
+    /// each [`Distance::looser`] step (bounded by the policy). Every
+    /// loosening is metered as a degradation.
+    fn reinstall(
+        &mut self,
+        table: &mut HighPriorityTable,
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        contracted: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> bool {
+        let mut distance = contracted;
+        for step in 0..=self.policy.max_degrade_steps {
+            match self.admit_with_retry(table, sl, vl, distance, weight, rec) {
+                Ok(_) => {
+                    rec.recovery_reinstall();
+                    self.stats.reinstalled += 1;
+                    return true;
+                }
+                Err(TableError::NoFreeSequence | TableError::CapacityExceeded) => {
+                    let Some(looser) = distance.looser() else {
+                        break;
+                    };
+                    if step == self.policy.max_degrade_steps {
+                        break;
+                    }
+                    rec.recovery_degraded();
+                    self.stats.degraded += 1;
+                    distance = looser;
+                }
+                Err(_) => break,
+            }
+        }
+        self.stats.lost += 1;
+        false
+    }
+
+    /// Bounded-retry admission with deterministic exponential backoff
+    /// and jitter. Between attempts the table is defragmented — the
+    /// realistic analogue of "wait for churn to free capacity, then
+    /// try again", kept deterministic by the seeded rng.
+    pub fn admit_with_retry(
+        &mut self,
+        table: &mut HighPriorityTable,
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<Admission, TableError> {
+        let mut attempt = 0u32;
+        loop {
+            match table.admit_observed(sl, vl, distance, weight, rec) {
+                Ok(a) => return Ok(a),
+                Err(e @ (TableError::NoFreeSequence | TableError::CapacityExceeded)) => {
+                    if attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    let base = self.policy.backoff_base.max(1);
+                    let backoff =
+                        (base << attempt.min(16)).saturating_add(self.rng.next_u64() % base);
+                    rec.recovery_retry(backoff);
+                    self.stats.retries += 1;
+                    self.stats.backoff_cycles = self.stats.backoff_cycles.saturating_add(backoff);
+                    table.defragment();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_obs::{NullRecorder, ObsRecorder};
+
+    fn sl(i: u8) -> ServiceLevel {
+        ServiceLevel::new(i).unwrap()
+    }
+    fn vl(i: u8) -> VirtualLane {
+        VirtualLane::data(i)
+    }
+
+    fn filled(seed: u64) -> HighPriorityTable {
+        let mut t = HighPriorityTable::new();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for k in 0..8u8 {
+            let d = match rng.next_u64() % 3 {
+                0 => Distance::D16,
+                1 => Distance::D32,
+                _ => Distance::D64,
+            };
+            let w = 10 + (rng.next_u64() % 60) as u32;
+            let _ = t.admit(sl(k % 10), vl(k % 10), d, w);
+        }
+        t
+    }
+
+    #[test]
+    fn healthy_table_is_left_alone() {
+        let mut t = filled(1);
+        let before = t.reserved_weight();
+        let mut mgr = RecoveryManager::new(7);
+        let s = mgr.repair_table(&mut t, &mut NullRecorder);
+        assert_eq!(s.repaired, 0);
+        assert_eq!(s.evicted, 0);
+        assert_eq!(t.reserved_weight(), before);
+        assert_eq!(mgr.stats().repairs, 0);
+    }
+
+    #[test]
+    fn repair_restores_consistency_and_reinstalls() {
+        // Seeded property sweep: damage then recover, always ending
+        // consistent; reinstalled + lost must account for every live
+        // eviction.
+        for seed in 0..100u64 {
+            let mut t = filled(seed);
+            let reserved_before = t.reserved_weight();
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFEED);
+            t.inject_corruption(&mut rng);
+            let mut mgr = RecoveryManager::new(seed);
+            let s = mgr.repair_table(&mut t, &mut NullRecorder);
+            t.check_consistency()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(s.reinstalled + s.lost <= s.evicted);
+            // Recovered capacity never exceeds what was reserved.
+            assert!(t.reserved_weight() <= reserved_before);
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_loosens_distance() {
+        // Fill the table so the contracted distance has no free set but
+        // a looser one does: 32 single-slot D64 sequences on distinct
+        // SLs occupy the canonical bit-reversal prefix, leaving no free
+        // D2 set but plenty of looser capacity.
+        let mut t = HighPriorityTable::new();
+        for k in 0..33u8 {
+            let _ = t.admit(sl(k % 10), vl(k % 10), Distance::D64, 255);
+        }
+        let mut mgr = RecoveryManager::new(3);
+        let mut rec = ObsRecorder::new();
+        // D2 needs 32 aligned slots; it cannot fit, so the ladder must
+        // loosen until an admissible distance is found.
+        assert!(!t.can_admit(sl(0), Distance::D2, 32));
+        let ok = mgr.reinstall(&mut t, sl(0), vl(0), Distance::D2, 32, &mut rec);
+        assert!(ok, "ladder should find a looser placement");
+        assert!(mgr.stats().degraded > 0);
+        assert!(rec.metrics.recovery_degraded.get() > 0);
+        assert_eq!(rec.metrics.recovery_reinstalls.get(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let run = || {
+            let mut t = HighPriorityTable::new();
+            // Saturate capacity so every admission fails.
+            t.set_capacity_limit(10);
+            let _ = t.admit(sl(0), vl(0), Distance::D64, 10);
+            let mut mgr = RecoveryManager::new(42);
+            let mut rec = ObsRecorder::new();
+            let err = mgr
+                .admit_with_retry(&mut t, sl(1), vl(1), Distance::D64, 10, &mut rec)
+                .unwrap_err();
+            assert_eq!(err, TableError::CapacityExceeded);
+            (
+                mgr.stats().retries,
+                mgr.stats().backoff_cycles,
+                rec.metrics.recovery_retries.get(),
+            )
+        };
+        let (retries, backoff, metered) = run();
+        assert_eq!(retries, RecoveryPolicy::default().max_retries as u64);
+        assert_eq!(retries, metered);
+        // Exponential: total exceeds max_retries * base.
+        assert!(backoff > retries * RecoveryPolicy::default().backoff_base);
+        assert_eq!((retries, backoff, metered), run(), "must be deterministic");
+    }
+
+    #[test]
+    fn repair_all_sweeps_every_touched_table() {
+        let mut pt = PortTables::new(0.8);
+        use crate::cac::PortKey;
+        use iba_sim::NodeId;
+        let keys = [
+            PortKey {
+                node: NodeId::Switch(0),
+                port: 1,
+            },
+            PortKey {
+                node: NodeId::Host(2),
+                port: 0,
+            },
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            pt.admit_path(&[*k], sl(i as u8), vl(i as u8), Distance::D16, 40)
+                .unwrap();
+        }
+        let mut mgr = RecoveryManager::new(5);
+        let s = mgr.repair_all(&mut pt, &mut NullRecorder);
+        assert_eq!(s.tables, 2);
+        assert_eq!(s.repaired, 0);
+        pt.check_all().unwrap();
+    }
+}

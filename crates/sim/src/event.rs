@@ -43,6 +43,11 @@ pub enum Event {
         /// Output port number.
         port: u8,
     },
+    /// A scheduled fault action fires (see [`crate::fault`]).
+    Fault {
+        /// Index into the fabric's registered fault actions.
+        index: u32,
+    },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

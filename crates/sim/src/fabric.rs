@@ -3,6 +3,7 @@
 use crate::buffer::{Credits, PacketPool, VlBuffer};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
+use crate::fault::{corrupt_config, encode_target, FaultAction, FaultPlan, FaultState};
 use crate::invariants;
 use crate::packet::{FlowSpec, Packet};
 use crate::port::{InFlight, InputPort, OutputPort, Peer, PortStats};
@@ -118,6 +119,8 @@ pub struct Fabric {
     /// Backing storage for every queued packet in the fabric.
     pool: PacketPool,
     queue: EventQueue,
+    /// Registered fault actions, addressed by [`Event::Fault`] index.
+    faults: Vec<FaultAction>,
     now: Cycles,
     window_start: Cycles,
     events_processed: u64,
@@ -190,6 +193,7 @@ impl Fabric {
             flows: Vec::new(),
             pool: PacketPool::new(),
             queue: EventQueue::new(),
+            faults: Vec::new(),
             now: 0,
             window_start: 0,
             events_processed: 0,
@@ -262,6 +266,59 @@ impl Fabric {
         }
         for h in 0..self.hosts.len() {
             self.hosts[h].out.engine.reconfigure(cfg.clone());
+        }
+    }
+
+    /// Schedules one fault action on the event calendar at time `at`.
+    ///
+    /// The action travels through the same `(time, seq)`-ordered queue
+    /// as every other event, so faulted runs stay deterministic.
+    pub fn schedule_fault(&mut self, at: Cycles, action: FaultAction) {
+        let index = self.faults.len() as u32;
+        self.faults.push(action);
+        self.queue.push(at.max(self.now), Event::Fault { index });
+    }
+
+    /// Schedules every action of a [`FaultPlan`].
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for &(at, action) in &plan.events {
+            self.schedule_fault(at, action);
+        }
+    }
+
+    /// Current fault state of an output port (`None` for an invalid
+    /// target).
+    #[must_use]
+    pub fn fault_state(&self, node: NodeId, port: u8) -> Option<FaultState> {
+        match node {
+            NodeId::Switch(s) => self
+                .switches
+                .get(s as usize)?
+                .outputs
+                .get(port as usize)
+                .map(|o| o.fault),
+            NodeId::Host(h) => {
+                if port != 0 {
+                    return None;
+                }
+                self.hosts.get(h as usize).map(|h| h.out.fault)
+            }
+        }
+    }
+
+    fn output_port_mut(&mut self, node: NodeId, port: u8) -> Option<&mut OutputPort> {
+        match node {
+            NodeId::Switch(s) => self
+                .switches
+                .get_mut(s as usize)?
+                .outputs
+                .get_mut(port as usize),
+            NodeId::Host(h) => {
+                if port != 0 {
+                    return None;
+                }
+                self.hosts.get_mut(h as usize).map(|h| &mut h.out)
+            }
         }
     }
 
@@ -350,6 +407,7 @@ impl Fabric {
                 Event::Complete { node, port } => {
                     self.on_complete(NodeId::decode(node), port, observer, rec);
                 }
+                Event::Fault { index } => self.on_fault(index as usize, rec),
             }
         }
         self.now = self.now.max(t_end);
@@ -589,6 +647,51 @@ impl Fabric {
         }
     }
 
+    /// Applies a scheduled fault action to its target port.
+    fn on_fault<R: Recorder>(&mut self, index: usize, rec: &mut R) {
+        let Some(action) = self.faults.get(index).copied() else {
+            return;
+        };
+        let (node, port) = action.target();
+        let code = action.code();
+        let detail = {
+            let Some(out) = self.output_port_mut(node, port) else {
+                return;
+            };
+            match action {
+                FaultAction::DegradeLink { shift, .. } => {
+                    out.fault.rate_shift = shift;
+                    u32::from(shift)
+                }
+                FaultAction::LinkDown { .. } => {
+                    out.fault.down = true;
+                    0
+                }
+                FaultAction::LinkUp { .. } => {
+                    out.fault.down = false;
+                    0
+                }
+                FaultAction::SetVlBlackout { mask, .. } => {
+                    out.fault.blackout_mask = mask;
+                    u32::from(mask)
+                }
+                FaultAction::SetCreditStall { mask, .. } => {
+                    out.fault.stall_mask = mask;
+                    u32::from(mask)
+                }
+                FaultAction::CorruptTable { seed, .. } => {
+                    let corrupted = corrupt_config(out.engine.config(), seed);
+                    out.engine.reconfigure(corrupted);
+                    (seed & 0xFFFF_FFFF) as u32
+                }
+            }
+        };
+        rec.fault_injected(code, encode_target(node, port), detail);
+        // Restores (and table rewrites) can enable pending work on a
+        // port no Complete event will ever revisit: kick it now.
+        self.kick(node, port, rec);
+    }
+
     // ------------------------------------------------------------------
     // Arbitration and transfer start
     // ------------------------------------------------------------------
@@ -642,9 +745,10 @@ impl Fabric {
             {
                 let node = &self.switches[s];
                 let out = &node.outputs[port];
-                if out.busy() || out.peer == Peer::None {
+                if out.busy() || out.peer == Peer::None || out.fault.down {
                     return;
                 }
+                let fault = out.fault;
                 let my_high = Self::high_vl_mask(out);
                 let n_in = node.inputs.len();
                 for off in 0..n_in {
@@ -670,6 +774,14 @@ impl Fabric {
                         };
                         let route = self.routing.port(SwitchId(s as u16), head.dst);
                         if route as usize != port {
+                            continue;
+                        }
+                        if fault.blackout_mask & (1 << vl) != 0 || fault.stall_mask & (1 << vl) != 0
+                        {
+                            // Injected VL blackout / credit stall: the
+                            // head packet is routed here but the fault
+                            // layer withholds it from the arbiter.
+                            rec.fault_blocked(vl as u8);
                             continue;
                         }
                         if !out.credits.can_send(vl, u64::from(head.bytes)) {
@@ -756,8 +868,11 @@ impl Fabric {
             PortPeer::Free => unreachable!("packet arrived on an unwired port"),
         }
 
-        let duration = cycles_for_bytes(u64::from(bytes), self.config.link_bytes_per_cycle);
+        let bpc = self.config.link_bytes_per_cycle;
         let out = &mut self.switches[s].outputs[port];
+        // An injected rate degradation stretches the transfer.
+        let duration =
+            cycles_for_bytes(u64::from(bytes), bpc) << u32::from(out.fault.rate_shift.min(20));
         out.credits.consume(vl as usize, u64::from(bytes));
         out.next_input = (q as u8).wrapping_add(1) % self.topo.ports_per_switch();
         Self::account(&mut out.stats, bytes, duration, vl, served, rec);
@@ -779,12 +894,15 @@ impl Fabric {
         let mut cand: [Option<u32>; 16] = [None; 16];
         {
             let host = &self.hosts[h];
-            if host.out.busy() {
+            if host.out.busy() || host.out.fault.down {
                 return;
             }
+            let fault = host.out.fault;
             for (vl, q) in host.queues.iter().enumerate() {
                 if let Some(p) = q.head(&self.pool) {
-                    if host.out.credits.can_send(vl, u64::from(p.bytes)) {
+                    if fault.blackout_mask & (1 << vl) != 0 || fault.stall_mask & (1 << vl) != 0 {
+                        rec.fault_blocked(vl as u8);
+                    } else if host.out.credits.can_send(vl, u64::from(p.bytes)) {
                         cand[vl] = Some(p.bytes);
                     } else {
                         rec.arb_hol_stall(vl as u8);
@@ -821,8 +939,10 @@ impl Fabric {
             "granted candidate vanished from host queue"
         );
         let Some(packet) = packet else { return };
-        let duration = cycles_for_bytes(u64::from(bytes), self.config.link_bytes_per_cycle);
+        let bpc = self.config.link_bytes_per_cycle;
         let out = &mut self.hosts[h].out;
+        let duration =
+            cycles_for_bytes(u64::from(bytes), bpc) << u32::from(out.fault.rate_shift.min(20));
         out.credits.consume(vl as usize, u64::from(bytes));
         Self::account(&mut out.stats, bytes, duration, vl, served, rec);
         out.inflight = Some(InFlight {
@@ -1204,6 +1324,128 @@ mod tests {
         // the total packet count (202 generated).
         assert_eq!(in_use, 0);
         assert!(cap > 0 && cap < 202, "pool high-water {cap}");
+    }
+
+    #[test]
+    fn link_flap_pauses_and_resumes_delivery() {
+        let mut f = two_host_fabric(256);
+        f.add_flow(flow(0, 0, 1, 0, 256, 512));
+        // Take the inter-switch link down for a while, then restore it.
+        f.schedule_fault(
+            10_000,
+            FaultAction::LinkDown {
+                node: NodeId::Switch(0),
+                port: 1,
+            },
+        );
+        f.schedule_fault(
+            60_000,
+            FaultAction::LinkUp {
+                node: NodeId::Switch(0),
+                port: 1,
+            },
+        );
+        let mut obs = VecObserver::default();
+        f.run_until(200_000, &mut obs);
+        // Nothing crosses the downed link inside the outage window
+        // (transfers already on the wire at t=10_000 may still land).
+        let during = obs
+            .records
+            .iter()
+            .filter(|r| r.delivered > 11_000 && r.delivered < 60_000)
+            .count();
+        assert_eq!(during, 0, "packets crossed a downed link");
+        // After the restore the backlog drains and delivery resumes.
+        let after = obs.records.iter().filter(|r| r.delivered >= 60_000).count();
+        assert!(after > 100, "only {after} deliveries after link-up");
+        assert_eq!(f.host_backlog(HostId(0)), 0);
+        assert!(f
+            .fault_state(NodeId::Switch(0), 1)
+            .is_some_and(|st| st.healthy()));
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfers() {
+        let mut f = two_host_fabric(256);
+        f.schedule_fault(
+            0,
+            FaultAction::DegradeLink {
+                node: NodeId::Switch(0),
+                port: 1,
+                shift: 2,
+            },
+        );
+        f.add_flow(FlowSpec {
+            stop: Some(0),
+            ..flow(0, 0, 1, 0, 256, 1000)
+        });
+        let mut obs = VecObserver::default();
+        f.run_until(100_000, &mut obs);
+        // Host hop + degraded (4x) switch hop + final hop.
+        assert_eq!(obs.records[0].delay(), 256 + 4 * 256 + 256);
+    }
+
+    #[test]
+    fn vl_blackout_blocks_only_that_lane() {
+        let mut f = two_host_fabric(256);
+        f.schedule_fault(
+            0,
+            FaultAction::SetVlBlackout {
+                node: NodeId::Host(0),
+                port: 0,
+                mask: 1 << 1,
+            },
+        );
+        f.add_flow(flow(0, 0, 1, 1, 256, 512)); // VL1: blacked out
+        f.add_flow(flow(1, 0, 1, 2, 256, 512)); // VL2: unaffected
+        let mut obs = VecObserver::default();
+        f.run_until(100_000, &mut obs);
+        assert!(obs.records.iter().all(|r| r.flow == 1));
+        assert!(obs.records.iter().filter(|r| r.flow == 1).count() > 100);
+        assert!(f.host_backlog(HostId(0)) > 0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let run = || {
+            let mut f = two_host_fabric(256);
+            f.add_flow(flow(0, 0, 1, 0, 256, 300));
+            f.add_flow(flow(1, 1, 0, 1, 256, 700));
+            let plan = FaultPlan::generate(99, 5_000, 400_000, 2, 4, 2);
+            f.apply_fault_plan(&plan);
+            let mut obs = VecObserver::default();
+            f.run_until(1_000_000, &mut obs);
+            obs.records
+                .iter()
+                .map(|r| (r.flow, r.seq, r.delivered))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corrupt_table_damages_high_entries() {
+        let cfg = VlArbConfig {
+            high: vec![
+                ArbEntry {
+                    vl: VirtualLane::data(1),
+                    weight: 12,
+                },
+                ArbEntry {
+                    vl: VirtualLane::data(2),
+                    weight: 4,
+                },
+            ],
+            low: vec![],
+            limit_of_high_priority: 255,
+        };
+        let bad = corrupt_config(&cfg, 7);
+        assert_ne!(bad.high, cfg.high, "corruption must change the table");
+        assert_eq!(
+            bad.high,
+            corrupt_config(&cfg, 7).high,
+            "corruption is seeded"
+        );
     }
 
     #[test]

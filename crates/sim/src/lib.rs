@@ -28,6 +28,7 @@ pub mod buffer;
 pub mod config;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod invariants;
 pub mod packet;
 pub mod port;
@@ -37,6 +38,7 @@ pub mod trace;
 pub use config::SimConfig;
 pub use event::{Event, EventQueue};
 pub use fabric::{Fabric, FabricStats, NodeId};
+pub use fault::{encode_target, FaultAction, FaultPlan, FaultState};
 pub use packet::{Arrival, FlowSpec, Packet};
 pub use port::PortStats;
 pub use time::{cycles_for_bytes, interval_for_rate, Cycles, LINK_1X_MBPS};

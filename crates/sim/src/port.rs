@@ -1,6 +1,7 @@
 //! Input and output port state.
 
 use crate::buffer::{Credits, VlBuffer};
+use crate::fault::FaultState;
 use crate::packet::Packet;
 use crate::time::Cycles;
 use iba_core::VlArbEngine;
@@ -77,6 +78,8 @@ pub struct OutputPort {
     pub inflight: Option<InFlight>,
     /// Round-robin pointer over input ports (switch outputs only).
     pub next_input: u8,
+    /// Injected fault state (healthy by default).
+    pub fault: FaultState,
     /// Counters.
     pub stats: PortStats,
 }
@@ -91,6 +94,7 @@ impl OutputPort {
             peer,
             inflight: None,
             next_input: 0,
+            fault: FaultState::default(),
             stats: PortStats::default(),
         }
     }

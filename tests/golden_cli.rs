@@ -17,7 +17,7 @@
 //!     --mtu 256 --limit 12 > tests/golden/trace_s4_seed3_limit12.txt
 //! cargo run -p iba-cli -- audit --mtu 4096 --seed 42 \
 //!     > tests/golden/audit_bitrev_mtu4096_seed42.txt
-//! IBA_REGEN_GOLDEN=1 cargo test --test golden_cli   # perfetto_min.json
+//! IBA_REGEN_GOLDEN=1 cargo test --test golden_cli   # perfetto_min.json + chaos_*.txt
 //! ```
 
 fn run_cli(argv: &[&str]) -> String {
@@ -124,6 +124,33 @@ fn trace_output_matches_golden_file() {
 fn audit_report_matches_golden_file() {
     let out = run_cli(&["audit", "--mtu", "4096", "--seed", "42"]);
     assert_matches_golden(&out, "audit_bitrev_mtu4096_seed42.txt");
+}
+
+#[test]
+fn chaos_report_matches_golden_file() {
+    // Faults ride the event calendar and every stage is seeded, so the
+    // whole report — recovery counters, per-lane audit, sweep digest —
+    // is byte-stable across machines and thread counts.
+    let got = run_cli(&[
+        "chaos",
+        "--mtu",
+        "4096",
+        "--seed",
+        "42",
+        "--seeds",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    let path = format!(
+        "{}/tests/golden/chaos_bitrev_mtu4096_seed42.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("IBA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n")).expect("regenerate chaos fixture");
+        return;
+    }
+    assert_matches_golden(&got, "chaos_bitrev_mtu4096_seed42.txt");
 }
 
 #[test]

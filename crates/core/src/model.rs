@@ -15,6 +15,7 @@
 //! level deeper).
 
 use crate::bitrev::bit_reverse;
+// lint: allow(no-unordered-iter) -- BFS dedup set: membership tests only, never iterated
 use std::collections::{HashSet, VecDeque};
 
 /// A live sequence in the scaled model: distance `d` (power of two) and
@@ -145,6 +146,9 @@ impl MiniTable {
     #[must_use]
     pub fn explore(self, with_defrag: bool, max_states: usize) -> ExplorationReport {
         let mut report = ExplorationReport::default();
+        // Hash-based on purpose: ~2M states at size 16, membership-only
+        // (visit order comes from the VecDeque, so no order escapes).
+        // lint: allow(no-unordered-iter) -- membership-only dedup on the hot BFS path
         let mut seen: HashSet<ModelState> = HashSet::new();
         let mut queue: VecDeque<ModelState> = VecDeque::new();
         let empty: ModelState = Vec::new();

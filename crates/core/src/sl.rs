@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn collapsed_qos_keeps_be_separate() {
         let m = SlToVlMap::collapsed_qos(4);
-        let qos_vls: std::collections::HashSet<u8> = (0..10)
+        let qos_vls: std::collections::BTreeSet<u8> = (0..10)
             .map(|i| m.vl(ServiceLevel::new(i).unwrap()).raw())
             .collect();
         assert!(qos_vls.iter().all(|&v| v < 4));

@@ -129,6 +129,7 @@ pub fn run_points_spanned(
     threads: usize,
     span_capacity: usize,
 ) -> (Vec<PointOutcome>, ObsRecorder) {
+    // lint: allow(no-wall-clock) -- span-profiler epoch plumbing; never feeds simulated time
     let epoch = std::time::Instant::now();
     let mk = move || {
         let mut rec = ObsRecorder::new();

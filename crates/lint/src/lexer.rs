@@ -1,0 +1,575 @@
+//! A small, honest Rust lexer.
+//!
+//! The previous generation of scanners worked line-by-line with string
+//! heuristics and was blind to raw strings (`r#"…"#`) and nested block
+//! comments — a `.unwrap()` inside a raw string fired, one after a
+//! nested `/* /* */ */` did not. This lexer tokenizes the constructs
+//! that matter for lint soundness:
+//!
+//! * line comments (`//`, `///`, `//!`) — doc-test fences live inside
+//!   these, so code in doc examples is comment text, never code;
+//! * block comments with **nesting** (`/* /* */ */`);
+//! * string literals with escapes, raw strings with any `#` count,
+//!   byte strings (`b"…"`, `br#"…"#`) and C strings (`c"…"`, `cr#"…"#`);
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped and
+//!   punctuation chars (`'\''`, `'('`);
+//! * identifiers (raw identifiers `r#type` included), numbers, and
+//!   single-character punctuation.
+//!
+//! The contract, enforced by a differential test over every `.rs` file
+//! in the repository: lexing always terminates, and the token texts
+//! concatenate back to the input byte-for-byte (offsets round-trip).
+
+/// What a token is. Trivia (whitespace/comments) is kept in the stream
+/// so byte offsets round-trip; rules skip it (or, for comment rules,
+/// look only at it).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting tracked. Unterminated comments run to EOF.
+    BlockComment,
+    /// `"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, … with any number of hashes.
+    RawStr,
+    /// `b"…"` with escapes.
+    ByteStr,
+    /// `br"…"`, `br#"…"#`, ….
+    RawByteStr,
+    /// `c"…"` / `cr#"…"#` (C strings, Rust 2021+).
+    CStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'a` in `<'a>` or `'label:`.
+    Lifetime,
+    /// Identifier or keyword, raw identifiers (`r#type`) included.
+    Ident,
+    /// Numeric literal (integer or float, suffixes included).
+    Number,
+    /// One punctuation character. Multi-character operators are left
+    /// split; rules that care (`<<`, `&=`) test adjacency.
+    Punct,
+    /// Anything else (stray non-ASCII outside literals, …).
+    Unknown,
+}
+
+/// One token: kind, the exact source slice, and where it starts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text (concatenating every token's text rebuilds
+    /// the input).
+    pub text: &'a str,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Byte offset one past the last byte.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    /// True for whitespace and comments.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    /// Advances one char, tracking lines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `source`. Always terminates; unterminated literals and
+/// comments extend to end of input with their natural kind.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(source);
+    let mut out = Vec::new();
+    while cur.pos < source.len() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            text: &source[start..cur.pos],
+            start,
+            line,
+        });
+    }
+    out
+}
+
+fn next_kind(cur: &mut Cursor<'_>) -> TokenKind {
+    let Some(c) = cur.peek() else {
+        return TokenKind::Unknown;
+    };
+    match c {
+        c if c.is_whitespace() => {
+            cur.bump_while(char::is_whitespace);
+            TokenKind::Whitespace
+        }
+        '/' => match cur.peek_at(1) {
+            Some('/') => {
+                cur.bump_while(|c| c != '\n');
+                TokenKind::LineComment
+            }
+            Some('*') => {
+                block_comment(cur);
+                TokenKind::BlockComment
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        },
+        '"' => {
+            cur.bump();
+            string_body(cur);
+            TokenKind::Str
+        }
+        'r' => raw_or_ident(cur, TokenKind::RawStr),
+        'b' => match (cur.peek_at(1), cur.peek_at(2)) {
+            (Some('"'), _) => {
+                cur.bump();
+                cur.bump();
+                string_body(cur);
+                TokenKind::ByteStr
+            }
+            (Some('\''), _) => {
+                cur.bump();
+                char_body(cur);
+                TokenKind::Char
+            }
+            (Some('r'), Some('"' | '#')) => {
+                cur.bump();
+                raw_or_ident(cur, TokenKind::RawByteStr)
+            }
+            _ => ident(cur),
+        },
+        'c' => match (cur.peek_at(1), cur.peek_at(2)) {
+            (Some('"'), _) => {
+                cur.bump();
+                cur.bump();
+                string_body(cur);
+                TokenKind::CStr
+            }
+            (Some('r'), Some('"' | '#')) => {
+                cur.bump();
+                raw_or_ident(cur, TokenKind::CStr)
+            }
+            _ => ident(cur),
+        },
+        '\'' => char_or_lifetime(cur),
+        c if is_ident_start(c) => ident(cur),
+        c if c.is_ascii_digit() => number(cur),
+        c if c.is_ascii() => {
+            cur.bump();
+            TokenKind::Punct
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Consumes `/* … */` with nesting; unterminated runs to EOF.
+fn block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Consumes a `"…"` body (the opening quote is already consumed),
+/// honoring `\\` and `\"` escapes. Unterminated runs to EOF.
+fn string_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// At an `r`: either a raw (byte/C) string `r#*"…"#*` or an identifier
+/// (raw identifiers `r#type` included). `kind` is what a raw string
+/// here should be labeled as.
+fn raw_or_ident(cur: &mut Cursor<'_>, kind: TokenKind) -> TokenKind {
+    // Count hashes after the 'r'.
+    let mut hashes = 0usize;
+    while cur.peek_at(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(1 + hashes) {
+        Some('"') => {
+            cur.bump(); // 'r'
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            raw_string_body(cur, hashes);
+            kind
+        }
+        // `r#ident` — a raw identifier; more than one hash is invalid
+        // Rust, lexed as ident + puncts by falling through.
+        Some(c) if hashes == 1 && is_ident_start(c) => {
+            cur.bump(); // 'r'
+            cur.bump(); // '#'
+            cur.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => ident(cur),
+    }
+}
+
+/// Consumes a raw-string body until `"` followed by `hashes` `#`s.
+fn raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut n = 0usize;
+                while n < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    n += 1;
+                }
+                if n == hashes {
+                    break;
+                }
+            }
+            None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// At a `'`: a char literal or a lifetime.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek_at(1), cur.peek_at(2)) {
+        // '\…' — escaped char literal.
+        (Some('\\'), _) => {
+            cur.bump();
+            char_body(cur);
+            TokenKind::Char
+        }
+        // 'x' — any single char closed by a quote.
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            TokenKind::Char
+        }
+        // 'ident — a lifetime (or loop label).
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes a (possibly escaped) char-literal body; the opening quote
+/// is already consumed. `'\u{1F600}'` and `b'\xFF'` land here too.
+fn char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // the quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('\'') | Some('\n') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+fn ident(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump();
+    cur.bump_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Numeric literal: digits, `_`, radix/type-suffix letters, a decimal
+/// point when followed by a digit (so `0..10` stays three tokens), and
+/// a signed exponent after `e`/`E`.
+fn number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut last = cur.bump().unwrap_or('0');
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                last = c;
+                cur.bump();
+            }
+            Some('.') if cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                last = '.';
+                cur.bump();
+            }
+            Some('+' | '-')
+                if matches!(last, 'e' | 'E')
+                    && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) =>
+            {
+                last = cur.bump().unwrap_or('+');
+            }
+            _ => break,
+        }
+    }
+    TokenKind::Number
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn roundtrips(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "token texts must concatenate to the input");
+        let mut pos = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, pos, "offsets must be contiguous");
+            pos = t.end();
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(lex("").is_empty());
+        roundtrips("fn main() {}\n");
+    }
+
+    #[test]
+    fn raw_string_hides_its_contents() {
+        // The regression the old scanner failed: an unwrap inside a raw
+        // string must lex as ONE RawStr token, not code.
+        let src = r##"let s = r#"x.unwrap() /* not code "quote" */"#;"##;
+        roundtrips(src);
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        // The other regression: after `/* /* */ */`, code is code again.
+        let src = "/* outer /* inner */ still comment */ x.unwrap()";
+        roundtrips(src);
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still comment */"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_terminates_lexing() {
+        let src = "/* /* never closed ";
+        roundtrips(src);
+        assert_eq!(kinds(src), vec![(TokenKind::BlockComment, src)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = r#"let s = "a\"b\\" ; "#;
+        roundtrips(src);
+        assert!(kinds(src)
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && *t == r#""a\"b\\""#));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        for (src, kind) in [
+            (r#"b"bytes""#, TokenKind::ByteStr),
+            (r###"br#"raw bytes"#"###, TokenKind::RawByteStr),
+            (r#"c"cstr""#, TokenKind::CStr),
+            (r###"cr#"raw c"#"###, TokenKind::CStr),
+            ("b'x'", TokenKind::Char),
+            (r"b'\xFF'", TokenKind::Char),
+        ] {
+            roundtrips(src);
+            assert_eq!(kinds(src)[0], (kind, src), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes() {
+        let src = r####"r##"contains "# inside"##"####;
+        roundtrips(src);
+        assert_eq!(kinds(src), vec![(TokenKind::RawStr, src)]);
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let src = "r#type = r#fn";
+        roundtrips(src);
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type"));
+        assert_eq!(toks[4], (TokenKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        roundtrips("'a'");
+        assert_eq!(kinds("'a'"), vec![(TokenKind::Char, "'a'")]);
+        let src = "fn f<'a>(x: &'a str) -> &'a str { 'outer: loop { break 'outer x; } }";
+        roundtrips(src);
+        let lifetimes: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'a", "'outer", "'outer"]);
+        // Escaped and punctuation chars are chars, not lifetimes.
+        assert_eq!(kinds(r"'\''")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'('")[0].0, TokenKind::Char);
+        assert_eq!(kinds(r"'\u{1F600}'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("' '")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { let x = 1.5e-3f64 + 0xff_u8 as f64; }";
+        roundtrips(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Number, "0")));
+        assert!(toks.contains(&(TokenKind::Number, "10")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3f64")));
+        assert!(toks.contains(&(TokenKind::Number, "0xff_u8")));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn f() {}\n";
+        roundtrips(src);
+        let idents: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["pub", "fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\nc";
+        let lines: Vec<(u32, &str)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text))
+            .collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (4, "c")]);
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_lines() {
+        let src = "let s = r#\"one\ntwo\"#;\nnext";
+        roundtrips(src);
+        let next = lex(src)
+            .into_iter()
+            .find(|t| t.text == "next")
+            .expect("ident after raw string");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn non_ascii_in_code_and_literals() {
+        let src = "let α = \"héllo\"; // café\n";
+        roundtrips(src);
+        assert!(kinds(src).contains(&(TokenKind::Ident, "α")));
+    }
+}

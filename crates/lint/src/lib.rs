@@ -1,0 +1,117 @@
+//! # iba-lint — the workspace's determinism & panic-freedom lint engine
+//!
+//! Zero-dependency static analysis for the InfiniBand arbitration-table
+//! workspace. A real Rust lexer ([`lexer`]) tokenizes each source file
+//! — nested block comments, raw strings (`r#"…"#` with any hash
+//! count), byte/C strings, char-vs-lifetime disambiguation — and a
+//! rule engine ([`rules`]) walks the token stream, so rules can never
+//! be fooled by banned identifiers hiding in literals or real code
+//! hiding behind a nested comment (the two blind spots of the string
+//! scanners this crate replaced).
+//!
+//! The rule catalog lives in [`rules::RULES`] and is documented in
+//! `LINTS.md` (cross-checked by `cargo xtask check`). Findings are
+//! suppressed per-line with justified pragmas:
+//!
+//! ```text
+//! // lint: allow(no-unordered-iter) -- membership-only; never iterated
+//! ```
+//!
+//! Entry points: [`lint_source`] for one file, [`lint_tree`] for a
+//! repository checkout, [`report`] for text/JSON rendering and the
+//! committed baseline. The CLI front-end is `cargo xtask lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{
+    apply_baseline, baseline_key, parse_baseline, render_baseline, render_json, render_text,
+    TreeReport, SCHEMA_VERSION,
+};
+pub use rules::{is_crate_root, is_test_path, lint_source, FileReport, Finding, Severity, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, VCS metadata, and anything
+/// hidden.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// Every `.rs` file under `root`, as sorted repository-relative
+/// `/`-separated paths. Deterministic regardless of readdir order.
+///
+/// # Errors
+/// Propagates filesystem errors from directory traversal.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !skip_dir(&name) {
+                    walk(root, &path, out)?;
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Lints a repository checkout. `paths` restricts the scan to files
+/// whose relative path starts with one of the given prefixes (empty =
+/// whole tree); `baseline` is the tolerated-key set from
+/// [`parse_baseline`]. Findings come back in (file, line, rule) order.
+///
+/// # Errors
+/// Propagates filesystem errors (traversal or file reads).
+pub fn lint_tree(
+    root: &Path,
+    paths: &[String],
+    baseline: &std::collections::BTreeSet<String>,
+) -> io::Result<TreeReport> {
+    let mut files = collect_rs_files(root)?;
+    if !paths.is_empty() {
+        files.retain(|f| paths.iter().any(|p| f.starts_with(p.as_str())));
+    }
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let files_scanned = files.len();
+    for rel in &files {
+        let mut abs = PathBuf::from(root);
+        abs.extend(rel.split('/'));
+        let source = fs::read_to_string(&abs)?;
+        let mut file_report = lint_source(rel, &source);
+        suppressed += file_report.suppressed;
+        findings.append(&mut file_report.findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let (fresh, baselined) = apply_baseline(findings, baseline);
+    Ok(TreeReport {
+        files_scanned,
+        fresh,
+        baselined,
+        suppressed,
+    })
+}

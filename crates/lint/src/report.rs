@@ -1,0 +1,240 @@
+//! Report rendering (human text, hand-rolled JSON) and the committed
+//! findings baseline.
+//!
+//! The baseline file (`LINT_baseline.txt`) is line-oriented:
+//! `file<TAB>rule<TAB>detail`, `#` comments and blank lines ignored.
+//! Line numbers are deliberately excluded so unrelated edits above a
+//! tolerated finding don't churn the baseline. The tree is currently
+//! clean, so the committed baseline is empty; it exists so a future
+//! rule can land before its last offender is fixed.
+
+use crate::rules::{count_by_rule, Finding, Severity, RULES};
+use std::collections::BTreeSet;
+
+/// JSON schema version emitted in every report; bump on breaking
+/// shape changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The outcome of linting a tree, after baseline application.
+#[derive(Clone, Debug, Default)]
+pub struct TreeReport {
+    /// Files scanned, for the report header.
+    pub files_scanned: usize,
+    /// Findings NOT covered by the baseline, in (file, line, rule) order.
+    pub fresh: Vec<Finding>,
+    /// Findings tolerated by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Findings suppressed by justified pragmas (count only).
+    pub suppressed: usize,
+}
+
+impl TreeReport {
+    /// Fresh findings at [`Severity::Error`].
+    #[must_use]
+    pub fn fresh_errors(&self) -> usize {
+        self.fresh
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// All findings, fresh then baselined.
+    #[must_use]
+    pub fn all(&self) -> Vec<&Finding> {
+        self.fresh.iter().chain(self.baselined.iter()).collect()
+    }
+}
+
+/// Baseline identity of a finding: everything except the line number.
+#[must_use]
+pub fn baseline_key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.file, f.rule, f.detail)
+}
+
+/// Parses baseline text into the set of tolerated keys.
+#[must_use]
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders findings back into baseline format (sorted, deduped) —
+/// `cargo xtask lint --write-baseline` uses this.
+#[must_use]
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let keys: BTreeSet<String> = findings.iter().map(baseline_key).collect();
+    let mut out = String::from(
+        "# iba-lint findings baseline: file<TAB>rule<TAB>detail per line.\n\
+         # Regenerate with `cargo xtask lint --write-baseline`. Keep empty\n\
+         # unless a new rule must land before its last offender is fixed.\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits findings into (fresh, baselined) against a tolerated-key set.
+#[must_use]
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Finding>, Vec<Finding>) {
+    findings
+        .into_iter()
+        .partition(|f| !baseline.contains(&baseline_key(f)))
+}
+
+/// Human-readable report body: one line per finding, fresh first,
+/// then a summary line.
+#[must_use]
+pub fn render_text(report: &TreeReport) -> String {
+    let mut out = String::new();
+    for f in &report.fresh {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    for f in &report.baselined {
+        out.push_str(&format!("{f} (baselined)\n"));
+    }
+    let by_rule = count_by_rule(&report.fresh);
+    let breakdown = if by_rule.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        format!(" [{}]", parts.join(", "))
+    };
+    out.push_str(&format!(
+        "lint: {} file(s), {} fresh finding(s) ({} error), {} baselined, {} suppressed by pragma{breakdown}\n",
+        report.files_scanned,
+        report.fresh.len(),
+        report.fresh_errors(),
+        report.baselined.len(),
+        report.suppressed,
+    ));
+    out
+}
+
+/// Escapes a string for JSON (the workspace's zero-dep pattern).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, baselined: bool) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"detail\":\"{}\",\"baselined\":{}}}",
+        esc(&f.file),
+        f.line,
+        f.rule,
+        f.severity.name(),
+        esc(&f.detail),
+        baselined,
+    )
+}
+
+/// The machine-readable report. Stable field order; see the snapshot
+/// test in `tests/report_schema.rs`.
+#[must_use]
+pub fn render_json(report: &TreeReport) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"severity\":\"{}\"}}",
+                r.name,
+                r.severity.name()
+            )
+        })
+        .collect();
+    let findings: Vec<String> = report
+        .fresh
+        .iter()
+        .map(|f| finding_json(f, false))
+        .chain(report.baselined.iter().map(|f| finding_json(f, true)))
+        .collect();
+    let errors = report.fresh_errors();
+    let warnings = report.fresh.len() - errors;
+    format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"tool\": \"iba-lint\",\n  \"files_scanned\": {},\n  \"counts\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"baselined\": {}, \"suppressed\": {}}},\n  \"rules\": [{}],\n  \"findings\": [{}]\n}}\n",
+        report.files_scanned,
+        report.baselined.len(),
+        report.suppressed,
+        rules.join(","),
+        findings.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, detail: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: "no-panic",
+            severity: Severity::Error,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_ignores_lines() {
+        let f1 = finding("a.rs", 10, "d1");
+        let f2 = finding("b.rs", 20, "d2");
+        let text = render_baseline(&[f1.clone(), f2.clone()]);
+        let keys = parse_baseline(&text);
+        assert_eq!(keys.len(), 2);
+        // Same finding on a different line still matches.
+        let moved = finding("a.rs", 99, "d1");
+        let (fresh, old) = apply_baseline(vec![moved, finding("c.rs", 1, "d3")], &keys);
+        assert_eq!(old.len(), 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].file, "c.rs");
+    }
+
+    #[test]
+    fn empty_baseline_tolerates_nothing() {
+        let keys = parse_baseline("# comment only\n\n");
+        assert!(keys.is_empty());
+        let (fresh, old) = apply_baseline(vec![finding("a.rs", 1, "d")], &keys);
+        assert_eq!(fresh.len(), 1);
+        assert!(old.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn text_summary_counts() {
+        let report = TreeReport {
+            files_scanned: 3,
+            fresh: vec![finding("a.rs", 1, "d")],
+            baselined: vec![finding("b.rs", 2, "e")],
+            suppressed: 4,
+        };
+        let text = render_text(&report);
+        assert!(text.contains("a.rs:1: error [no-panic] d"));
+        assert!(text.contains("(baselined)"));
+        assert!(text.contains("3 file(s), 1 fresh finding(s) (1 error), 1 baselined, 4 suppressed"));
+    }
+}

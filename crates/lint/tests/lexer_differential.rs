@@ -1,0 +1,85 @@
+//! Differential test: the lexer must process every `.rs` file in the
+//! repository (the richest corpus of real-world input we have) and
+//! round-trip it exactly — tokens contiguous, byte offsets exact,
+//! concatenated texts identical to the source, line numbers monotone.
+
+use iba_lint::lexer::{lex, TokenKind};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a grandparent")
+}
+
+#[test]
+fn every_repo_file_lexes_and_round_trips() {
+    let root = repo_root();
+    let files = iba_lint::collect_rs_files(root).expect("walk repo");
+    assert!(
+        files.len() > 30,
+        "suspiciously small corpus: {} files",
+        files.len()
+    );
+    for rel in &files {
+        let path = rel
+            .split('/')
+            .fold(root.to_path_buf(), |p, seg| p.join(seg));
+        let source = std::fs::read_to_string(&path).expect("read source");
+        let tokens = lex(&source);
+
+        // Contiguity + exact byte offsets.
+        let mut pos = 0usize;
+        for tok in &tokens {
+            assert_eq!(tok.start, pos, "{rel}: gap before {:?}", tok.kind);
+            assert_eq!(
+                &source[tok.start..tok.end()],
+                tok.text,
+                "{rel}: text/offset mismatch"
+            );
+            pos = tok.end();
+        }
+        assert_eq!(pos, source.len(), "{rel}: trailing bytes unlexed");
+
+        // Round trip.
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, source, "{rel}: round trip failed");
+
+        // Line numbers are monotone and match the newline count.
+        let mut line = 1u32;
+        for tok in &tokens {
+            assert!(
+                tok.line >= line || tok.line == line,
+                "{rel}: line went back"
+            );
+            assert!(tok.line >= 1);
+            line = line.max(tok.line);
+        }
+        let newlines = source.matches('\n').count() as u32;
+        assert!(
+            line <= newlines + 1,
+            "{rel}: token line {line} beyond file end"
+        );
+
+        // Real source must not produce Unknown tokens.
+        let unknown: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Unknown)
+            .collect();
+        assert!(unknown.is_empty(), "{rel}: unknown tokens {unknown:?}");
+    }
+}
+
+#[test]
+fn lexing_the_lexer_finds_its_own_raw_strings() {
+    // Self-referential sanity: the rules module embeds fixtures inside
+    // raw strings; lexing it must classify them as literals.
+    let root = repo_root();
+    let src = std::fs::read_to_string(root.join("crates/lint/src/rules.rs")).expect("read");
+    let tokens = lex(&src);
+    assert!(tokens.iter().any(|t| t.kind == TokenKind::RawStr));
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::BlockComment || t.kind == TokenKind::LineComment));
+}

@@ -1,0 +1,62 @@
+//! Snapshot test of the JSON report schema: the exact bytes `cargo
+//! xtask lint --json` writes for a known finding set. CI consumers
+//! parse this artifact, so shape changes must be deliberate (bump
+//! `SCHEMA_VERSION` and update this snapshot together).
+
+use iba_lint::rules::{Finding, Severity};
+use iba_lint::{render_json, TreeReport, SCHEMA_VERSION};
+
+#[test]
+fn json_report_snapshot() {
+    let report = TreeReport {
+        files_scanned: 2,
+        fresh: vec![Finding {
+            file: "crates/qos/src/cac.rs".to_string(),
+            line: 7,
+            rule: "no-unordered-iter",
+            severity: Severity::Error,
+            detail: "`HashMap` in determinism-critical code".to_string(),
+        }],
+        baselined: vec![Finding {
+            file: "crates/cli/src/main.rs".to_string(),
+            line: 3,
+            rule: "todo-tracked",
+            severity: Severity::Warning,
+            detail: "`TODO` without an issue reference".to_string(),
+        }],
+        suppressed: 4,
+    };
+    let expected = format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"tool\": \"iba-lint\",\n  \"files_scanned\": 2,\n  \"counts\": {{\"errors\": 1, \"warnings\": 0, \"baselined\": 1, \"suppressed\": 4}},\n  \"rules\": [{{\"name\":\"no-unordered-iter\",\"severity\":\"error\"}},{{\"name\":\"no-wall-clock\",\"severity\":\"error\"}},{{\"name\":\"no-thread-spawn\",\"severity\":\"error\"}},{{\"name\":\"no-panic\",\"severity\":\"error\"}},{{\"name\":\"forbid-unsafe\",\"severity\":\"error\"}},{{\"name\":\"no-raw-occupancy-arith\",\"severity\":\"error\"}},{{\"name\":\"no-env-read\",\"severity\":\"error\"}},{{\"name\":\"todo-tracked\",\"severity\":\"warning\"}},{{\"name\":\"pragma-hygiene\",\"severity\":\"error\"}}],\n  \"findings\": [{{\"file\":\"crates/qos/src/cac.rs\",\"line\":7,\"rule\":\"no-unordered-iter\",\"severity\":\"error\",\"detail\":\"`HashMap` in determinism-critical code\",\"baselined\":false}},{{\"file\":\"crates/cli/src/main.rs\",\"line\":3,\"rule\":\"todo-tracked\",\"severity\":\"warning\",\"detail\":\"`TODO` without an issue reference\",\"baselined\":true}}]\n}}\n"
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+#[test]
+fn empty_report_is_valid_shape() {
+    let json = render_json(&TreeReport::default());
+    assert!(json.starts_with("{\n  \"schema_version\": "));
+    assert!(json.contains("\"findings\": []"));
+    assert!(json.contains(
+        "\"counts\": {\"errors\": 0, \"warnings\": 0, \"baselined\": 0, \"suppressed\": 0}"
+    ));
+    assert!(json.ends_with("}\n"));
+}
+
+#[test]
+fn json_strings_are_escaped() {
+    let report = TreeReport {
+        files_scanned: 1,
+        fresh: vec![Finding {
+            file: "a.rs".to_string(),
+            line: 1,
+            rule: "no-panic",
+            severity: Severity::Error,
+            detail: "quote \" backslash \\ newline \n".to_string(),
+        }],
+        baselined: Vec::new(),
+        suppressed: 0,
+    };
+    let json = render_json(&report);
+    assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+}

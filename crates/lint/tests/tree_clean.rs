@@ -1,0 +1,22 @@
+//! The acceptance gate, enforced as a test: `cargo xtask lint
+//! --no-baseline` must exit clean on this tree — every finding either
+//! fixed or carrying a justified pragma. Running it here means a plain
+//! `cargo test` catches regressions even without the xtask wrapper.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn whole_tree_lints_clean_without_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root");
+    let report = iba_lint::lint_tree(root, &[], &BTreeSet::new()).expect("lint tree");
+    assert!(report.files_scanned > 30, "corpus too small");
+    assert!(
+        report.fresh.is_empty(),
+        "tree has lint findings:\n{}",
+        iba_lint::render_text(&report)
+    );
+}

@@ -10,10 +10,14 @@ use iba_core::{
     Weight, MAX_TABLE_WEIGHT,
 };
 use iba_sim::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies one output port in the fabric.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Ordered `(node, port)` with [`NodeId`]'s canonical order (switches
+/// before hosts): the registry is a `BTreeMap`, so everything that
+/// iterates tables — audits, recovery, reports — sees this order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PortKey {
     /// Owning node.
     pub node: NodeId,
@@ -92,7 +96,7 @@ impl std::error::Error for ReleaseError {}
 /// lazily with a shared configuration.
 #[derive(Clone, Debug)]
 pub struct PortTables {
-    tables: HashMap<PortKey, HighPriorityTable>,
+    tables: BTreeMap<PortKey, HighPriorityTable>,
     allocator: AllocatorKind,
     capacity_limit: Weight,
 }
@@ -110,7 +114,7 @@ impl PortTables {
     pub fn with_allocator(allocator: AllocatorKind, qos_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&qos_fraction));
         PortTables {
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             allocator,
             capacity_limit: (qos_fraction * f64::from(MAX_TABLE_WEIGHT)) as Weight,
         }
@@ -250,19 +254,12 @@ impl PortTables {
         }
     }
 
-    /// Deterministically ordered port keys of every table touched so
-    /// far (hosts before switches is *not* the order — switches sort
-    /// first; what matters is that the order is stable across runs).
+    /// Port keys of every table touched so far, in canonical order
+    /// (switches before hosts, then node index, then port). The
+    /// registry is a `BTreeMap`, so this is simply its key order — no
+    /// re-sort, and no dependence on hasher behavior.
     pub(crate) fn sorted_keys(&self) -> Vec<PortKey> {
-        let mut keys: Vec<PortKey> = self.tables.keys().copied().collect();
-        keys.sort_by_key(|k| {
-            let (kind, idx) = match k.node {
-                NodeId::Switch(s) => (0u8, s),
-                NodeId::Host(h) => (1, h),
-            };
-            (kind, idx, k.port)
-        });
-        keys
+        self.tables.keys().copied().collect()
     }
 
     /// Mutable access to one touched table (recovery layer).

@@ -14,7 +14,12 @@ use iba_obs::{NullRecorder, Recorder, ServedKind};
 use iba_topo::{HostId, PortPeer, RoutingTable, SwitchId, Topology};
 
 /// A node of the fabric.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived `Ord` (switches before hosts, then index) is the
+/// fabric-wide canonical node order; `BTreeMap<PortKey, _>` registries
+/// and report sorting rely on it staying aligned with the variant
+/// declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeId {
     /// A switch.
     Switch(u16),

@@ -14,7 +14,7 @@ use iba_core::invariants::check_table;
 use iba_core::{
     AllocatorKind, Distance, HighPriorityTable, SequenceId, ServiceLevel, VirtualLane, Weight,
 };
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// One step of a counterexample script.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -126,7 +126,7 @@ pub fn search(allocator: AllocatorKind, max_states: usize) -> SearchReport {
     /// BFS node: the table, its live sequences, and the script that built it.
     type Node = (HighPriorityTable, Vec<(SequenceId, Weight)>, Vec<Op>);
     let mut report = SearchReport::default();
-    let mut seen: HashSet<Vec<(u8, u8)>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<(u8, u8)>> = BTreeSet::new();
     let mut queue: VecDeque<Node> = VecDeque::new();
 
     let empty = HighPriorityTable::with_allocator(allocator);

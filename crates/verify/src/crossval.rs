@@ -15,7 +15,7 @@
 //! a subset check.
 
 use iba_core::model::{MiniTable, ModelState};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Outcome of one cross-validation run.
 #[derive(Clone, Debug)]
@@ -39,6 +39,7 @@ pub struct CrossvalReport {
 fn multiset_of(state: &ModelState, n_dists: usize) -> Vec<u8> {
     let mut counts = vec![0u8; n_dists];
     for &(d, _) in state {
+        // lint: allow(no-raw-occupancy-arith) -- log2 of a distance value, not mask decoding
         counts[u32::from(d).trailing_zeros() as usize - 1] += 1;
     }
     counts
@@ -50,11 +51,12 @@ fn concrete_explore(
     table: MiniTable,
     size: u32,
     max_states: usize,
-) -> (usize, HashSet<Vec<u8>>, bool, Vec<String>) {
+) -> (usize, BTreeSet<Vec<u8>>, bool, Vec<String>) {
+    // lint: allow(no-raw-occupancy-arith) -- log2 of the table size, not mask decoding
     let n_dists = size.trailing_zeros() as usize;
     let mut violations = Vec::new();
-    let mut seen: HashSet<ModelState> = HashSet::new();
-    let mut multisets: HashSet<Vec<u8>> = HashSet::new();
+    let mut seen: BTreeSet<ModelState> = BTreeSet::new();
+    let mut multisets: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut queue: VecDeque<ModelState> = VecDeque::new();
     let mut states = 0usize;
     let mut truncated = false;
@@ -101,11 +103,11 @@ fn concrete_explore(
 /// Quotient BFS over multisets of the scaled table: the representative
 /// is rebuilt largest-first, canonicity is checked at every node, and
 /// admission must succeed exactly when the free entries permit it.
-fn quotient_explore(table: MiniTable, size: u32) -> (HashSet<Vec<u8>>, Vec<String>) {
+fn quotient_explore(table: MiniTable, size: u32) -> (BTreeSet<Vec<u8>>, Vec<String>) {
     let dists: Vec<u32> = table.distances().collect();
     let costs: Vec<u32> = dists.iter().map(|d| size / d).collect();
     let mut violations = Vec::new();
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut queue: VecDeque<Vec<u8>> = VecDeque::new();
     let start = vec![0u8; dists.len()];
     seen.insert(start.clone());
@@ -176,6 +178,8 @@ pub fn validate(size: u32, max_concrete: usize) -> CrossvalReport {
     let (quotient_set, qviol) = quotient_explore(table, size);
     mismatches.extend(qviol);
 
+    // Both sides are BTreeSets, so the mismatch report below comes out
+    // in lexicographic multiset order — stable across runs and hashers.
     for m in &concrete_multisets {
         if !quotient_set.contains(m) {
             mismatches.push(format!(

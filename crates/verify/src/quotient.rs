@@ -23,7 +23,7 @@ use iba_core::invariants::check_table;
 use iba_core::{
     Distance, HighPriorityTable, SequenceId, ServiceLevel, VirtualLane, Weight, TABLE_ENTRIES,
 };
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Number of live sequences per distance, indexed as [`Distance::ALL`].
 pub type Counts = [u8; 6];
@@ -101,7 +101,7 @@ pub fn representative(counts: &Counts) -> Result<(HighPriorityTable, Vec<Sequenc
 #[must_use]
 pub fn explore(max_states: usize, check_all_releases: bool) -> QuotientReport {
     let mut report = QuotientReport::default();
-    let mut seen: HashSet<Counts> = HashSet::new();
+    let mut seen: BTreeSet<Counts> = BTreeSet::new();
     let mut queue: VecDeque<Counts> = VecDeque::new();
     let start: Counts = [0; 6];
     seen.insert(start);

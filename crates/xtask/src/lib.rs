@@ -1,257 +1,24 @@
-//! Source scanners behind `cargo xtask check`.
+//! Pure helpers behind `cargo xtask check` / `bench-compare`.
 //!
-//! Dependency-free static analysis that encodes this workspace's
-//! local rules — things `rustc` and `clippy` cannot know:
+//! Source-discipline scanning lives in the `iba-lint` crate (a real
+//! lexer plus a token-stream rule engine; see `LINTS.md`) — the
+//! line-oriented string scanners that used to live here were retired
+//! when it landed (they could not see raw strings or nested block
+//! comments). What remains are the document-shaped extractors:
 //!
-//! * [`scan_no_panics`] — the always-on crates (`core`, `sim`, `qos`)
-//!   must not contain `.unwrap()`, `.expect(` or `panic!(` in non-test
-//!   code; failures there must surface as `Result`s or named-invariant
-//!   `assert!`s, never as anonymous unwraps.
-//! * [`scan_occupancy_arithmetic`] — the occupancy bitmask is
-//!   `iba-core`'s private representation; other crates may pass it to
-//!   core APIs but never manipulate it with raw bit operations.
-//! * [`scan_forbid_unsafe`] — every crate root carries
-//!   `#![forbid(unsafe_code)]`.
 //! * [`extract_relative_links`] — markdown link targets for the
 //!   doc-link lint (existence is checked by the runner).
+//! * [`extract_metric_names`] — the `METRIC_NAMES` declaration, for
+//!   the `METRICS.md` cross-check.
+//! * [`extract_lint_rule_rows`] — the `LINTS.md` rule-catalog table,
+//!   for the cross-check against `iba_lint::RULES`.
+//! * [`extract_bench_ns`] / [`compare_benches`] — `BENCH_*.json`
+//!   parsing and the regression gate.
 //!
-//! All scanners are pure functions over `(relative path, file
-//! contents)` so the tests can feed seeded violations without touching
-//! the filesystem.
+//! All helpers are pure functions over file contents so the tests can
+//! feed seeded inputs without touching the filesystem.
 
 #![forbid(unsafe_code)]
-
-use std::fmt;
-
-/// One rule violation, pointing at a file and line.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Finding {
-    /// Repository-relative path.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Short rule identifier.
-    pub rule: &'static str,
-    /// Human-readable description.
-    pub detail: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.detail
-        )
-    }
-}
-
-/// Crates whose non-test source must be panic-free (always-on control
-/// plane: allocator core, simulator, admission control).
-pub const PANIC_FREE_PREFIXES: &[&str] =
-    &["crates/core/src/", "crates/sim/src/", "crates/qos/src/"];
-
-/// Tokens banned by [`scan_no_panics`]. `assert!`/`unreachable!` stay
-/// permitted: they document impossibilities instead of silencing them.
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
-
-/// Bit-manipulation tokens that indicate raw occupancy arithmetic when
-/// they share a file with an `.occupancy()` call. Shift operators are
-/// matched space-delimited (rustfmt guarantees the spacing) so the
-/// `>>` of nested generics like `Vec<Vec<u8>>` never false-positives.
-const BIT_TOKENS: &[&str] = &[
-    " << ",
-    " >> ",
-    "count_ones",
-    "trailing_zeros",
-    "leading_zeros",
-    "&=",
-    "|=",
-    " ^ ",
-    "& (1",
-    "&(1",
-];
-
-/// The code portion of a line: string/char literal contents removed
-/// (so a `{` or `.unwrap()` inside a string never confuses the
-/// scanners), then truncated at a `//` comment.
-fn code_of(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let chars: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        match chars[i] {
-            '"' => {
-                out.push('"');
-                i += 1;
-                while i < chars.len() {
-                    if chars[i] == '\\' {
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal (its contents are dropped) vs lifetime
-                // (kept verbatim): a literal closes within two chars.
-                if i + 2 < chars.len() && chars[i + 1] == '\\' {
-                    let mut j = i + 2;
-                    while j < chars.len() && chars[j] != '\'' {
-                        j += 1;
-                    }
-                    out.push_str("''");
-                    i = j + 1;
-                } else if i + 2 < chars.len() && chars[i + 2] == '\'' {
-                    out.push_str("''");
-                    i += 3;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(chars[i]);
-                i += 1;
-            }
-        }
-    }
-    match out.find("//") {
-        Some(p) => out[..p].to_string(),
-        None => out,
-    }
-}
-
-fn brace_delta(code: &str) -> i32 {
-    let mut d = 0;
-    for c in code.chars() {
-        match c {
-            '{' => d += 1,
-            '}' => d -= 1,
-            _ => {}
-        }
-    }
-    d
-}
-
-/// Line-by-line walk of `source` yielding `(line_number, code)` for
-/// lines *outside* `#[cfg(test)]` modules, with comments stripped.
-fn non_test_code_lines(source: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    let mut armed = false; // saw #[cfg(test)], waiting for the mod line
-    let mut in_test = false;
-    let mut depth = 0i32;
-    for (idx, raw) in source.lines().enumerate() {
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // includes `///` and `//!` (doc examples are not code)
-        }
-        let code = code_of(raw);
-        if in_test {
-            depth += brace_delta(&code);
-            if depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        if code.contains("#[cfg(test)]") {
-            armed = true;
-            continue;
-        }
-        if armed {
-            if code.trim().is_empty() || code.trim_start().starts_with("#[") {
-                continue; // blank lines / further attributes keep it armed
-            }
-            armed = false;
-            if code.contains("mod ") {
-                depth = brace_delta(&code);
-                if code.contains('{') {
-                    if depth > 0 {
-                        in_test = true;
-                    }
-                    continue;
-                }
-                continue; // `mod foo;` — out-of-line test module
-            }
-            // Attribute applied to something other than a module
-            // (e.g. a fn): fall through and scan normally.
-        }
-        out.push((idx + 1, code));
-    }
-    out
-}
-
-/// Bans `.unwrap()` / `.expect(` / `panic!(` in the non-test code of
-/// the panic-free crates. Other paths return no findings.
-#[must_use]
-pub fn scan_no_panics(rel_path: &str, source: &str) -> Vec<Finding> {
-    if !PANIC_FREE_PREFIXES.iter().any(|p| rel_path.starts_with(p)) {
-        return Vec::new();
-    }
-    let mut findings = Vec::new();
-    for (line, code) in non_test_code_lines(source) {
-        for tok in PANIC_TOKENS {
-            if code.contains(tok) {
-                findings.push(Finding {
-                    file: rel_path.to_string(),
-                    line,
-                    rule: "no-panics",
-                    detail: format!("`{tok}` in non-test code of a panic-free crate"),
-                });
-            }
-        }
-    }
-    findings
-}
-
-/// Flags files outside `crates/core` that both call `.occupancy()` and
-/// perform raw bit manipulation — the mask must only be interpreted by
-/// core APIs (`is_canonical`, `select`, `slots()`, …).
-#[must_use]
-pub fn scan_occupancy_arithmetic(rel_path: &str, source: &str) -> Vec<Finding> {
-    if rel_path.starts_with("crates/core/") || rel_path.starts_with("crates/xtask/") {
-        return Vec::new();
-    }
-    let lines = non_test_code_lines(source);
-    if !lines.iter().any(|(_, c)| c.contains(".occupancy()")) {
-        return Vec::new();
-    }
-    let mut findings = Vec::new();
-    for (line, code) in &lines {
-        for tok in BIT_TOKENS {
-            if code.contains(tok) {
-                findings.push(Finding {
-                    file: rel_path.to_string(),
-                    line: *line,
-                    rule: "raw-occupancy",
-                    detail: format!(
-                        "`{tok}` in a file that reads `.occupancy()`; interpret the mask through iba-core APIs"
-                    ),
-                });
-            }
-        }
-    }
-    findings
-}
-
-/// Requires `#![forbid(unsafe_code)]` in a crate-root source file.
-#[must_use]
-pub fn scan_forbid_unsafe(rel_path: &str, source: &str) -> Vec<Finding> {
-    if source.contains("#![forbid(unsafe_code)]") {
-        Vec::new()
-    } else {
-        vec![Finding {
-            file: rel_path.to_string(),
-            line: 1,
-            rule: "forbid-unsafe",
-            detail: "crate root lacks #![forbid(unsafe_code)]".to_string(),
-        }]
-    }
-}
 
 /// The metric names declared in `METRIC_NAMES` of
 /// `crates/obs/src/metrics.rs`: every quoted string between the
@@ -282,6 +49,26 @@ pub fn extract_metric_names(source: &str) -> Vec<String> {
     out
 }
 
+/// The rule rows of the `LINTS.md` catalog table: every markdown table
+/// row whose first cell is a backticked rule name, as
+/// `(rule_name, rest_of_row)`. The runner cross-checks these against
+/// `iba_lint::RULES` in both directions (undocumented rule, documented
+/// ghost rule) and requires each row to state the rule's severity.
+#[must_use]
+pub fn extract_lint_rule_rows(source: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `") else {
+            continue;
+        };
+        let Some((name, row)) = rest.split_once('`') else {
+            continue;
+        };
+        out.push((name.to_string(), row.to_string()));
+    }
+    out
+}
+
 /// Relative markdown link targets in `source`, as `(line, target)`.
 /// Absolute URLs, `mailto:` and pure-fragment links are skipped; a
 /// `#section` suffix on a relative target is dropped.
@@ -289,7 +76,6 @@ pub fn extract_metric_names(source: &str) -> Vec<String> {
 pub fn extract_relative_links(source: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (idx, line) in source.lines().enumerate() {
-        let bytes = line.as_bytes();
         let mut i = 0;
         while let Some(p) = line[i..].find("](") {
             let start = i + p + 2;
@@ -310,7 +96,6 @@ pub fn extract_relative_links(source: &str) -> Vec<(usize, String)> {
                 out.push((idx + 1, path.to_string()));
             }
         }
-        let _ = bytes;
     }
     out
 }
@@ -399,84 +184,6 @@ pub fn compare_benches(baseline: &str, current: &str, tolerance: f64) -> Vec<Ben
 mod tests {
     use super::*;
 
-    const CLEAN: &str = r#"
-pub fn f(x: Option<u32>) -> u32 {
-    // .unwrap() in a comment is fine
-    x.unwrap_or(0)
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn t() {
-        Some(1).unwrap(); // allowed: test code
-        panic!("also allowed here");
-    }
-}
-"#;
-
-    #[test]
-    fn clean_file_passes() {
-        assert!(scan_no_panics("crates/core/src/x.rs", CLEAN).is_empty());
-    }
-
-    #[test]
-    fn seeded_unwrap_is_caught() {
-        let bad = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        let f = scan_no_panics("crates/sim/src/x.rs", bad);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "no-panics");
-        assert_eq!(f[0].line, 1);
-    }
-
-    #[test]
-    fn seeded_panic_and_expect_are_caught() {
-        let bad = "fn g() {\n    h().expect(\"boom\");\n    panic!(\"no\");\n}\n";
-        let f = scan_no_panics("crates/qos/src/x.rs", bad);
-        assert_eq!(f.len(), 2);
-    }
-
-    #[test]
-    fn other_crates_are_out_of_scope_for_panics() {
-        let bad = "fn f() { panic!(); }";
-        assert!(scan_no_panics("crates/cli/src/x.rs", bad).is_empty());
-        assert!(scan_no_panics("crates/core/tests/x.rs", bad).is_empty());
-    }
-
-    #[test]
-    fn doc_comment_examples_are_skipped() {
-        let doc = "/// ```\n/// x.unwrap();\n/// ```\npub fn f() {}\n";
-        assert!(scan_no_panics("crates/core/src/x.rs", doc).is_empty());
-    }
-
-    #[test]
-    fn occupancy_passthrough_is_allowed() {
-        let ok = "fn f(t: &T) -> bool { is_canonical(t.occupancy()) }\n";
-        assert!(scan_occupancy_arithmetic("crates/bench/src/x.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn occupancy_bit_twiddling_is_caught() {
-        let bad = "fn f(t: &T) -> u64 { let o = t.occupancy(); o & (1 << 3) }\n";
-        let f = scan_occupancy_arithmetic("crates/cli/src/x.rs", bad);
-        assert!(!f.is_empty());
-        assert_eq!(f[0].rule, "raw-occupancy");
-    }
-
-    #[test]
-    fn occupancy_rule_ignores_core() {
-        let bad = "fn f(t: &T) -> u64 { let o = t.occupancy(); o << 1 }\n";
-        assert!(scan_occupancy_arithmetic("crates/core/src/table.rs", bad).is_empty());
-    }
-
-    #[test]
-    fn forbid_unsafe_detects_presence_and_absence() {
-        assert!(scan_forbid_unsafe("crates/a/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
-        let f = scan_forbid_unsafe("crates/a/src/lib.rs", "pub fn f() {}\n");
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "forbid-unsafe");
-    }
-
     #[test]
     fn metric_names_are_extracted() {
         let src = r#"
@@ -497,33 +204,30 @@ pub const OTHER: &[&str] = &["not_a_metric"];
     }
 
     #[test]
+    fn lint_rule_rows_are_extracted() {
+        let md = "\
+# Catalog
+
+| rule | severity | scope |
+|---|---|---|
+| `no-panic` | error | core, sim, qos |
+| `todo-tracked` | warning | comments |
+
+Not a row: `inline-code` mention.
+";
+        let rows = extract_lint_rule_rows(md);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "no-panic");
+        assert!(rows[0].1.contains("error"));
+        assert_eq!(rows[1].0, "todo-tracked");
+        assert!(extract_lint_rule_rows("no table here").is_empty());
+    }
+
+    #[test]
     fn relative_links_are_extracted() {
         let md = "See [design](DESIGN.md#goals) and [site](https://example.com) and [top](#x).\n";
         let links = extract_relative_links(md);
         assert_eq!(links, vec![(1, "DESIGN.md".to_string())]);
-    }
-
-    #[test]
-    fn braces_and_tokens_inside_literals_are_ignored() {
-        // The unbalanced `{` lives in a string: the test-module brace
-        // tracking must not be thrown off, so the trailing unwrap in
-        // real code is still caught.
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { assert!(s.starts_with(\"graph {\")); }\n}\n\npub fn f() { y.unwrap() }\n";
-        let f = scan_no_panics("crates/core/src/x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 6);
-        // A banned token inside a string is not a finding either.
-        let s2 = "pub fn f() -> &'static str { \"call .unwrap() later\" }\n";
-        assert!(scan_no_panics("crates/core/src/x.rs", s2).is_empty());
-    }
-
-    #[test]
-    fn test_module_boundary_is_tracked() {
-        // Code *after* a test module is scanned again.
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\npub fn f() { y.unwrap() }\n";
-        let f = scan_no_panics("crates/core/src/x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 6);
     }
 
     fn bench_doc(rows: &[(&str, f64)]) -> String {

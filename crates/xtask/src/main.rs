@@ -1,4 +1,6 @@
-//! `cargo xtask check` — the workspace's static-analysis gate.
+//! `cargo xtask` — the workspace's static-analysis runner.
+//!
+//! ## `cargo xtask check`
 //!
 //! Steps, in order:
 //!
@@ -6,35 +8,48 @@
 //!    when `rustfmt` is not installed, e.g. offline minimal toolchains).
 //! 2. **clippy** — pinned deny-list over all targets (skipped likewise
 //!    when the `clippy` component is missing).
-//! 3. **scan** — the custom source scanners of [`xtask`]: no
-//!    `unwrap`/`expect`/`panic!` in non-test code of `core`/`sim`/`qos`,
-//!    no raw occupancy arithmetic outside `crates/core`, and
-//!    `#![forbid(unsafe_code)]` in every crate root.
+//! 3. **lint** — the `iba-lint` rule engine (lexer-based; see
+//!    `LINTS.md`) over every `.rs` file, with the committed
+//!    `LINT_baseline.txt` tolerated; any fresh finding fails.
 //! 4. **doc-links** — every relative markdown link in the repository's
 //!    `*.md` files must point at an existing file.
 //! 5. **metrics-doc** — every metric name declared in `METRIC_NAMES`
 //!    (`crates/obs/src/metrics.rs`) must appear in the `METRICS.md`
 //!    contract, so the observability surface cannot drift undocumented.
-//! 6. **target-tracked** — `git ls-files` must list no path under
+//! 6. **lints-doc** — the `LINTS.md` rule catalog must match
+//!    `iba_lint::RULES` exactly (no undocumented rule, no documented
+//!    ghost, severities stated per row) — same pattern as metrics-doc.
+//! 7. **target-tracked** — `git ls-files` must list no path under
 //!    `target/`: build artifacts can never re-enter version control
 //!    (skipped with a notice when `git` is unavailable).
 //!
 //! Exit status is non-zero when any executed step fails; skipped steps
 //! never fail the run.
 //!
-//! A second subcommand, `cargo xtask bench-compare <baseline.json>
-//! <current.json> [tolerance]`, diffs two `BENCH_*.json` documents and
-//! fails on any shared benchmark that regressed by more than
-//! `tolerance` (default 0.25 = +25% wall clock) — the CI gate for the
-//! event-queue/packet-pool hot path.
+//! ## `cargo xtask lint [--no-baseline] [--json <file>] [--write-baseline] [path...]`
+//!
+//! Runs the rule engine alone. `--no-baseline` ignores
+//! `LINT_baseline.txt` and fails on *any* finding (the strict
+//! acceptance gate); the default mode tolerates baselined findings and
+//! fails only on fresh `error`-severity ones. `--json <file>` writes
+//! the machine-readable report (schema in
+//! `crates/lint/tests/report_schema.rs`); positional paths restrict
+//! the scan to matching prefixes (e.g. `crates/qos`).
+//!
+//! ## `cargo xtask bench-compare <baseline.json> <current.json> [tolerance]`
+//!
+//! Diffs two `BENCH_*.json` documents and fails on any shared
+//! benchmark that regressed by more than `tolerance` (default 0.25 =
+//! +25% wall clock) — the CI gate for the event-queue/packet-pool hot
+//! path.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use xtask::{
-    compare_benches, extract_metric_names, extract_relative_links, scan_forbid_unsafe,
-    scan_no_panics, scan_occupancy_arithmetic, Finding,
+    compare_benches, extract_lint_rule_rows, extract_metric_names, extract_relative_links,
 };
 
 /// Clippy lints denied on top of the default `warn` set. Pinned so a
@@ -46,6 +61,9 @@ const CLIPPY_DENY: &[&str] = &[
     "clippy::unimplemented",
     "clippy::mem_forget",
 ];
+
+/// The committed findings baseline consumed by the default lint mode.
+const BASELINE_FILE: &str = "LINT_baseline.txt";
 
 fn repo_root() -> PathBuf {
     // crates/xtask -> crates -> repository root.
@@ -124,48 +142,33 @@ fn rel(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-fn is_crate_root(rel_path: &str) -> bool {
-    let Some(rest) = rel_path.strip_prefix("crates/") else {
-        return false;
-    };
-    let Some((_, tail)) = rest.split_once('/') else {
-        return false;
-    };
-    tail == "src/lib.rs"
-        || tail == "src/main.rs"
-        || (tail.starts_with("src/bin/") && tail.ends_with(".rs") && !tail.contains("/mod.rs"))
+/// Loads `LINT_baseline.txt` (missing file = empty baseline).
+fn load_baseline(root: &Path) -> BTreeSet<String> {
+    std::fs::read_to_string(root.join(BASELINE_FILE))
+        .map(|s| iba_lint::parse_baseline(&s))
+        .unwrap_or_default()
 }
 
-fn step_scan(root: &Path) -> StepResult {
-    let mut files = Vec::new();
-    walk(&root.join("crates"), "rs", &mut files);
-    let mut findings: Vec<Finding> = Vec::new();
-    for path in &files {
-        let rel_path = rel(root, path);
-        let Ok(source) = std::fs::read_to_string(path) else {
-            findings.push(Finding {
-                file: rel_path,
-                line: 0,
-                rule: "io",
-                detail: "unreadable source file".to_string(),
-            });
-            continue;
-        };
-        findings.extend(scan_no_panics(&rel_path, &source));
-        findings.extend(scan_occupancy_arithmetic(&rel_path, &source));
-        if is_crate_root(&rel_path) {
-            findings.extend(scan_forbid_unsafe(&rel_path, &source));
-        }
-    }
-    if findings.is_empty() {
-        println!("      {} source files scanned, 0 findings", files.len());
+/// The `lint` step of `cargo xtask check`: whole tree, baseline
+/// tolerated, any fresh finding fails.
+fn step_lint(root: &Path) -> StepResult {
+    let baseline = load_baseline(root);
+    let report = match iba_lint::lint_tree(root, &[], &baseline) {
+        Ok(r) => r,
+        Err(e) => return StepResult::Fail(format!("lint walk failed: {e}")),
+    };
+    print!("{}", indent(&iba_lint::render_text(&report)));
+    if report.fresh.is_empty() {
         StepResult::Pass
     } else {
-        for f in &findings {
-            println!("      {f}");
-        }
-        StepResult::Fail(format!("{} scanner finding(s)", findings.len()))
+        StepResult::Fail(format!("{} fresh lint finding(s)", report.fresh.len()))
     }
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("      {l}\n"))
+        .collect::<String>()
 }
 
 fn step_doc_links(root: &Path) -> StepResult {
@@ -237,6 +240,53 @@ fn step_metrics_doc(root: &Path) -> StepResult {
     }
 }
 
+/// Cross-checks the lint catalog: `LINTS.md`'s rule table must match
+/// `iba_lint::RULES` exactly, and each row must state its severity.
+fn step_lints_doc(root: &Path) -> StepResult {
+    let doc = match std::fs::read_to_string(root.join("LINTS.md")) {
+        Ok(s) => s,
+        Err(e) => return StepResult::Fail(format!("cannot read LINTS.md: {e}")),
+    };
+    let rows = extract_lint_rule_rows(&doc);
+    if rows.is_empty() {
+        return StepResult::Fail("no rule table found in LINTS.md".to_string());
+    }
+    let documented: BTreeSet<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+    let registered: BTreeSet<&str> = iba_lint::RULES.iter().map(|r| r.name).collect();
+    let mut problems = Vec::new();
+    for r in iba_lint::RULES {
+        if !documented.contains(r.name) {
+            problems.push(format!("rule `{}` is not documented in LINTS.md", r.name));
+        }
+    }
+    for (name, row) in &rows {
+        if !registered.contains(name.as_str()) {
+            problems.push(format!(
+                "LINTS.md documents `{name}`, which is not a registered rule"
+            ));
+        } else if let Some(info) = iba_lint::rules::rule_info(name) {
+            if !row.contains(info.severity.name()) {
+                problems.push(format!(
+                    "LINTS.md row for `{name}` does not state its severity ({})",
+                    info.severity.name()
+                ));
+            }
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "      {} rule(s) all documented in LINTS.md with severities",
+            registered.len()
+        );
+        StepResult::Pass
+    } else {
+        for p in &problems {
+            println!("      {p}");
+        }
+        StepResult::Fail(format!("{} lint-catalog problem(s)", problems.len()))
+    }
+}
+
 /// Fails when any build artifact under `target/` is tracked by git —
 /// the tree once carried ~16k committed artifacts and must never again.
 fn step_target_tracked(root: &Path) -> StepResult {
@@ -266,6 +316,81 @@ fn step_target_tracked(root: &Path) -> StepResult {
             "{} tracked file(s) under target/ — run `git rm -r --cached target`",
             tracked.len()
         ))
+    }
+}
+
+/// `cargo xtask lint` — the rule engine as a standalone command. See
+/// the module docs for the flag set and exit-status contract.
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let usage =
+        "usage: cargo xtask lint [--no-baseline] [--json <file>] [--write-baseline] [path...]";
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut json_path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("lint: unknown flag `{flag}`\n{usage}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.trim_start_matches("./").trim_end_matches('/').to_string()),
+        }
+    }
+    let root = repo_root();
+    let baseline = if no_baseline {
+        BTreeSet::new()
+    } else {
+        load_baseline(&root)
+    };
+    let report = match iba_lint::lint_tree(&root, &paths, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", iba_lint::render_text(&report));
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, iba_lint::render_json(&report)) {
+            eprintln!("lint: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("lint: JSON report written to {p}");
+    }
+    if write_baseline {
+        let all: Vec<iba_lint::Finding> = report
+            .fresh
+            .iter()
+            .chain(report.baselined.iter())
+            .cloned()
+            .collect();
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, iba_lint::render_baseline(&all)) {
+            eprintln!("lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("lint: baseline rewritten ({} entr(ies))", all.len());
+    }
+    let failed = if no_baseline {
+        !report.fresh.is_empty()
+    } else {
+        report.fresh_errors() > 0
+    };
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -336,8 +461,14 @@ fn main() -> ExitCode {
     if cmd == "bench-compare" {
         return bench_compare(&args[1..]);
     }
+    if cmd == "lint" {
+        return lint_cmd(&args[1..]);
+    }
     if cmd != "check" {
-        eprintln!("usage: cargo xtask check | cargo xtask bench-compare <base> <cur> [tol]");
+        eprintln!(
+            "usage: cargo xtask check | cargo xtask lint [flags] [path...] | \
+             cargo xtask bench-compare <base> <cur> [tol]"
+        );
         return ExitCode::from(2);
     }
     let root = repo_root();
@@ -345,9 +476,10 @@ fn main() -> ExitCode {
     let steps: &[Step] = &[
         ("fmt", step_fmt),
         ("clippy", step_clippy),
-        ("scan", step_scan),
+        ("lint", step_lint),
         ("doc-links", step_doc_links),
         ("metrics-doc", step_metrics_doc),
+        ("lints-doc", step_lints_doc),
         ("target-tracked", step_target_tracked),
     ];
     let mut failed = false;

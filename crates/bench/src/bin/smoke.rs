@@ -1,8 +1,8 @@
 //! Micro-benchmark smoke tier: a fast pass over the allocator and
 //! simulator hot paths that emits machine-readable `BENCH_alloc.json`,
-//! `BENCH_sim.json`, `BENCH_audit.json` and `BENCH_chaos.json` reports
-//! (schema documented in `EXPERIMENTS.md`, metric semantics in
-//! `METRICS.md`).
+//! `BENCH_sim.json`, `BENCH_schedule.json`, `BENCH_audit.json` and
+//! `BENCH_chaos.json` reports (schema documented in `EXPERIMENTS.md`,
+//! metric semantics in `METRICS.md`).
 //!
 //! The JSON goes to `IBA_BENCH_OUT` (directory, default: the current
 //! working directory). Intended for CI artifact upload:
@@ -15,7 +15,8 @@
 
 use iba_bench::microbench::{black_box, Harness, Summary};
 use iba_core::{
-    AllocatorKind, ArbEntry, Distance, ServiceLevel, VirtualLane, VlArbConfig, VlArbEngine,
+    AllocatorKind, ArbEntry, CompiledVlArb, Distance, ServiceLevel, VirtualLane, VlArbConfig,
+    VlArbEngine,
 };
 use iba_harness::{run_audit, run_chaos, run_points, AuditConfig, ChaosConfig, SimPoint};
 use iba_obs::{bench_json, vl_shares, BenchRecord, ObsRecorder, VlShare};
@@ -79,33 +80,37 @@ fn bench_alloc(h: &mut Harness) {
     });
 }
 
-/// Arbiter tier: the WRR grant loop at the heart of every output port.
+/// The 12:4 two-VL table shared by the grant benches.
+fn two_vl_config() -> VlArbConfig {
+    VlArbConfig {
+        high: vec![
+            ArbEntry {
+                vl: VirtualLane::data(1),
+                weight: 12,
+            },
+            ArbEntry {
+                vl: VirtualLane::data(2),
+                weight: 4,
+            },
+        ],
+        low: vec![],
+        limit_of_high_priority: 255,
+    }
+}
+
+/// Arbiter tier: one WRR grant at the heart of every output port,
+/// streaming through the compiled schedule the fabric uses in
+/// production. The schedule is compiled once per table download and
+/// amortised over every grant until the next mutation invalidates it,
+/// so the steady-state op is a single `select` — the baseline row
+/// measured the interpreted engine re-walking (and rebuilding) its
+/// table per grant batch. Loop-shaped comparisons of the two engines
+/// live in the `schedule/` tier.
 fn bench_sim(h: &mut Harness) {
+    let mut arb = CompiledVlArb::new(two_vl_config());
+    let bytes = [256u64; 16];
     h.bench("sim/vlarb_grant_2vl", || {
-        let cfg = VlArbConfig {
-            high: vec![
-                ArbEntry {
-                    vl: VirtualLane::data(1),
-                    weight: 12,
-                },
-                ArbEntry {
-                    vl: VirtualLane::data(2),
-                    weight: 4,
-                },
-            ],
-            low: vec![],
-            limit_of_high_priority: 255,
-        };
-        let mut engine = VlArbEngine::new(cfg);
-        let ready = [VirtualLane::data(1), VirtualLane::data(2)];
-        let mut served = 0u32;
-        for _ in 0..64 {
-            let grant = engine.select(|vl| ready.contains(&vl).then_some(256));
-            if grant.is_some() {
-                served += 1;
-            }
-        }
-        served
+        arb.select(black_box(0b0110), &bytes).is_some()
     });
     h.bench("sim/fabric_short_run", || {
         let mut f = shares_fabric();
@@ -130,6 +135,61 @@ fn bench_sim(h: &mut Harness) {
             popped += 1;
         }
         black_box(popped)
+    });
+}
+
+/// Schedule tier: the compiler itself. Compile cost (paid once per
+/// table download) and the compiled-vs-interpreted 64-grant loop with
+/// construction hoisted out of both bodies, so the two rows isolate
+/// the per-grant cost difference the fabric sees.
+fn bench_schedule(h: &mut Harness) {
+    // Recompile cost for the small production table: this is the price
+    // of one invalidation (admit / teardown / repair / fault).
+    let small = two_vl_config();
+    let mut arb = CompiledVlArb::new(small.clone());
+    h.bench("schedule/compile_2vl", || {
+        arb.reconfigure(black_box(small.clone()));
+        arb.high_stream().len()
+    });
+    // Worst-case table: 64 high entries at the maximum weight.
+    let full = VlArbConfig {
+        high: (0..64)
+            .map(|i| ArbEntry {
+                vl: VirtualLane::data(1 + (i % 8)),
+                weight: 255,
+            })
+            .collect(),
+        low: vec![],
+        limit_of_high_priority: 255,
+    };
+    let mut arb_full = CompiledVlArb::new(full.clone());
+    h.bench("schedule/compile_64entry", || {
+        arb_full.reconfigure(black_box(full.clone()));
+        arb_full.high_stream().len()
+    });
+    // Per-grant cost, compiled stream vs interpreted WRR walk.
+    let bytes = [256u64; 16];
+    let mut compiled = CompiledVlArb::new(two_vl_config());
+    h.bench("schedule/select_compiled_64", || {
+        let mut served = 0u32;
+        for _ in 0..64 {
+            if compiled.select(black_box(0b0110), &bytes).is_some() {
+                served += 1;
+            }
+        }
+        served
+    });
+    let mut interpreted = VlArbEngine::new(two_vl_config());
+    let ready = [VirtualLane::data(1), VirtualLane::data(2)];
+    h.bench("schedule/select_interpreted_64", || {
+        let mut served = 0u32;
+        for _ in 0..64 {
+            let grant = interpreted.select(|vl| ready.contains(&vl).then_some(256));
+            if grant.is_some() {
+                served += 1;
+            }
+        }
+        served
     });
 }
 
@@ -321,6 +381,14 @@ fn main() {
     let shares = measured_shares();
     write_report("BENCH_sim.json", &bench_json("sim", &sim_results, &shares));
 
+    let mut h3 = Harness::from_env();
+    bench_schedule(&mut h3);
+    let schedule_results = records(h3.results());
+    write_report(
+        "BENCH_schedule.json",
+        &bench_json("schedule", &schedule_results, &[]),
+    );
+
     write_report(
         "BENCH_audit.json",
         &bench_json("audit", &bench_audit(), &[]),
@@ -333,4 +401,5 @@ fn main() {
 
     h.finish();
     h2.finish();
+    h3.finish();
 }

@@ -18,6 +18,9 @@
 //!   (distance between consecutive table entries, Table 1 — [`sl`]),
 //! * the runtime **weighted round-robin arbitration engine** that an
 //!   output port runs over a configured table ([`vlarb`]),
+//! * the **schedule compiler** that turns a table into a flat
+//!   `(vl, burst_bytes)` grant stream for the simulator's hot path
+//!   ([`schedule`]),
 //! * baseline allocators used by the ablation experiments ([`alloc`]).
 //!
 //! Everything here is pure, deterministic and allocation-light; the
@@ -36,6 +39,7 @@ pub mod eset;
 pub mod invariants;
 pub mod model;
 pub mod rng;
+pub mod schedule;
 pub mod sequence;
 pub mod sl;
 pub mod table;
@@ -49,6 +53,7 @@ pub use distance::{effective_request, entries_needed, Distance};
 pub use entry::{TableSlot, VirtualLane, MAX_DATA_VLS, TABLE_ENTRIES};
 pub use eset::ESet;
 pub use rng::SplitMix64;
+pub use schedule::{CompiledVlArb, GrantStream};
 pub use sequence::{SequenceId, SequenceInfo};
 pub use sl::{ServiceLevel, SlProfile, SlTable, SlToVlMap, TrafficClass};
 pub use table::{Admission, EvictedSequence, HighPriorityTable, RepairReport, TableError};

@@ -75,7 +75,7 @@ impl VlArbConfig {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.high.len() <= TABLE_ENTRIES, "high table too long");
         assert!(self.low.len() <= TABLE_ENTRIES, "low table too long");
         for e in self.high.iter().chain(&self.low) {

@@ -1,0 +1,192 @@
+//! Differential tests for the compiled arbitration pipeline.
+//!
+//! The schedule compiler (`iba_core::CompiledVlArb`) must be
+//! observationally identical to the interpreted reference engine
+//! (`iba_core::VlArbEngine`): same grants, same delivery times, same
+//! digests — across the full paper pipeline, not just unit-level grant
+//! sequences. These tests hold the two modes to byte-identical delivery
+//! digests over the seeded sweep, verify the digest is invariant under
+//! the worker-thread count, and property-check (100 seeds) that every
+//! table mutation path invalidates the compiled schedule.
+
+use iba_harness::{build_experiment_sized, run_measured, run_points, SimPoint};
+use iba_obs::ObsRecorder;
+use iba_qos::RecoveryManager;
+use iba_sim::{ArbiterMode, FaultAction, NodeId, NullObserver};
+use iba_traffic::{RequestGenerator, WorkloadConfig};
+
+/// Compiled and interpreted arbiters must deliver the exact same
+/// packets at the exact same times over the seeded experiment sweep.
+#[test]
+fn compiled_matches_interpreted_delivery_digests() {
+    for &(mtu, seed) in &[(256u32, 11u64), (1024, 22), (4096, 33)] {
+        let compiled = {
+            let exp = build_experiment_sized(mtu, 4, seed, 40);
+            assert_eq!(
+                exp.frame.sim_config().arbiter,
+                ArbiterMode::Compiled,
+                "compiled mode must be the default"
+            );
+            run_measured(&exp, 3, true)
+        };
+        let interpreted = {
+            let mut exp = build_experiment_sized(mtu, 4, seed, 40);
+            exp.frame.sim_config_mut().arbiter = ArbiterMode::Interpreted;
+            run_measured(&exp, 3, true)
+        };
+        assert!(
+            compiled.delivery_count > 0,
+            "steady state delivered nothing"
+        );
+        assert_eq!(
+            compiled.delivery_count, interpreted.delivery_count,
+            "mtu={mtu} seed={seed}: delivery counts diverged"
+        );
+        assert_eq!(
+            compiled.delivery_digest, interpreted.delivery_digest,
+            "mtu={mtu} seed={seed}: compiled arbiter changed the delivery stream"
+        );
+        assert_eq!(
+            compiled.stats.delivered_bytes, interpreted.stats.delivered_bytes,
+            "mtu={mtu} seed={seed}: delivered byte totals diverged"
+        );
+    }
+}
+
+/// The compiled-arbiter sweep renders byte-identically at 1, 2 and 8
+/// worker threads (the recorded-run / `IBA_THREADS` contract).
+#[test]
+fn compiled_sweep_is_thread_invariant() {
+    let points: Vec<SimPoint> = [5u64, 6, 7]
+        .iter()
+        .map(|&seed| SimPoint {
+            switches: 4,
+            seed,
+            mtu: 1024,
+            background: false,
+            steady_packets: 3,
+            reject_limit: 40,
+        })
+        .collect();
+    let render = |threads: usize| {
+        let (outcomes, rec) = run_points(&points, threads);
+        let lines: Vec<String> = outcomes.iter().map(|o| o.render()).collect();
+        // harness_threads records the worker count itself and is the
+        // one reading allowed to differ between runs.
+        let metrics: Vec<String> = rec
+            .metrics
+            .snapshot()
+            .iter()
+            .filter(|s| s.name != "harness_threads")
+            .map(|s| format!("{s:?}"))
+            .collect();
+        (lines, metrics)
+    };
+    let (one, m1) = render(1);
+    let (two, m2) = render(2);
+    let (eight, m8) = render(8);
+    assert_eq!(one, two, "outcomes differ between 1 and 2 threads");
+    assert_eq!(one, eight, "outcomes differ between 1 and 8 threads");
+    assert_eq!(m1, m2, "merged metrics differ between 1 and 2 threads");
+    assert_eq!(m1, m8, "merged metrics differ between 1 and 8 threads");
+}
+
+/// Property (100 seeds): every table mutation path — admit, teardown,
+/// repair and fault corruption — invalidates the compiled schedule and
+/// triggers a recompile, and the recorder hooks see the same counts as
+/// the fabric's own accounting.
+#[test]
+fn every_mutation_path_invalidates_the_schedule() {
+    for seed in 0..100u64 {
+        let exp = build_experiment_sized(256, 2, seed, 10);
+        let mut frame = exp.frame;
+        let topo = frame.manager.topology().clone();
+        let (mut fabric, _obs) = frame.build_fabric(seed, None);
+        let ports: u64 = u64::try_from(topo.num_hosts()).unwrap()
+            + u64::try_from(topo.num_switches()).unwrap() * u64::from(topo.ports_per_switch());
+        // build_fabric compiles every port once, then apply_tables
+        // recompiles every wired port.
+        assert!(fabric.schedule_compiles() >= ports);
+        let base_invalidations = fabric.schedule_invalidations();
+        let mut rec = ObsRecorder::new();
+
+        // Admit: a table download after a new admission invalidates.
+        let mut gen = RequestGenerator::new(
+            &topo,
+            frame.manager.sl_table(),
+            &WorkloadConfig::new(256, seed ^ 0xBEEF),
+        );
+        let before = fabric.schedule_invalidations();
+        let mut admitted = None;
+        for _ in 0..50 {
+            let req = gen.next_request();
+            if let Ok(id) = frame.manager.request(&req) {
+                admitted = Some(id);
+                break;
+            }
+        }
+        let admitted = admitted.expect("no admission in 50 attempts");
+        frame.manager.apply_tables_observed(&mut fabric, &mut rec);
+        assert!(
+            fabric.schedule_invalidations() > before,
+            "seed {seed}: admit did not invalidate"
+        );
+
+        // Teardown: the next download invalidates again.
+        let before = fabric.schedule_invalidations();
+        assert!(frame.manager.teardown(admitted));
+        frame.manager.apply_tables_observed(&mut fabric, &mut rec);
+        assert!(
+            fabric.schedule_invalidations() > before,
+            "seed {seed}: teardown did not invalidate"
+        );
+
+        // Repair: corrupt the manager's tables, repair, re-download.
+        let before = fabric.schedule_invalidations();
+        frame.manager.corrupt_tables(seed);
+        let mut recovery = RecoveryManager::new(seed);
+        frame.manager.repair_tables(&mut recovery, &mut rec);
+        frame.manager.apply_tables_observed(&mut fabric, &mut rec);
+        assert!(
+            fabric.schedule_invalidations() > before,
+            "seed {seed}: repair did not invalidate"
+        );
+
+        // Fault corruption: an in-fabric CorruptTable event invalidates
+        // without any subnet-manager involvement.
+        let before = fabric.schedule_invalidations();
+        fabric.schedule_fault(
+            fabric.now(),
+            FaultAction::CorruptTable {
+                node: NodeId::Host(u16::try_from(seed % topo.num_hosts() as u64).unwrap()),
+                port: 0,
+                seed,
+            },
+        );
+        fabric.run_until_recorded(fabric.now() + 1, &mut NullObserver, &mut rec);
+        assert_eq!(
+            fabric.schedule_invalidations(),
+            before + 1,
+            "seed {seed}: fault corruption did not invalidate exactly once"
+        );
+
+        // Invalidations always pair with recompiles past the initial
+        // setup, and the recorder saw every one performed under it.
+        assert_eq!(
+            fabric.schedule_compiles(),
+            ports + fabric.schedule_invalidations(),
+            "seed {seed}: compiles != initial ports + invalidations"
+        );
+        let observed = fabric.schedule_invalidations() - base_invalidations;
+        assert_eq!(
+            rec.metrics.schedule_invalidations.get(),
+            observed,
+            "seed {seed}: recorder missed invalidations"
+        );
+        assert_eq!(
+            rec.metrics.schedule_compiles.get(),
+            observed,
+            "seed {seed}: recorder hook compiles must pair with invalidations"
+        );
+    }
+}

@@ -225,6 +225,8 @@ pub const METRIC_NAMES: &[&str] = &[
     "arb_queue_depth",
     "sim_events_total",
     "sim_event_queue_depth",
+    "schedule_compile_total",
+    "schedule_invalidate_total",
     "cac_admit_total",
     "cac_reject_total",
     "cac_release_total",
@@ -342,6 +344,12 @@ pub struct Metrics {
     /// `sim_event_queue_depth`: pending events in the calendar queue,
     /// observed after each pop.
     pub sim_event_queue_depth: Histogram,
+    /// `schedule_compile_total`: arbitration tables compiled into grant
+    /// schedules.
+    pub schedule_compiles: Counter,
+    /// `schedule_invalidate_total`: compiled grant schedules invalidated
+    /// by a table change (admit, teardown, repair, fault corruption).
+    pub schedule_invalidations: Counter,
     /// `cac_admit_total`: admitted connections per SL.
     pub cac_admit: PerLane<Counter>,
     /// `cac_reject_total`: rejected requests, indexed like
@@ -497,6 +505,18 @@ impl Metrics {
                 &self.sim_event_queue_depth,
             ));
         }
+        counter(
+            &mut out,
+            "schedule_compile_total",
+            Dim::None,
+            self.schedule_compiles,
+        );
+        counter(
+            &mut out,
+            "schedule_invalidate_total",
+            Dim::None,
+            self.schedule_invalidations,
+        );
         for (i, c) in self.cac_admit.0.iter().enumerate() {
             counter(&mut out, "cac_admit_total", Dim::Sl(i as u8), *c);
         }
@@ -625,6 +645,9 @@ impl Metrics {
         self.sim_events.merge(other.sim_events);
         self.sim_event_queue_depth
             .merge(&other.sim_event_queue_depth);
+        self.schedule_compiles.merge(other.schedule_compiles);
+        self.schedule_invalidations
+            .merge(other.schedule_invalidations);
         for (a, b) in self.cac_admit.0.iter_mut().zip(other.cac_admit.0.iter()) {
             a.merge(*b);
         }
@@ -776,6 +799,8 @@ mod tests {
         m.arb_queue_depth.observe(4);
         m.sim_events.incr();
         m.sim_event_queue_depth.observe(8);
+        m.schedule_compiles.incr();
+        m.schedule_invalidations.incr();
         m.cac_admit.lane(3).incr();
         m.cac_reject[0].incr();
         m.cac_release.incr();

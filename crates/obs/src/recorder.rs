@@ -172,6 +172,16 @@ pub trait Recorder {
     #[inline]
     fn fault_blocked(&mut self, _vl: u8) {}
 
+    /// A table change invalidated an output port's compiled grant
+    /// schedule (admit, teardown, repair or fault corruption).
+    #[inline]
+    fn schedule_invalidated(&mut self) {}
+
+    /// An arbitration table was compiled into a grant schedule
+    /// (always paired with an invalidation after the initial setup).
+    #[inline]
+    fn schedule_compiled(&mut self) {}
+
     /// The recovery manager repaired a damaged table, evicting
     /// `evicted` orphaned or corrupt sequences.
     #[inline]
@@ -373,6 +383,16 @@ impl Recorder for ObsRecorder {
     #[inline]
     fn fault_blocked(&mut self, vl: u8) {
         self.metrics.fault_blocked.lane(vl).incr();
+    }
+
+    #[inline]
+    fn schedule_invalidated(&mut self) {
+        self.metrics.schedule_invalidations.incr();
+    }
+
+    #[inline]
+    fn schedule_compiled(&mut self) {
+        self.metrics.schedule_compiles.incr();
     }
 
     fn recovery_repair(&mut self, evicted: u64) {

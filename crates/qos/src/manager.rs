@@ -391,8 +391,16 @@ impl QosManager {
     }
 
     /// Pushes the current table state into every output port of a
-    /// fabric (the subnet-management download step).
+    /// fabric (the subnet-management download step). Each download
+    /// invalidates and recompiles that port's grant schedule.
     pub fn apply_tables(&self, fabric: &mut Fabric) {
+        self.apply_tables_observed(fabric, &mut iba_obs::NullRecorder);
+    }
+
+    /// [`QosManager::apply_tables`] with instrumentation: every table
+    /// download fires the recorder's schedule invalidate/compile hooks
+    /// (`schedule_invalidate_total` / `schedule_compile_total`).
+    pub fn apply_tables_observed(&self, fabric: &mut Fabric, rec: &mut dyn iba_obs::Recorder) {
         for s in self.topo.switch_ids() {
             for p in 0..self.topo.ports_per_switch() {
                 if matches!(self.topo.peer(s, p), PortPeer::Free) {
@@ -402,7 +410,7 @@ impl QosManager {
                     node: NodeId::Switch(s.0),
                     port: p,
                 };
-                fabric.set_output_table(key.node, p, self.arb_config_for(key));
+                fabric.set_output_table_recorded(key.node, p, self.arb_config_for(key), rec);
             }
         }
         for h in self.topo.host_ids() {
@@ -410,7 +418,7 @@ impl QosManager {
                 node: NodeId::Host(h.0),
                 port: 0,
             };
-            fabric.set_output_table(key.node, 0, self.arb_config_for(key));
+            fabric.set_output_table_recorded(key.node, 0, self.arb_config_for(key), rec);
         }
     }
 

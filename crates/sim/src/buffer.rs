@@ -68,6 +68,7 @@ impl PacketPool {
         self.slots.len()
     }
 
+    #[inline]
     fn alloc(&mut self, packet: Packet) -> u32 {
         self.in_use += 1;
         if self.free_head != NIL {
@@ -87,6 +88,7 @@ impl PacketPool {
         }
     }
 
+    #[inline]
     fn release(&mut self, idx: u32) {
         self.in_use -= 1;
         let slot = &mut self.slots[idx as usize];
@@ -206,6 +208,164 @@ impl VlBuffer {
     }
 }
 
+/// All 16 VL queues of one port in struct-of-arrays layout, plus an
+/// occupancy bitmask.
+///
+/// Semantically this is `[VlBuffer; 16]`, but the hot path never asks
+/// "what is the state of lane v" — it asks "which lanes have a head
+/// packet". Keeping heads, tails, lengths and byte counts in parallel
+/// arrays puts each question's answers on one or two cache lines, and
+/// the `occupied` bitmask answers the candidate scan in a single
+/// `trailing_zeros` loop over set bits instead of sixteen head probes
+/// (see the compiled-arbitration section of `DESIGN.md`).
+#[derive(Clone, Debug)]
+pub struct VlQueueSet {
+    /// Head slot index per lane (`NIL` when empty).
+    head: [u32; 16],
+    /// Tail slot index per lane (`NIL` when empty).
+    tail: [u32; 16],
+    /// Packets queued per lane.
+    len: [u32; 16],
+    /// Bytes queued per lane.
+    used: [u64; 16],
+    /// Wire size of the head packet per lane (valid only while the
+    /// lane's `occupied` bit is set). The arbitration candidate scan
+    /// reads this instead of dereferencing the pool slot — the cache is
+    /// refreshed on the push/pop that changes a lane's head, which
+    /// happens far less often than the scan runs.
+    head_bytes: [u32; 16],
+    /// Byte capacity shared by every lane.
+    capacity: u64,
+    /// Bit `v` set iff lane `v` holds at least one packet.
+    occupied: u16,
+}
+
+impl VlQueueSet {
+    /// Sixteen empty queues of `capacity` bytes each.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        VlQueueSet {
+            head: [NIL; 16],
+            tail: [NIL; 16],
+            len: [0; 16],
+            used: [0; 16],
+            head_bytes: [0; 16],
+            capacity,
+            occupied: 0,
+        }
+    }
+
+    /// Sixteen empty queues with no byte bound (host injection queues:
+    /// sources are paced by their arrival process, not back-pressure).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        VlQueueSet::new(u64::MAX)
+    }
+
+    /// Bitmask of lanes holding at least one packet (bit `v` = VL v).
+    #[must_use]
+    #[inline]
+    pub fn occupied(&self) -> u16 {
+        self.occupied
+    }
+
+    /// Packets queued on lane `vl`.
+    #[must_use]
+    #[inline]
+    pub fn len(&self, vl: usize) -> usize {
+        self.len[vl] as usize
+    }
+
+    /// Whether every lane is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Bytes queued on lane `vl`.
+    #[must_use]
+    pub fn used(&self, vl: usize) -> u64 {
+        self.used[vl]
+    }
+
+    /// Bytes queued over all lanes.
+    #[must_use]
+    pub fn total_used(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Whether `bytes` more would fit on lane `vl`.
+    #[must_use]
+    #[inline]
+    pub fn fits(&self, vl: usize, bytes: u64) -> bool {
+        self.used[vl].saturating_add(bytes) <= self.capacity
+    }
+
+    /// Wire size of the head packet of lane `vl`. Only meaningful while
+    /// the lane's [`VlQueueSet::occupied`] bit is set.
+    #[must_use]
+    #[inline]
+    pub fn head_bytes(&self, vl: usize) -> u32 {
+        self.head_bytes[vl]
+    }
+
+    /// The head packet of lane `vl`, if any.
+    #[must_use]
+    #[inline]
+    pub fn head<'p>(&self, pool: &'p PacketPool, vl: usize) -> Option<&'p Packet> {
+        if self.head[vl] == NIL {
+            None
+        } else {
+            Some(&pool.slots[self.head[vl] as usize].packet)
+        }
+    }
+
+    /// Appends a packet to lane `vl`. Panics on overflow — the sender
+    /// must have held credits, so an overflow is a flow-control bug.
+    #[inline]
+    pub fn push(&mut self, pool: &mut PacketPool, vl: usize, p: Packet) {
+        assert!(
+            self.fits(vl, u64::from(p.bytes)),
+            "VL buffer overflow: flow control violated"
+        );
+        self.used[vl] += u64::from(p.bytes);
+        self.len[vl] += 1;
+        self.occupied |= 1 << vl;
+        let bytes = p.bytes;
+        let idx = pool.alloc(p);
+        if self.tail[vl] == NIL {
+            self.head[vl] = idx;
+            self.head_bytes[vl] = bytes;
+        } else {
+            pool.slots[self.tail[vl] as usize].next = idx;
+        }
+        self.tail[vl] = idx;
+    }
+
+    /// Removes and returns the head packet of lane `vl`, returning its
+    /// slot to the pool.
+    #[inline]
+    pub fn pop(&mut self, pool: &mut PacketPool, vl: usize) -> Option<Packet> {
+        if self.head[vl] == NIL {
+            return None;
+        }
+        let idx = self.head[vl];
+        let slot = &pool.slots[idx as usize];
+        let p = slot.packet.clone();
+        self.head[vl] = slot.next;
+        if self.head[vl] == NIL {
+            self.tail[vl] = NIL;
+            self.occupied &= !(1 << vl);
+        } else {
+            self.head_bytes[vl] = pool.slots[self.head[vl] as usize].packet.bytes;
+        }
+        pool.release(idx);
+        self.used[vl] -= u64::from(p.bytes);
+        self.len[vl] -= 1;
+        Some(p)
+    }
+}
+
 /// Sender-side credit counters for one link: bytes of free space in the
 /// peer's input VL buffers. Decremented when a transfer starts,
 /// replenished when the peer drains the packet.
@@ -226,23 +386,27 @@ impl Credits {
 
     /// Credits available on a VL.
     #[must_use]
+    #[inline]
     pub fn available(&self, vl: usize) -> u64 {
         self.per_vl[vl]
     }
 
     /// Whether `bytes` may be sent on `vl`.
     #[must_use]
+    #[inline]
     pub fn can_send(&self, vl: usize, bytes: u64) -> bool {
         self.per_vl[vl] >= bytes
     }
 
     /// Consumes credit at transfer start.
+    #[inline]
     pub fn consume(&mut self, vl: usize, bytes: u64) {
         assert!(self.per_vl[vl] >= bytes, "credit underflow on VL{vl}");
         self.per_vl[vl] -= bytes;
     }
 
     /// Returns credit when the peer frees the space.
+    #[inline]
     pub fn restore(&mut self, vl: usize, bytes: u64) {
         self.per_vl[vl] += bytes;
     }
@@ -335,6 +499,66 @@ mod tests {
             q.push(&mut pool, pkt(u32::MAX / 2));
         }
         assert_eq!(q.len(), 100);
+    }
+
+    #[test]
+    fn queue_set_tracks_occupancy_mask() {
+        let mut pool = PacketPool::new();
+        let mut q = VlQueueSet::new(1024);
+        assert!(q.is_empty());
+        assert_eq!(q.occupied(), 0);
+        q.push(&mut pool, 3, pkt(256));
+        q.push(&mut pool, 3, pkt(128));
+        q.push(&mut pool, 15, pkt(64));
+        assert_eq!(q.occupied(), (1 << 3) | (1 << 15));
+        assert_eq!(q.len(3), 2);
+        assert_eq!(q.used(3), 384);
+        assert_eq!(q.total_used(), 448);
+        assert_eq!(q.head(&pool, 3).unwrap().bytes, 256);
+        assert_eq!(q.pop(&mut pool, 3).unwrap().bytes, 256);
+        assert_eq!(q.occupied(), (1 << 3) | (1 << 15), "lane 3 still has one");
+        assert_eq!(q.pop(&mut pool, 3).unwrap().bytes, 128);
+        assert_eq!(q.occupied(), 1 << 15, "lane 3 drained");
+        assert_eq!(q.pop(&mut pool, 15).unwrap().bytes, 64);
+        assert!(q.is_empty());
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn queue_set_matches_vl_buffer_fifo_semantics() {
+        // The SoA layout is an internal change: per-lane behaviour must
+        // be indistinguishable from the original one-VlBuffer-per-lane
+        // layout under an interleaved push/pop sequence.
+        let mut pool_a = PacketPool::new();
+        let mut pool_b = PacketPool::new();
+        let mut set = VlQueueSet::new(4 * 256);
+        let mut bufs: Vec<VlBuffer> = (0..16).map(|_| VlBuffer::new(4 * 256)).collect();
+        let ops = [(2, 256), (5, 100), (2, 128), (5, 30), (9, 256)];
+        for &(vl, bytes) in &ops {
+            set.push(&mut pool_a, vl, pkt(bytes));
+            bufs[vl].push(&mut pool_b, pkt(bytes));
+        }
+        for (vl, buf) in bufs.iter_mut().enumerate() {
+            assert_eq!(set.len(vl), buf.len(), "lane {vl} length");
+            assert_eq!(set.used(vl), buf.used(), "lane {vl} bytes");
+            assert_eq!(set.fits(vl, 256), buf.fits(256), "lane {vl} fits");
+            loop {
+                let a = set.pop(&mut pool_a, vl).map(|p| p.bytes);
+                let b = buf.pop(&mut pool_b).map(|p| p.bytes);
+                assert_eq!(a, b, "lane {vl} pop order");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn queue_set_overflow_is_a_bug() {
+        let mut pool = PacketPool::new();
+        let mut q = VlQueueSet::new(100);
+        q.push(&mut pool, 0, pkt(101));
     }
 
     #[test]

@@ -64,6 +64,13 @@ impl Entry {
     }
 }
 
+/// Capacity of the sorted near lane. Small fabrics keep only a handful
+/// of events in flight; a contiguous sorted vector serves them in a few
+/// nanoseconds per op, while the calendar ring pays ~10x in pointer
+/// chasing and day-walk branches. 32 entries keeps the insertion
+/// memmove within a cache line or two.
+const NEAR_CAP: usize = 32;
+
 /// Initial ring size (`1 << INITIAL_BUCKET_BITS` buckets).
 const INITIAL_BUCKET_BITS: u32 = 8;
 
@@ -80,8 +87,24 @@ const GROW_FACTOR: usize = 2;
 /// A time-ordered event queue with FIFO tie-breaking (two events at the
 /// same cycle fire in insertion order), which makes runs reproducible.
 pub struct EventQueue {
+    /// Fast lane for small populations: a contiguous vector sorted
+    /// **ascending** by `(time, seq)` whose live region is
+    /// `near[near_head..]`. The earliest entry sits at `near_head`, so a
+    /// pop is a cursor bump; the steady-state push — a newest-key
+    /// append — is a plain `Vec::push`. The stale prefix is reclaimed
+    /// in bulk (on drain-empty, or by an amortized compaction once it
+    /// reaches `NEAR_CAP`), keeping every hot operation a contiguous
+    /// array access with no ring arithmetic. A push lands here while
+    /// the live region has room; overflow goes to the calendar ring,
+    /// and `pop` takes whichever side holds the global `(time, seq)`
+    /// minimum — the total order is unchanged.
+    near: Vec<Entry>,
+    /// Index of the earliest live entry in `near`.
+    near_head: usize,
     /// Ring of buckets, each sorted **descending** by `(time, seq)` —
-    /// the bucket's earliest entry is its last element.
+    /// the bucket's earliest entry is its last element. Allocated
+    /// lazily on the first push past the near lane, so small fabrics
+    /// never pay for the ring at all.
     buckets: Vec<Vec<Entry>>,
     /// `buckets.len() - 1`; the ring size is a power of two.
     bucket_mask: u64,
@@ -100,7 +123,9 @@ pub struct EventQueue {
 impl Default for EventQueue {
     fn default() -> Self {
         EventQueue {
-            buckets: vec![Vec::new(); 1 << INITIAL_BUCKET_BITS],
+            near: Vec::with_capacity(2 * NEAR_CAP),
+            near_head: 0,
+            buckets: Vec::new(),
             bucket_mask: (1 << INITIAL_BUCKET_BITS) - 1,
             width_shift: INITIAL_WIDTH_SHIFT,
             cursor_vb: 0,
@@ -119,12 +144,51 @@ impl EventQueue {
     }
 
     /// Schedules `event` at `time`.
+    #[inline]
     pub fn push(&mut self, time: Cycles, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.insert(Entry { time, seq, event });
+        let e = Entry { time, seq, event };
         self.len += 1;
-        if self.len > self.buckets.len() * GROW_FACTOR
+        // New events usually carry the latest time: a plain append at
+        // the back of a near lane with room. Everything else —
+        // out-of-order pushes, lane compaction, calendar overflow — is
+        // kept out of line so this path stays a compare and a store.
+        if self.near.len() - self.near_head < NEAR_CAP
+            && self.near.len() < 2 * NEAR_CAP
+            && self.near.last().is_none_or(|b| b.key() < e.key())
+        {
+            self.near.push(e);
+            return;
+        }
+        self.push_slow(e);
+    }
+
+    /// Out-of-line remainder of [`push`](Self::push): out-of-order near
+    /// inserts, stale-prefix compaction, and calendar overflow.
+    #[cold]
+    fn push_slow(&mut self, e: Entry) {
+        if self.near.len() - self.near_head < NEAR_CAP {
+            // Reclaim the stale prefix once the vector reaches twice
+            // the lane size: at least NEAR_CAP pops funded the
+            // <= NEAR_CAP-entry move, so the compaction is amortized
+            // O(1) and the footprint stays bounded at 2 * NEAR_CAP.
+            if self.near.len() >= 2 * NEAR_CAP {
+                self.near.drain(..self.near_head);
+                self.near_head = 0;
+            }
+            // Out-of-order push (or post-compaction append):
+            // binary-search the slot within the live region.
+            if self.near.last().is_none_or(|b| b.key() < e.key()) {
+                self.near.push(e);
+            } else {
+                let pos = self.near[self.near_head..].partition_point(|x| x.key() < e.key());
+                self.near.insert(self.near_head + pos, e);
+            }
+            return;
+        }
+        self.insert(e);
+        if self.len - (self.near.len() - self.near_head) > self.buckets.len() * GROW_FACTOR
             && self.buckets.len() < (1 << MAX_BUCKET_BITS)
         {
             self.rebuild(self.buckets.len().trailing_zeros() + 1);
@@ -132,20 +196,118 @@ impl EventQueue {
     }
 
     /// Removes the earliest event.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Cycles, Event)> {
+        self.pop_at_most(Cycles::MAX)
+    }
+
+    /// Removes the earliest event if its time is `<= t_end`; a bounded
+    /// pop that fuses the event loop's peek-then-pop pair into one
+    /// queue operation (one ordering decision instead of two).
+    #[inline]
+    pub fn pop_at_most(&mut self, t_end: Cycles) -> Option<(Cycles, Event)> {
+        // Fast path: everything lives in the near lane.
+        if self.len == self.near.len() - self.near_head {
+            let e = *self.near.get(self.near_head)?;
+            if e.time > t_end {
+                return None;
+            }
+            self.near_pop_front();
+            self.len -= 1;
+            return Some((e.time, e.event));
+        }
+        self.pop_both(t_end)
+    }
+
+    /// Out-of-line remainder of [`pop_at_most`](Self::pop_at_most) for
+    /// when the calendar ring holds events: the global minimum is
+    /// whichever side's minimum has the smaller `(time, seq)` key.
+    #[cold]
+    fn pop_both(&mut self, t_end: Cycles) -> Option<(Cycles, Event)> {
+        let calendar = self.find_next();
+        match (self.near.get(self.near_head).copied(), calendar) {
+            (Some(n), Some((ct, idx))) => {
+                let ck = self.buckets[idx]
+                    .last()
+                    .map_or((Cycles::MAX, u64::MAX), Entry::key);
+                if n.key() < ck {
+                    if n.time > t_end {
+                        return None;
+                    }
+                    self.near_pop_front();
+                    self.len -= 1;
+                    Some((n.time, n.event))
+                } else if ct > t_end {
+                    None
+                } else {
+                    self.pop_calendar()
+                }
+            }
+            (Some(n), None) => {
+                if n.time > t_end {
+                    return None;
+                }
+                self.near_pop_front();
+                self.len -= 1;
+                Some((n.time, n.event))
+            }
+            (None, Some((ct, _))) => {
+                if ct > t_end {
+                    None
+                } else {
+                    self.pop_calendar()
+                }
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Drops the near lane's earliest live entry, resetting the lane's
+    /// storage when it drains empty.
+    #[inline]
+    fn near_pop_front(&mut self) {
+        self.near_head += 1;
+        if self.near_head == self.near.len() {
+            self.near.clear();
+            self.near_head = 0;
+        }
+    }
+
+    /// Removes the earliest calendar entry (`find_next` already
+    /// located it).
+    fn pop_calendar(&mut self) -> Option<(Cycles, Event)> {
         let (_, idx) = self.find_next()?;
         // find_next returned this bucket precisely because its tail is
-        // the queue minimum.
+        // the calendar minimum.
         let e = self.buckets[idx].pop()?;
         self.len -= 1;
-        self.next_cache = None;
+        // If the bucket's new tail belongs to the same day it is still
+        // the calendar minimum (the popped entry was the minimum, so no
+        // earlier day has entries, and a whole day maps to one bucket):
+        // keeping the memo warm makes consecutive same-day pops O(1)
+        // instead of re-walking the ring.
+        self.next_cache = match self.buckets[idx].last() {
+            Some(n) if n.time >> self.width_shift == e.time >> self.width_shift => {
+                Some((n.time, idx))
+            }
+            _ => None,
+        };
         Some((e.time, e.event))
     }
 
     /// Time of the next event without removing it.
+    #[inline]
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Cycles> {
-        self.find_next().map(|(t, _)| t)
+        if self.len == self.near.len() - self.near_head {
+            return self.near.get(self.near_head).map(|e| e.time);
+        }
+        let near = self.near.get(self.near_head).map(|e| e.time);
+        let cal = self.find_next().map(|(t, _)| t);
+        match (near, cal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
@@ -166,6 +328,9 @@ impl EventQueue {
     }
 
     fn insert(&mut self, e: Entry) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![Vec::new(); 1 << INITIAL_BUCKET_BITS];
+        }
         let vb = e.time >> self.width_shift;
         // A push that beats the cached minimum becomes the minimum
         // (equal times keep FIFO order: the cached entry has the lower
@@ -198,7 +363,8 @@ impl EventQueue {
     /// nothing — the pending events are all far in the future — falls
     /// back to a direct scan over the ring and jumps the cursor there.
     fn find_next(&mut self) -> Option<(Cycles, usize)> {
-        if self.len == 0 {
+        if self.len == self.near.len() - self.near_head {
+            // The calendar side is empty (`len` counts both lanes).
             return None;
         }
         if let Some((t, idx)) = self.next_cache {

@@ -1,6 +1,7 @@
 //! The fabric: nodes, links, and the deterministic event loop.
 
-use crate::buffer::{Credits, PacketPool, VlBuffer};
+use crate::arb::PortArbiter;
+use crate::buffer::{Credits, PacketPool, VlQueueSet};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{corrupt_config, encode_target, FaultAction, FaultPlan, FaultState};
@@ -9,7 +10,7 @@ use crate::packet::{FlowSpec, Packet};
 use crate::port::{InFlight, InputPort, OutputPort, Peer, PortStats};
 use crate::time::{cycles_for_bytes, Cycles};
 use crate::trace::{DeliveryRecord, Observer};
-use iba_core::{ArbEntry, ServedBy, VirtualLane, VlArbConfig, VlArbEngine};
+use iba_core::{ArbEntry, ServedBy, VirtualLane, VlArbConfig};
 use iba_obs::{NullRecorder, Recorder, ServedKind};
 use iba_topo::{HostId, PortPeer, RoutingTable, SwitchId, Topology};
 
@@ -54,7 +55,7 @@ struct HostNode {
     /// Per-VL injection queues (unbounded: sources are paced by their
     /// arrival process, not by back-pressure). Packets live in the
     /// fabric's shared pool.
-    queues: Vec<VlBuffer>,
+    queues: VlQueueSet,
     injected_bytes: u64,
     injected_packets: u64,
     delivered_bytes: u64,
@@ -129,6 +130,12 @@ pub struct Fabric {
     now: Cycles,
     window_start: Cycles,
     events_processed: u64,
+    /// Arbitration schedules compiled so far (initial port setup plus
+    /// one per table change).
+    schedule_compiles: u64,
+    /// Compiled schedules invalidated by a table change (admit,
+    /// teardown, repair, fault corruption — every mutation path).
+    schedule_invalidations: u64,
 }
 
 impl Fabric {
@@ -139,7 +146,10 @@ impl Fabric {
     #[must_use]
     pub fn new(topo: Topology, routing: RoutingTable, config: SimConfig) -> Self {
         let cap = config.vl_buffer_bytes();
-        let default_cfg = Self::default_arb_config();
+        // Compile the default schedule once and clone it onto every
+        // port: a clone is a flat copy of the compiled arrays, far
+        // cheaper than validating and compiling per port.
+        let proto = PortArbiter::new(Self::default_arb_config(), config.arbiter);
 
         let switches: Vec<SwitchNode> = topo
             .switch_ids()
@@ -156,11 +166,7 @@ impl Fabric {
                             PortPeer::Host(h) => Peer::Host(h.0),
                             PortPeer::Free => Peer::None,
                         };
-                        OutputPort::new(
-                            VlArbEngine::new(default_cfg.clone()),
-                            Credits::full(cap),
-                            peer,
-                        )
+                        OutputPort::new(proto.clone(), Credits::full(cap), peer)
                     })
                     .collect();
                 SwitchNode { inputs, outputs }
@@ -173,14 +179,14 @@ impl Fabric {
                 let att = topo.host(h);
                 HostNode {
                     out: OutputPort::new(
-                        VlArbEngine::new(default_cfg.clone()),
+                        proto.clone(),
                         Credits::full(cap),
                         Peer::SwitchIn {
                             switch: att.switch.0,
                             port: att.port,
                         },
                     ),
-                    queues: (0..16).map(|_| VlBuffer::unbounded()).collect(),
+                    queues: VlQueueSet::unbounded(),
                     injected_bytes: 0,
                     injected_packets: 0,
                     delivered_bytes: 0,
@@ -188,6 +194,9 @@ impl Fabric {
                 }
             })
             .collect();
+
+        let initial_compiles =
+            switches.iter().map(|s| s.outputs.len() as u64).sum::<u64>() + hosts.len() as u64;
 
         Fabric {
             topo,
@@ -202,6 +211,8 @@ impl Fabric {
             now: 0,
             window_start: 0,
             events_processed: 0,
+            schedule_compiles: initial_compiles,
+            schedule_invalidations: 0,
         }
     }
 
@@ -247,31 +258,77 @@ impl Fabric {
     }
 
     /// Installs an arbitration table on one output port.
+    ///
+    /// This invalidates the port's compiled grant schedule and compiles
+    /// the new table (every mutation path — admit, teardown, repair,
+    /// fault corruption — funnels through here or through the fault
+    /// handler's corruption arm).
     pub fn set_output_table(&mut self, node: NodeId, port: u8, cfg: VlArbConfig) {
+        self.set_output_table_recorded(node, port, cfg, &mut NullRecorder);
+    }
+
+    /// [`Fabric::set_output_table`] with instrumentation: fires the
+    /// recorder's `schedule_invalidated` / `schedule_compiled` hooks so
+    /// the `schedule_invalidate_total` / `schedule_compile_total`
+    /// metrics attribute recompiles to the QoS mutation that caused
+    /// them.
+    pub fn set_output_table_recorded(
+        &mut self,
+        node: NodeId,
+        port: u8,
+        cfg: VlArbConfig,
+        rec: &mut dyn Recorder,
+    ) {
         match node {
             NodeId::Switch(s) => {
                 self.switches[s as usize].outputs[port as usize]
-                    .engine
+                    .arb
                     .reconfigure(cfg);
             }
             NodeId::Host(h) => {
                 assert_eq!(port, 0, "hosts have a single port");
-                self.hosts[h as usize].out.engine.reconfigure(cfg);
+                self.hosts[h as usize].out.arb.reconfigure(cfg);
             }
         }
+        self.schedule_invalidations += 1;
+        self.schedule_compiles += 1;
+        rec.schedule_invalidated();
+        rec.schedule_compiled();
     }
 
     /// Installs the same arbitration table on every output port of
-    /// every switch and host.
+    /// every switch and host (each port's schedule is invalidated and
+    /// recompiled).
     pub fn set_uniform_tables(&mut self, cfg: &VlArbConfig) {
+        // One compile, then flat clones: every port gets an identical
+        // freshly-reset schedule, exactly as if each had recompiled.
+        let proto = PortArbiter::new(cfg.clone(), self.config.arbiter);
         for s in 0..self.switches.len() {
             for p in 0..self.switches[s].outputs.len() {
-                self.switches[s].outputs[p].engine.reconfigure(cfg.clone());
+                self.switches[s].outputs[p].arb = proto.clone();
+                self.schedule_invalidations += 1;
+                self.schedule_compiles += 1;
             }
         }
         for h in 0..self.hosts.len() {
-            self.hosts[h].out.engine.reconfigure(cfg.clone());
+            self.hosts[h].out.arb = proto.clone();
+            self.schedule_invalidations += 1;
+            self.schedule_compiles += 1;
         }
+    }
+
+    /// Arbitration schedules compiled so far: one per output port at
+    /// construction, plus one per table change since.
+    #[must_use]
+    pub fn schedule_compiles(&self) -> u64 {
+        self.schedule_compiles
+    }
+
+    /// Compiled schedules invalidated by table changes (admit,
+    /// teardown, repair, fault corruption).
+    #[must_use]
+    pub fn schedule_invalidations(&self) -> u64 {
+        self.schedule_invalidations
     }
 
     /// Schedules one fault action on the event calendar at time `at`.
@@ -391,13 +448,7 @@ impl Fabric {
         rec: &mut R,
     ) {
         rec.span_begin("sim.run_until");
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let Some((t, event)) = self.queue.pop() else {
-                break;
-            };
+        while let Some((t, event)) = self.queue.pop_at_most(t_end) {
             debug_assert!(
                 invariants::time_monotone(self.now, t),
                 "time went backwards: now={} event={t}",
@@ -508,11 +559,7 @@ impl Fabric {
     /// Total bytes currently waiting in one host's injection queues.
     #[must_use]
     pub fn host_backlog(&self, host: HostId) -> u64 {
-        self.hosts[host.index()]
-            .queues
-            .iter()
-            .map(VlBuffer::used)
-            .sum()
+        self.hosts[host.index()].queues.total_used()
     }
 
     /// Packets currently buffered anywhere in the fabric (pool
@@ -556,7 +603,7 @@ impl Fabric {
             let h = &mut hosts[src.index()];
             h.injected_bytes += u64::from(packet.bytes);
             h.injected_packets += 1;
-            h.queues[vl].push(pool, packet);
+            h.queues.push(pool, vl, packet);
         }
         if !stopped {
             self.queue
@@ -627,13 +674,18 @@ impl Fabric {
             } => {
                 let dst = inflight.packet.dst;
                 let vl = inflight.vl as usize;
+                let onward = self.routing.port(SwitchId(switch), dst);
                 {
                     let Fabric { switches, pool, .. } = self;
-                    switches[switch as usize].inputs[in_port as usize].vls[vl]
-                        .push(pool, inflight.packet);
+                    let input = &mut switches[switch as usize].inputs[in_port as usize];
+                    input.vls.push(pool, vl, inflight.packet);
+                    // A packet that became its lane's head carries the
+                    // lane's cached route from here on.
+                    if input.vls.len(vl) == 1 {
+                        input.head_route[vl] = onward;
+                    }
                 }
                 // The new packet may enable its onward output.
-                let onward = self.routing.port(SwitchId(switch), dst);
                 self.kick(NodeId::Switch(switch), onward, rec);
             }
             Peer::None => unreachable!("transfer on an unwired port"),
@@ -641,13 +693,25 @@ impl Fabric {
 
         // The link is free again.
         self.kick(node, port, rec);
-        // A freed input may unblock transfers on any other output.
-        if let (NodeId::Switch(s), Some(_)) = (node, inflight.src_input) {
-            let n = self.switches[s as usize].outputs.len() as u8;
-            for p in 0..n {
-                if p != port {
-                    self.kick(node, p, rec);
+        // A freed input may unblock transfers on other outputs — but
+        // only on the outputs its remaining head packets actually route
+        // to, so kick exactly those instead of scanning every port.
+        if let (NodeId::Switch(s), Some(q)) = (node, inflight.src_input) {
+            let mut ports_mask: u64 = 0;
+            {
+                let input = &self.switches[s as usize].inputs[q as usize];
+                let mut pend = input.vls.occupied();
+                while pend != 0 {
+                    let vl = pend.trailing_zeros() as usize;
+                    pend &= pend - 1;
+                    ports_mask |= 1 << input.head_route[vl];
                 }
+            }
+            ports_mask &= !(1u64 << port);
+            while ports_mask != 0 {
+                let p = ports_mask.trailing_zeros() as u8;
+                ports_mask &= ports_mask - 1;
+                self.kick(node, p, rec);
             }
         }
     }
@@ -659,6 +723,7 @@ impl Fabric {
         };
         let (node, port) = action.target();
         let code = action.code();
+        let mut recompiled = false;
         let detail = {
             let Some(out) = self.output_port_mut(node, port) else {
                 return;
@@ -685,12 +750,19 @@ impl Fabric {
                     u32::from(mask)
                 }
                 FaultAction::CorruptTable { seed, .. } => {
-                    let corrupted = corrupt_config(out.engine.config(), seed);
-                    out.engine.reconfigure(corrupted);
+                    let corrupted = corrupt_config(out.arb.config(), seed);
+                    out.arb.reconfigure(corrupted);
+                    recompiled = true;
                     (seed & 0xFFFF_FFFF) as u32
                 }
             }
         };
+        if recompiled {
+            self.schedule_invalidations += 1;
+            self.schedule_compiles += 1;
+            rec.schedule_invalidated();
+            rec.schedule_compiled();
+        }
         rec.fault_injected(code, encode_target(node, port), detail);
         // Restores (and table rewrites) can enable pending work on a
         // port no Complete event will ever revisit: kick it now.
@@ -702,6 +774,10 @@ impl Fabric {
     // ------------------------------------------------------------------
 
     /// Attempts to start a transfer on an idle output port.
+    ///
+    /// The busy/down test is inlined here so the overwhelmingly common
+    /// outcome — the kicked port is mid-transfer — costs a couple of
+    /// loads at the call site instead of a call into the scan bodies.
     fn kick<R: Recorder>(&mut self, node: NodeId, port: u8, rec: &mut R) {
         match node {
             NodeId::Switch(s) => self.kick_switch_output(s as usize, port as usize, rec),
@@ -709,32 +785,25 @@ impl Fabric {
         }
     }
 
-    /// High-priority VL bitmask of an output's current table.
-    fn high_vl_mask(out: &OutputPort) -> u16 {
-        out.engine
-            .config()
-            .high
-            .iter()
-            .filter(|e| e.weight > 0)
-            .fold(0u16, |m, e| m | 1 << e.vl.raw())
-    }
-
     /// Whether input `q` holds a head packet that some *other* output
     /// could serve from its high-priority table right now (used by the
     /// priority-aware input-claiming extension).
     fn input_has_foreign_high_work(&self, s: usize, q: usize, this_port: usize) -> bool {
         let node = &self.switches[s];
-        for (vl, buf) in node.inputs[q].vls.iter().enumerate() {
-            let Some(head) = buf.head(&self.pool) else {
-                continue;
-            };
-            let o2 = self.routing.port(SwitchId(s as u16), head.dst) as usize;
+        let input = &node.inputs[q];
+        let mut pend = input.vls.occupied();
+        while pend != 0 {
+            let vl = pend.trailing_zeros() as usize;
+            pend &= pend - 1;
+            let o2 = input.head_route[vl] as usize;
             if o2 == this_port {
                 continue;
             }
             let out2 = &node.outputs[o2];
-            if Self::high_vl_mask(out2) & (1 << vl) != 0
-                && out2.credits.can_send(vl, u64::from(head.bytes))
+            if out2.arb.high_vl_mask() & (1 << vl) != 0
+                && out2
+                    .credits
+                    .can_send(vl, u64::from(input.vls.head_bytes(vl)))
             {
                 return true;
             }
@@ -745,19 +814,33 @@ impl Fabric {
     fn kick_switch_output<R: Recorder>(&mut self, s: usize, port: usize, rec: &mut R) {
         let protect_inputs = self.config.priority_input_claiming;
         loop {
-            // Candidate head packet per VL: (input port, bytes).
-            let mut cand: [Option<(u8, u32)>; 16] = [None; 16];
+            // Busy/unwired/down ports exit before any candidate state
+            // is set up — most kicks land on a busy port.
             {
-                let node = &self.switches[s];
-                let out = &node.outputs[port];
+                let out = &self.switches[s].outputs[port];
                 if out.busy() || out.peer == Peer::None || out.fault.down {
                     return;
                 }
+            }
+            // Candidate head packet per VL, struct-of-arrays: bit `v` of
+            // `cand_mask` set iff VL v has a candidate, with its source
+            // input and size in the parallel arrays.
+            let mut cand_mask: u16 = 0;
+            let mut cand_src = [0u8; 16];
+            let mut cand_bytes = [0u64; 16];
+            {
+                let node = &self.switches[s];
+                let out = &node.outputs[port];
                 let fault = out.fault;
-                let my_high = Self::high_vl_mask(out);
+                let my_high = out.arb.high_vl_mask();
                 let n_in = node.inputs.len();
+                let start = out.next_input as usize;
                 for off in 0..n_in {
-                    let q = (out.next_input as usize + off) % n_in;
+                    // `start < n_in`, so one conditional subtract wraps.
+                    let mut q = start + off;
+                    if q >= n_in {
+                        q -= n_in;
+                    }
                     let input = &node.inputs[q];
                     if input.busy {
                         continue;
@@ -767,18 +850,18 @@ impl Fabric {
                     // this output may still take its *own* high-table
                     // VLs from them, but not low-priority packets.
                     let protected = protect_inputs && self.input_has_foreign_high_work(s, q, port);
-                    for (vl, buf) in input.vls.iter().enumerate() {
-                        if cand[vl].is_some() {
+                    // Occupied lanes without a candidate yet, ascending.
+                    // The cached head route and head size answer the
+                    // whole scan from port-local arrays — no packet
+                    // pool or routing table access on this path.
+                    let mut pend = input.vls.occupied() & !cand_mask;
+                    while pend != 0 {
+                        let vl = pend.trailing_zeros() as usize;
+                        pend &= pend - 1;
+                        if input.head_route[vl] as usize != port {
                             continue;
                         }
                         if protected && vl != 15 && my_high & (1 << vl) == 0 {
-                            continue;
-                        }
-                        let Some(head) = buf.head(&self.pool) else {
-                            continue;
-                        };
-                        let route = self.routing.port(SwitchId(s as u16), head.dst);
-                        if route as usize != port {
                             continue;
                         }
                         if fault.blackout_mask & (1 << vl) != 0 || fault.stall_mask & (1 << vl) != 0
@@ -789,30 +872,35 @@ impl Fabric {
                             rec.fault_blocked(vl as u8);
                             continue;
                         }
-                        if !out.credits.can_send(vl, u64::from(head.bytes)) {
+                        let bytes = u64::from(input.vls.head_bytes(vl));
+                        if !out.credits.can_send(vl, bytes) {
                             // Head packet routed here but blocked on
                             // downstream credit: a head-of-line stall.
                             rec.arb_hol_stall(vl as u8);
                             continue;
                         }
-                        cand[vl] = Some((q as u8, head.bytes));
+                        cand_mask |= 1 << vl;
+                        cand_src[vl] = q as u8;
+                        cand_bytes[vl] = bytes;
                     }
                 }
             }
 
             // VL15 bypasses arbitration entirely.
-            let grant = if let Some((q, bytes)) = cand[15] {
-                Some((15u8, q, bytes, None, false))
+            let grant = if cand_mask & (1 << 15) != 0 {
+                Some((15u8, cand_src[15], cand_bytes[15] as u32, None, false))
             } else {
                 let out = &mut self.switches[s].outputs[port];
-                out.engine
-                    .select(|vl| cand[vl.index()].map(|(_, b)| u64::from(b)))
-                    .and_then(|g| {
-                        // The engine only grants VLs offered by the closure.
-                        cand[g.vl.index()].map(|(q, bytes)| {
-                            (g.vl.raw(), q, bytes, Some(g.served_by), g.exhausted)
-                        })
-                    })
+                out.arb.select(cand_mask, &cand_bytes).map(|g| {
+                    let vl = g.vl.index();
+                    (
+                        g.vl.raw(),
+                        cand_src[vl],
+                        cand_bytes[vl] as u32,
+                        Some(g.served_by),
+                        g.exhausted,
+                    )
+                })
             };
 
             let Some((vl, q, bytes, served, exhausted)) = grant else {
@@ -821,7 +909,7 @@ impl Fabric {
             if exhausted {
                 rec.arb_weight_exhausted(vl);
             }
-            rec.arb_queue_depth(self.switches[s].inputs[q as usize].vls[vl as usize].len() as u64);
+            rec.arb_queue_depth(self.switches[s].inputs[q as usize].vls.len(vl as usize) as u64);
             self.start_switch_transfer(s, port, q as usize, vl, bytes, served, rec);
             // The port is now busy; the loop exits on the next pass.
         }
@@ -840,7 +928,7 @@ impl Fabric {
     ) {
         let packet = {
             let Fabric { switches, pool, .. } = self;
-            switches[s].inputs[q].vls[vl as usize].pop(pool)
+            switches[s].inputs[q].vls.pop(pool, vl as usize)
         };
         assert!(
             packet.is_some(),
@@ -853,6 +941,15 @@ impl Fabric {
             packet.bytes
         );
         self.switches[s].inputs[q].busy = true;
+        // The pop promoted a new head: refresh the lane's cached route.
+        let head_dst = self.switches[s].inputs[q]
+            .vls
+            .head(&self.pool, vl as usize)
+            .map(|p| p.dst);
+        if let Some(dst) = head_dst {
+            self.switches[s].inputs[q].head_route[vl as usize] =
+                self.routing.port(SwitchId(s as u16), dst);
+        }
 
         // Return the buffer credit to whoever feeds this input port.
         let upstream = self.topo.peer(SwitchId(s as u16), q as u8);
@@ -879,7 +976,14 @@ impl Fabric {
         let duration =
             cycles_for_bytes(u64::from(bytes), bpc) << u32::from(out.fault.rate_shift.min(20));
         out.credits.consume(vl as usize, u64::from(bytes));
-        out.next_input = (q as u8).wrapping_add(1) % self.topo.ports_per_switch();
+        // `q < ports_per_switch`, so one conditional reset wraps — no
+        // modulo on the transfer path.
+        let next = q as u8 + 1;
+        out.next_input = if next >= self.topo.ports_per_switch() {
+            0
+        } else {
+            next
+        };
         Self::account(&mut out.stats, bytes, duration, vl, served, rec);
         out.inflight = Some(InFlight {
             packet,
@@ -896,35 +1000,49 @@ impl Fabric {
     }
 
     fn kick_host_output<R: Recorder>(&mut self, h: usize, rec: &mut R) {
-        let mut cand: [Option<u32>; 16] = [None; 16];
+        // Busy/down uplinks exit before any candidate state is set up —
+        // most kicks land on a busy port.
         {
             let host = &self.hosts[h];
-            if host.out.busy() || host.out.fault.down {
+            if host.out.busy() || host.out.fault.down || host.queues.occupied() == 0 {
                 return;
             }
+        }
+        let mut cand_mask: u16 = 0;
+        let mut cand_bytes = [0u64; 16];
+        {
+            let host = &self.hosts[h];
             let fault = host.out.fault;
-            for (vl, q) in host.queues.iter().enumerate() {
-                if let Some(p) = q.head(&self.pool) {
-                    if fault.blackout_mask & (1 << vl) != 0 || fault.stall_mask & (1 << vl) != 0 {
-                        rec.fault_blocked(vl as u8);
-                    } else if host.out.credits.can_send(vl, u64::from(p.bytes)) {
-                        cand[vl] = Some(p.bytes);
-                    } else {
-                        rec.arb_hol_stall(vl as u8);
-                    }
+            let mut pend = host.queues.occupied();
+            while pend != 0 {
+                let vl = pend.trailing_zeros() as usize;
+                pend &= pend - 1;
+                let bytes = u64::from(host.queues.head_bytes(vl));
+                if fault.blackout_mask & (1 << vl) != 0 || fault.stall_mask & (1 << vl) != 0 {
+                    rec.fault_blocked(vl as u8);
+                } else if host.out.credits.can_send(vl, bytes) {
+                    cand_mask |= 1 << vl;
+                    cand_bytes[vl] = bytes;
+                } else {
+                    rec.arb_hol_stall(vl as u8);
                 }
             }
         }
 
-        let grant = if let Some(bytes) = cand[15] {
-            Some((15u8, bytes, None, false))
+        let grant = if cand_mask & (1 << 15) != 0 {
+            Some((15u8, cand_bytes[15] as u32, None, false))
         } else {
             self.hosts[h]
                 .out
-                .engine
-                .select(|vl| cand[vl.index()].map(u64::from))
-                .and_then(|g| {
-                    cand[g.vl.index()].map(|b| (g.vl.raw(), b, Some(g.served_by), g.exhausted))
+                .arb
+                .select(cand_mask, &cand_bytes)
+                .map(|g| {
+                    (
+                        g.vl.raw(),
+                        cand_bytes[g.vl.index()] as u32,
+                        Some(g.served_by),
+                        g.exhausted,
+                    )
                 })
         };
 
@@ -934,10 +1052,10 @@ impl Fabric {
         if exhausted {
             rec.arb_weight_exhausted(vl);
         }
-        rec.arb_queue_depth(self.hosts[h].queues[vl as usize].len() as u64);
+        rec.arb_queue_depth(self.hosts[h].queues.len(vl as usize) as u64);
         let packet = {
             let Fabric { hosts, pool, .. } = self;
-            hosts[h].queues[vl as usize].pop(pool)
+            hosts[h].queues.pop(pool, vl as usize)
         };
         assert!(
             packet.is_some(),

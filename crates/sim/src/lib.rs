@@ -21,9 +21,10 @@
 //! The simulator reports per-port utilisation and hands every delivered
 //! packet to an [`trace::Observer`] for measurement.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arb;
 pub mod buffer;
 pub mod config;
 pub mod event;
@@ -35,7 +36,9 @@ pub mod port;
 pub mod time;
 pub mod trace;
 
-pub use config::SimConfig;
+pub use arb::PortArbiter;
+pub use buffer::VlQueueSet;
+pub use config::{ArbiterMode, SimConfig};
 pub use event::{Event, EventQueue};
 pub use fabric::{Fabric, FabricStats, NodeId};
 pub use fault::{encode_target, FaultAction, FaultPlan, FaultState};

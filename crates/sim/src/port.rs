@@ -1,10 +1,10 @@
 //! Input and output port state.
 
-use crate::buffer::{Credits, VlBuffer};
+use crate::arb::PortArbiter;
+use crate::buffer::{Credits, VlQueueSet};
 use crate::fault::FaultState;
 use crate::packet::Packet;
 use crate::time::Cycles;
-use iba_core::VlArbEngine;
 
 /// Where a port's link leads.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,8 +68,9 @@ pub struct InFlight {
 /// state and statistics.
 #[derive(Debug)]
 pub struct OutputPort {
-    /// Arbitration engine over this port's `VLArbitrationTable`.
-    pub engine: VlArbEngine,
+    /// Arbiter over this port's `VLArbitrationTable` (compiled grant
+    /// stream by default; see [`crate::config::ArbiterMode`]).
+    pub arb: PortArbiter,
     /// Credits for the downstream input buffers.
     pub credits: Credits,
     /// Where the link leads.
@@ -87,9 +88,9 @@ pub struct OutputPort {
 impl OutputPort {
     /// An idle output port.
     #[must_use]
-    pub fn new(engine: VlArbEngine, credits: Credits, peer: Peer) -> Self {
+    pub fn new(arb: PortArbiter, credits: Credits, peer: Peer) -> Self {
         OutputPort {
-            engine,
+            arb,
             credits,
             peer,
             inflight: None,
@@ -111,8 +112,15 @@ impl OutputPort {
 /// time").
 #[derive(Debug)]
 pub struct InputPort {
-    /// Receive buffers, one per VL.
-    pub vls: Vec<VlBuffer>,
+    /// Receive buffers, one per VL, in struct-of-arrays layout with an
+    /// occupancy bitmask for the arbitration candidate scan.
+    pub vls: VlQueueSet,
+    /// Output port the head packet of each VL routes to (valid only
+    /// while the lane's `occupied` bit is set). Routing is static for
+    /// the lifetime of a run, so the fabric refreshes this cache on the
+    /// push/pop that changes a lane's head and the candidate scan never
+    /// touches the routing table or the packet pool.
+    pub head_route: [u8; 16],
     /// Whether the crossbar is currently draining this port.
     pub busy: bool,
 }
@@ -122,7 +130,8 @@ impl InputPort {
     #[must_use]
     pub fn new(capacity: u64) -> Self {
         InputPort {
-            vls: (0..16).map(|_| VlBuffer::new(capacity)).collect(),
+            vls: VlQueueSet::new(capacity),
+            head_route: [0; 16],
             busy: false,
         }
     }
@@ -130,7 +139,7 @@ impl InputPort {
     /// Total buffered bytes over all VLs.
     #[must_use]
     pub fn buffered(&self) -> u64 {
-        self.vls.iter().map(VlBuffer::used).sum()
+        self.vls.total_used()
     }
 }
 
@@ -154,6 +163,6 @@ mod tests {
         let p = InputPort::new(1024);
         assert!(!p.busy);
         assert_eq!(p.buffered(), 0);
-        assert_eq!(p.vls.len(), 16);
+        assert_eq!(p.vls.occupied(), 0);
     }
 }

@@ -17,8 +17,14 @@ pub const NS_PER_CYCLE: f64 = 3.2;
 /// Cycles needed to move `bytes` bytes over a link of
 /// `bytes_per_cycle` capacity, rounded up, minimum 1.
 #[must_use]
+#[inline]
 pub fn cycles_for_bytes(bytes: u64, bytes_per_cycle: u64) -> Cycles {
     debug_assert!(bytes_per_cycle > 0);
+    // The paper's time base is 1 byte/cycle; skip the hardware divide
+    // on that (overwhelmingly common) configuration.
+    if bytes_per_cycle == 1 {
+        return bytes.max(1);
+    }
     bytes.div_ceil(bytes_per_cycle).max(1)
 }
 

@@ -14,6 +14,8 @@
 //!   for the cross-check against `iba_lint::RULES`.
 //! * [`extract_bench_ns`] / [`compare_benches`] — `BENCH_*.json`
 //!   parsing and the regression gate.
+//! * [`parse_require`] / [`check_speedups`] — the `--require
+//!   name=factor` minimum-speedup gate of `bench-compare`.
 //!
 //! All helpers are pure functions over file contents so the tests can
 //! feed seeded inputs without touching the filesystem.
@@ -180,6 +182,73 @@ pub fn compare_benches(baseline: &str, current: &str, tolerance: f64) -> Vec<Ben
     out
 }
 
+/// One `--require <name>=<factor>` speedup gate's verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeedupCheck {
+    /// Benchmark name the requirement targets.
+    pub name: String,
+    /// Required speedup factor (2.0 = at least twice as fast).
+    pub factor: f64,
+    /// Baseline ns/op, when the baseline document has the row.
+    pub base_ns: Option<f64>,
+    /// Current ns/op, when the current document has the row.
+    pub cur_ns: Option<f64>,
+    /// `cur_ns * factor <= base_ns`; false when either side is absent.
+    pub passed: bool,
+}
+
+/// Parses one `--require` operand of the form `name=factor` (e.g.
+/// `sim/fabric_short_run=3`). Returns `None` for a missing `=`, an
+/// empty name, or a factor that is not a positive float.
+#[must_use]
+pub fn parse_require(arg: &str) -> Option<(String, f64)> {
+    let (name, factor) = arg.split_once('=')?;
+    if name.is_empty() {
+        return None;
+    }
+    let factor: f64 = factor.parse().ok()?;
+    if !(factor > 0.0 && factor.is_finite()) {
+        return None;
+    }
+    Some((name.to_string(), factor))
+}
+
+/// Evaluates minimum-speedup requirements against two bench documents:
+/// each `(name, factor)` demands that the named benchmark now runs at
+/// least `factor`x faster than the baseline (`cur_ns * factor <=
+/// base_ns`). A row missing from either document fails its check —
+/// renaming or dropping a gated benchmark must not silently pass.
+#[must_use]
+pub fn check_speedups(
+    baseline: &str,
+    current: &str,
+    requires: &[(String, f64)],
+) -> Vec<SpeedupCheck> {
+    let base = extract_bench_ns(baseline);
+    let cur = extract_bench_ns(current);
+    let find = |rows: &[(String, f64)], name: &str| {
+        rows.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns)
+    };
+    requires
+        .iter()
+        .map(|(name, factor)| {
+            let base_ns = find(&base, name);
+            let cur_ns = find(&cur, name);
+            let passed = match (base_ns, cur_ns) {
+                (Some(b), Some(c)) => c * factor <= b,
+                _ => false,
+            };
+            SpeedupCheck {
+                name: name.clone(),
+                factor: *factor,
+                base_ns,
+                cur_ns,
+                passed,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +342,49 @@ Not a row: `inline-code` mention.
         let deltas = compare_benches(&base, &cur, 0.25);
         assert_eq!(deltas.len(), 1);
         assert!(!deltas[0].regressed);
+    }
+
+    #[test]
+    fn require_operands_parse_or_reject() {
+        assert_eq!(
+            parse_require("sim/fabric_short_run=3"),
+            Some(("sim/fabric_short_run".to_string(), 3.0))
+        );
+        assert_eq!(parse_require("a=0.5"), Some(("a".to_string(), 0.5)));
+        assert_eq!(parse_require("no_equals"), None);
+        assert_eq!(parse_require("=3"), None, "empty name");
+        assert_eq!(parse_require("a=zero"), None, "non-numeric factor");
+        assert_eq!(parse_require("a=0"), None, "factor must be positive");
+        assert_eq!(parse_require("a=-2"), None);
+        assert_eq!(parse_require("a=inf"), None);
+    }
+
+    #[test]
+    fn speedup_gate_passes_exactly_at_factor() {
+        let base = bench_doc(&[("fast", 300.0), ("slow", 300.0)]);
+        let cur = bench_doc(&[("fast", 100.0), ("slow", 101.0)]);
+        let req = [("fast".to_string(), 3.0), ("slow".to_string(), 3.0)];
+        let checks = check_speedups(&base, &cur, &req);
+        assert_eq!(checks.len(), 2);
+        assert!(checks[0].passed, "100 * 3 <= 300 passes: {checks:?}");
+        assert!(!checks[1].passed, "101 * 3 > 300 fails: {checks:?}");
+        assert_eq!(checks[0].base_ns, Some(300.0));
+        assert_eq!(checks[0].cur_ns, Some(100.0));
+    }
+
+    #[test]
+    fn speedup_gate_fails_on_missing_rows() {
+        let base = bench_doc(&[("present", 300.0)]);
+        let cur = bench_doc(&[("present", 10.0)]);
+        let req = [("present".to_string(), 3.0), ("absent".to_string(), 3.0)];
+        let checks = check_speedups(&base, &cur, &req);
+        assert!(checks[0].passed);
+        assert!(!checks[1].passed, "a row missing from both sides fails");
+        assert_eq!(checks[1].base_ns, None);
+        // Present only in the baseline: still a failure.
+        let cur2 = bench_doc(&[("other", 1.0)]);
+        let checks2 = check_speedups(&base, &cur2, &req[..1]);
+        assert!(!checks2[0].passed);
+        assert_eq!(checks2[0].cur_ns, None);
     }
 }

@@ -36,12 +36,17 @@
 //! `crates/lint/tests/report_schema.rs`); positional paths restrict
 //! the scan to matching prefixes (e.g. `crates/qos`).
 //!
-//! ## `cargo xtask bench-compare <baseline.json> <current.json> [tolerance]`
+//! ## `cargo xtask bench-compare <baseline.json> <current.json> [tolerance] [--require name=factor]...`
 //!
 //! Diffs two `BENCH_*.json` documents and fails on any shared
 //! benchmark that regressed by more than `tolerance` (default 0.25 =
 //! +25% wall clock) — the CI gate for the event-queue/packet-pool hot
-//! path.
+//! path. Each repeatable `--require name=factor` adds a minimum-speedup
+//! gate: the named benchmark must run at least `factor`x faster than
+//! the baseline (`current * factor <= baseline`), with a missing row on
+//! either side counting as unmet — the schedule-compiler acceptance
+//! gates (`sim/vlarb_grant_2vl=5`, `sim/fabric_short_run=3`) ride on
+//! this flag.
 
 #![forbid(unsafe_code)]
 
@@ -49,7 +54,8 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use xtask::{
-    compare_benches, extract_lint_rule_rows, extract_metric_names, extract_relative_links,
+    check_speedups, compare_benches, extract_lint_rule_rows, extract_metric_names,
+    extract_relative_links, parse_require,
 };
 
 /// Clippy lints denied on top of the default `warn` set. Pinned so a
@@ -394,16 +400,37 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
 }
 
-/// `cargo xtask bench-compare <baseline.json> <current.json> [tolerance]`
-/// — diffs two `BENCH_*.json` documents and fails when any benchmark
-/// present in both regressed by more than `tolerance` (default 0.25,
-/// i.e. +25% wall clock).
+/// `cargo xtask bench-compare <baseline.json> <current.json>
+/// [tolerance] [--require name=factor]...` — diffs two `BENCH_*.json`
+/// documents and fails when any benchmark present in both regressed by
+/// more than `tolerance` (default 0.25, i.e. +25% wall clock), or when
+/// any `--require` speedup gate is unmet (the named benchmark must run
+/// at least `factor`x faster than the baseline).
 fn bench_compare(args: &[String]) -> ExitCode {
-    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: cargo xtask bench-compare <baseline.json> <current.json> [tolerance]");
+    const USAGE: &str = "usage: cargo xtask bench-compare <baseline.json> <current.json> \
+                         [tolerance] [--require name=factor]...";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut requires: Vec<(String, f64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--require" {
+            let Some(req) = args.get(i + 1).and_then(|a| parse_require(a)) else {
+                eprintln!("bench-compare: --require takes name=factor with a positive factor");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            requires.push(req);
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let (Some(&base_path), Some(&cur_path)) = (positional.first(), positional.get(1)) else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let tolerance = match args.get(2).map(|t| t.parse::<f64>()) {
+    let tolerance = match positional.get(2).map(|t| t.parse::<f64>()) {
         None => 0.25,
         Some(Ok(t)) if t >= 0.0 => t,
         Some(_) => {
@@ -438,18 +465,35 @@ fn bench_compare(args: &[String]) -> ExitCode {
         );
         regressed += usize::from(d.regressed);
     }
-    if regressed > 0 {
+    let checks = check_speedups(&base, &cur, &requires);
+    let mut unmet = 0usize;
+    for c in &checks {
+        let fmt = |ns: Option<f64>| ns.map_or("missing".to_string(), |v| format!("{v:.1}"));
+        let verdict = if c.passed { "met" } else { "UNMET" };
         println!(
-            "bench-compare: FAIL ({regressed} of {} benchmark(s) regressed beyond +{:.0}%)",
+            "  require {:<31} >= {:.1}x  {:>12} -> {:>12} ns/op  {verdict}",
+            c.name,
+            c.factor,
+            fmt(c.base_ns),
+            fmt(c.cur_ns),
+        );
+        unmet += usize::from(!c.passed);
+    }
+    if regressed > 0 || unmet > 0 {
+        println!(
+            "bench-compare: FAIL ({regressed} of {} benchmark(s) regressed beyond +{:.0}%, \
+             {unmet} of {} speedup requirement(s) unmet)",
             deltas.len(),
-            tolerance * 100.0
+            tolerance * 100.0,
+            checks.len(),
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "bench-compare: PASS ({} benchmark(s) within +{:.0}%)",
+            "bench-compare: PASS ({} benchmark(s) within +{:.0}%, {} speedup requirement(s) met)",
             deltas.len(),
-            tolerance * 100.0
+            tolerance * 100.0,
+            checks.len(),
         );
         ExitCode::SUCCESS
     }
@@ -467,7 +511,7 @@ fn main() -> ExitCode {
     if cmd != "check" {
         eprintln!(
             "usage: cargo xtask check | cargo xtask lint [flags] [path...] | \
-             cargo xtask bench-compare <base> <cur> [tol]"
+             cargo xtask bench-compare <base> <cur> [tol] [--require name=factor]..."
         );
         return ExitCode::from(2);
     }

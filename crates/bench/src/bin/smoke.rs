@@ -1,8 +1,8 @@
 //! Micro-benchmark smoke tier: a fast pass over the allocator and
 //! simulator hot paths that emits machine-readable `BENCH_alloc.json`,
-//! `BENCH_sim.json`, `BENCH_schedule.json`, `BENCH_audit.json` and
-//! `BENCH_chaos.json` reports (schema documented in `EXPERIMENTS.md`,
-//! metric semantics in `METRICS.md`).
+//! `BENCH_sim.json`, `BENCH_schedule.json`, `BENCH_audit.json`,
+//! `BENCH_chaos.json` and `BENCH_cac.json` reports (schema documented
+//! in `EXPERIMENTS.md`, metric semantics in `METRICS.md`).
 //!
 //! The JSON goes to `IBA_BENCH_OUT` (directory, default: the current
 //! working directory). Intended for CI artifact upload:
@@ -365,6 +365,85 @@ fn measured_shares() -> Vec<VlShare> {
     vl_shares(&rec.metrics)
 }
 
+/// CAC tier: sustained end-to-end admissions through the sharded
+/// admission service at 1, 2 and 8 shards over a repair-free
+/// admit/teardown trace. Each row reports the per-admission cost
+/// (`ns_per_op`, i.e. `1e9 / ns` admissions per second sustained) with
+/// p50/p99 over the per-segment admit latencies. Every segment's
+/// outcome vector is asserted byte-identical across shard counts — a
+/// bench run doubles as a determinism check.
+fn bench_cac() -> Vec<BenchRecord> {
+    use iba_qos::service::{generate_trace, run_trace, TraceConfig};
+    use iba_qos::QosManager;
+
+    const SEGMENTS: usize = 8;
+    const TRACE_LEN: usize = 256;
+
+    let build = || {
+        let topo = iba_topo::irregular::generate(
+            iba_topo::irregular::IrregularConfig::with_switches(4, 42),
+        );
+        let hosts = topo.num_hosts() as u16;
+        let routing = updown::compute(&topo);
+        (
+            QosManager::new(topo, routing, iba_core::SlTable::paper_table1()),
+            hosts,
+        )
+    };
+    let (_, hosts) = build();
+    let traces: Vec<_> = (0..SEGMENTS)
+        .map(|s| {
+            generate_trace(&TraceConfig {
+                repair_pct: 0,
+                ..TraceConfig::new(hosts, 42 + s as u64, TRACE_LEN)
+            })
+        })
+        .collect();
+
+    let mut reference: Vec<Vec<iba_qos::TraceOutcome>> = Vec::new();
+    let mut records = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(SEGMENTS);
+        let mut admissions = 0u64;
+        let mut wall_ns = 0f64;
+        for (s, ops) in traces.iter().enumerate() {
+            let (planner, _) = build();
+            let mut rec = ObsRecorder::new();
+            let started = std::time::Instant::now();
+            let report = run_trace(&planner, ops, shards, &mut rec);
+            let ns = started.elapsed().as_nanos() as f64;
+            if shards == 1 {
+                reference.push(report.outcomes.clone());
+            } else {
+                assert_eq!(
+                    report.outcomes, reference[s],
+                    "serve outcomes diverge at {shards} shards (segment {s})"
+                );
+            }
+            samples_ns.push(ns / report.accepted.max(1) as f64);
+            admissions += report.accepted;
+            wall_ns += ns;
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| samples_ns[((samples_ns.len() - 1) as f64 * q).round() as usize];
+        let ns_per_op = wall_ns / admissions.max(1) as f64;
+        println!(
+            "cac serve shards={shards}: {admissions} admissions, {:.0} admissions/s \
+             sustained, p99 admit {:.0} ns",
+            1e9 / ns_per_op,
+            pct(0.99),
+        );
+        records.push(BenchRecord {
+            name: format!("cac/serve/shards={shards}"),
+            iters: admissions,
+            ns_per_op,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        });
+    }
+    records
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_alloc(&mut h);
@@ -398,6 +477,8 @@ fn main() {
         "BENCH_chaos.json",
         &bench_json("chaos", &bench_chaos(), &[]),
     );
+
+    write_report("BENCH_cac.json", &bench_json("cac", &bench_cac(), &[]));
 
     h.finish();
     h2.finish();

@@ -19,6 +19,7 @@ COMMANDS:
     trace   instrumented run: decode the newest ring-buffer events
     audit   check the per-SL service guarantee against a live grant stream
     chaos   inject faults + table corruption, recover, re-audit guarantees
+    serve   drive the sharded admission service over a seeded trace
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
 
@@ -32,6 +33,9 @@ OPTIONS:
     --threads <T>          (sweep) worker threads, 0 = IBA_THREADS/auto
     --allocator <A>        (audit/chaos) bit-reversal | first-fit | reverse-fit
     --rounds <R>           (chaos) corruption/repair rounds   [default: 3]
+    --shards <K>           (serve) admission-service shards   [default: 2]
+    --requests <N>         (serve) trace operations           [default: 96]
+    --replay               (serve) print the shard-invariant replay report
     --perfetto <FILE>      (audit/trace/sweep) write a Perfetto/Chrome
                            trace-event JSON timeline to FILE
     --background           add best-effort background traffic
@@ -40,6 +44,9 @@ OPTIONS:
 `audit` exits non-zero when any service-guarantee violation is observed.
 `chaos` exits non-zero when recovery leaves a violation (or an
 inconsistent table) behind; `--seeds` sizes its faulted fabric sweep.
+`serve` exits non-zero when the sharded service diverges from the
+sequential manager on any observable; its `--replay` report is
+byte-identical at any `--shards`.
 ";
 
 /// Which subcommand to run.
@@ -61,6 +68,9 @@ pub enum Command {
     Audit,
     /// Fault injection + recovery with a post-repair guarantee audit.
     Chaos,
+    /// Sharded admission service differentially audited against the
+    /// sequential manager.
+    Serve,
     /// Educational walkthrough.
     Demo,
     /// Print usage.
@@ -90,6 +100,12 @@ pub struct Args {
     pub allocator: AllocatorKind,
     /// `--rounds` (chaos): corruption/repair rounds.
     pub rounds: u32,
+    /// `--shards` (serve): admission-service shard count.
+    pub shards: usize,
+    /// `--requests` (serve): trace operations to generate.
+    pub requests: usize,
+    /// `--replay` (serve): print the shard-invariant replay report.
+    pub replay: bool,
     /// `--perfetto` (audit/trace/sweep): write a Perfetto/Chrome
     /// trace-event JSON file here.
     pub perfetto: Option<String>,
@@ -112,6 +128,9 @@ impl Default for Args {
             threads: 0,
             allocator: AllocatorKind::BitReversal,
             rounds: 3,
+            shards: 2,
+            requests: 96,
+            replay: false,
             perfetto: None,
             background: false,
             dot: false,
@@ -163,6 +182,7 @@ impl Args {
             "trace" => Command::Trace,
             "audit" => Command::Audit,
             "chaos" => Command::Chaos,
+            "serve" => Command::Serve,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError::UnknownCommand(other.to_string())),
@@ -172,8 +192,10 @@ impl Args {
             match flag.as_str() {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
+                "--replay" => args.replay = true,
                 "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
-                | "--threads" | "--allocator" | "--rounds" | "--perfetto" => {
+                | "--threads" | "--allocator" | "--rounds" | "--shards" | "--requests"
+                | "--perfetto" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -195,6 +217,8 @@ impl Args {
                                 .ok_or_else(bad)?;
                         }
                         "--rounds" => args.rounds = value.parse().map_err(|_| bad())?,
+                        "--shards" => args.shards = value.parse().map_err(|_| bad())?,
+                        "--requests" => args.requests = value.parse().map_err(|_| bad())?,
                         "--perfetto" => {
                             if value.is_empty() {
                                 return Err(bad());
@@ -212,6 +236,9 @@ impl Args {
         }
         if args.seeds == 0 {
             return Err(ParseError::BadValue("--seeds".into(), "0".into()));
+        }
+        if args.shards == 0 {
+            return Err(ParseError::BadValue("--shards".into(), "0".into()));
         }
         Ok(args)
     }
@@ -354,6 +381,32 @@ mod tests {
         assert_eq!(a.threads, 2);
         assert!(matches!(
             Args::parse(&argv("chaos --rounds banana")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let a = Args::parse(&argv("serve")).unwrap();
+        assert_eq!(a.command, Command::Serve);
+        assert_eq!(a.shards, 2);
+        assert_eq!(a.requests, 96);
+        assert!(!a.replay);
+        let a = Args::parse(&argv(
+            "serve --switches 4 --seed 3 --shards 8 --requests 40 --replay",
+        ))
+        .unwrap();
+        assert_eq!(a.switches, 4);
+        assert_eq!(a.seed, 3);
+        assert_eq!(a.shards, 8);
+        assert_eq!(a.requests, 40);
+        assert!(a.replay);
+        assert!(matches!(
+            Args::parse(&argv("serve --shards 0")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("serve --requests banana")).unwrap_err(),
             ParseError::BadValue(_, _)
         ));
     }

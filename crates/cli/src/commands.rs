@@ -391,6 +391,38 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `ibaqos serve` — drives a seeded admit/teardown/repair trace
+/// through the sharded admission service and differentially audits it
+/// against the sequential `QosManager` on outcomes, final tables and
+/// shard-invariant metrics. With `--replay` the full replay report is
+/// printed; it is byte-identical at any `--shards`, which CI verifies
+/// with `cmp`. Returns `Err` (non-zero process exit, machine-readable
+/// first stderr line) on any divergence or consistency failure.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let cfg = iba_harness::ServeConfig::new(args.switches, args.seed, args.requests, args.shards);
+    let outcome = iba_harness::run_serve(&cfg);
+    let out = if args.replay {
+        outcome.render_report()
+    } else {
+        format!(
+            "{}\n{}",
+            outcome.summary_line(),
+            format_args!(
+                "trace: accepted={} rejected={} released={} live={}",
+                outcome.report.accepted,
+                outcome.report.rejected,
+                outcome.report.released,
+                outcome.report.live.len(),
+            )
+        )
+    };
+    if outcome.passed() {
+        Ok(out)
+    } else {
+        Err(format!("{}\n{out}", outcome.summary_line()))
+    }
+}
+
 /// `ibaqos demo` — a narrated walk through the paper's algorithm.
 #[must_use]
 pub fn demo() -> String {

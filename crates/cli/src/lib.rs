@@ -16,6 +16,8 @@
 //!               [--perfetto FILE]                       service-guarantee audit
 //! ibaqos chaos  [--allocator A] [--mtu M] [--seed S]
 //!               [--rounds R] [--seeds N] [--threads T]  fault-injection + recovery
+//! ibaqos serve  [--switches N] [--seed S] [--shards K]
+//!               [--requests N] [--replay]               sharded admission service
 //! ibaqos demo                                           table-filling walkthrough
 //! ```
 //!
@@ -29,6 +31,10 @@
 //! guarantee-preserving `RecoveryManager` and exits non-zero when any
 //! post-repair violation remains; on failure both `audit` and `chaos`
 //! print a machine-readable `verdict=FAIL` line first on stderr.
+//! `serve` drives a seeded admit/teardown/repair trace through the
+//! sharded admission service, differentially audits it against the
+//! sequential manager, and exits non-zero on any divergence; its
+//! `--replay` report is byte-identical at any `--shards`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +56,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Trace => commands::trace(&args),
         Command::Audit => commands::audit(&args),
         Command::Chaos => commands::chaos(&args),
+        Command::Serve => commands::serve(&args),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),
     }

@@ -224,16 +224,37 @@ impl HighPriorityTable {
     /// Non-mutating admission check: would `admit` succeed?
     #[must_use]
     pub fn can_admit(&self, sl: ServiceLevel, distance: Distance, weight: Weight) -> bool {
+        self.check_admit(sl, distance, weight).is_ok()
+    }
+
+    /// Non-mutating dry run of [`HighPriorityTable::admit`]: returns
+    /// exactly the error `admit` would return for the same request,
+    /// checked in `admit`'s order (weight underflow, request size,
+    /// capacity cap, join, fresh E-set). Performs no allocator probes
+    /// against a recorder, so a vote taken with `check_admit` followed
+    /// by the real `admit_observed` keeps metrics identical to calling
+    /// `admit_observed` alone.
+    pub fn check_admit(
+        &self,
+        sl: ServiceLevel,
+        distance: Distance,
+        weight: Weight,
+    ) -> Result<(), TableError> {
+        if weight == 0 {
+            return Err(TableError::WeightUnderflow);
+        }
+        let (d_eff, _entries) =
+            effective_request(distance, weight).ok_or(TableError::RequestTooLarge)?;
         if self.reserved_weight + weight > self.capacity_limit {
-            return false;
+            return Err(TableError::CapacityExceeded);
         }
-        let Some((d_eff, _)) = effective_request(distance, weight) else {
-            return false;
-        };
         if self.find_joinable(sl, distance, weight).is_some() {
-            return true;
+            return Ok(());
         }
-        self.allocator.select(self.occupancy, d_eff).is_some()
+        self.allocator
+            .select(self.occupancy, d_eff)
+            .map(|_| ())
+            .ok_or(TableError::NoFreeSequence)
     }
 
     /// Admits a connection of service level `sl` (travelling on `vl`)

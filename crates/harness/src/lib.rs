@@ -22,6 +22,7 @@ pub mod audit;
 pub mod chaos;
 pub mod engine;
 pub mod experiment;
+pub mod serve;
 pub mod sweep;
 
 pub use audit::{run_audit, run_audit_spanned, AuditConfig, AuditOutcome};
@@ -31,4 +32,5 @@ pub use experiment::{
     build_experiment_sized, run_measured, run_measured_faulted, run_measured_instrumented,
     run_measured_recorded, Experiment, Measured,
 };
+pub use serve::{run_serve, ServeConfig, ServeOutcome};
 pub use sweep::{run_points, run_points_spanned, PointOutcome, SimPoint};

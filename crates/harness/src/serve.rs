@@ -1,0 +1,276 @@
+//! The serve drive: runs a seeded admit/teardown/repair trace through
+//! the sharded admission service (`iba_qos::service`) and
+//! differentially audits it against the single-owner [`QosManager`].
+//!
+//! The rendered report is the replay determinism witness: it contains
+//! the per-operation outcomes, the final-table digest, the audit
+//! verdicts and the shard-invariant metrics — and **nothing that
+//! depends on the shard count** (the `serve_*` metrics, which
+//! legitimately differ per shard, are filtered out). `ibaqos serve
+//! --replay` must therefore print byte-identical reports at 1, 2 and
+//! 8 shards, which CI checks with `cmp`.
+
+use iba_core::SlTable;
+use iba_obs::ObsRecorder;
+use iba_qos::service::{self, ServeReport, TraceConfig, TraceOutcome};
+use iba_qos::QosManager;
+use iba_topo::{irregular, updown, Topology};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string — the table-digest witness.
+fn fnv64(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// Parameters of one serve run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Switches in the irregular fabric under management.
+    pub switches: usize,
+    /// Master seed: topology, trace, corruption and repair streams.
+    pub seed: u64,
+    /// Trace length (operations, admit-heavy mix).
+    pub requests: usize,
+    /// Worker shards the port tables are partitioned across.
+    pub shards: usize,
+}
+
+impl ServeConfig {
+    /// The default serve scenario: a 4-switch fabric and a 96-op trace.
+    #[must_use]
+    pub fn new(switches: usize, seed: u64, requests: usize, shards: usize) -> Self {
+        ServeConfig {
+            switches: switches.max(2),
+            seed,
+            requests,
+            shards: shards.max(1),
+        }
+    }
+}
+
+/// Everything one serve run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The scenario that was run.
+    pub config: ServeConfig,
+    /// The sharded service's report (outcomes, tables, live set).
+    pub report: ServeReport,
+    /// FNV-1a digest of the sharded service's final tables.
+    pub tables_digest: u64,
+    /// FNV-1a digest of the sequential manager's final tables.
+    pub seq_digest: u64,
+    /// Whether every final table passed the full consistency audit.
+    pub consistent: bool,
+    /// Whether the sharded outcome vector equals the sequential one.
+    pub outcomes_match: bool,
+    /// Whether the shard-invariant metrics (everything but `serve_*`)
+    /// equal the sequential run's metrics.
+    pub metrics_match: bool,
+    /// Rendered shard-invariant metric samples, one line each.
+    pub metric_lines: Vec<String>,
+}
+
+/// Snapshot of a registry with the shard-count-dependent `serve_*`
+/// samples removed — the shard-invariant metric view.
+fn invariant_metric_lines(rec: &ObsRecorder) -> Vec<String> {
+    rec.metrics
+        .snapshot()
+        .into_iter()
+        .filter(|s| !s.name.starts_with("serve_"))
+        .map(|s| {
+            let dim = s.dim.to_string();
+            let label = if dim.is_empty() {
+                s.name.to_string()
+            } else {
+                format!("{}{{{}}}", s.name, dim)
+            };
+            match s.value {
+                iba_obs::SampleValue::Count(v) => format!("{label} {v}"),
+                iba_obs::SampleValue::Hist {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => format!("{label} count={count} sum={sum} p50<={p50} p99<={p99}"),
+            }
+        })
+        .collect()
+}
+
+fn build_manager(config: &ServeConfig) -> (QosManager, u16) {
+    let topo: Topology = irregular::generate(irregular::IrregularConfig::with_switches(
+        config.switches,
+        config.seed,
+    ));
+    let hosts = topo.num_hosts() as u16;
+    let routing = updown::compute(&topo);
+    (
+        QosManager::new(topo, routing, SlTable::paper_table1()),
+        hosts,
+    )
+}
+
+impl ServeOutcome {
+    /// Whether the sharded service matched the sequential reference on
+    /// every observable and left consistent tables behind.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.consistent
+            && self.outcomes_match
+            && self.metrics_match
+            && self.tables_digest == self.seq_digest
+    }
+
+    /// One-line machine-readable summary (the `ibaqos serve` stderr
+    /// contract on failure). This line carries the shard count, so it
+    /// is *not* part of the shard-invariant report body.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "serve: verdict={} shards={} outcomes={} tables={} metrics={} consistent={} seed={}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.config.shards,
+            if self.outcomes_match {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+            if self.tables_digest == self.seq_digest {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+            if self.metrics_match {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+            if self.consistent { "yes" } else { "no" },
+            self.config.seed,
+        )
+    }
+
+    /// The full `ibaqos serve --replay` report. Everything in it is a
+    /// pure function of (topology seed, trace) — never of the shard
+    /// count — so replays at different shard counts must be
+    /// byte-identical.
+    #[must_use]
+    pub fn render_report(&self) -> String {
+        let c = &self.config;
+        let r = &self.report;
+        let mut out = format!(
+            "serve: switches={} seed={} requests={}\n\
+             trace: accepted={} rejected={} released={} live={}\n\
+             tables: digest={:#018x} consistent={}\n\
+             differential: outcomes={} tables={} metrics={}\n",
+            c.switches,
+            c.seed,
+            c.requests,
+            r.accepted,
+            r.rejected,
+            r.released,
+            r.live.len(),
+            self.tables_digest,
+            if self.consistent { "yes" } else { "no" },
+            if self.outcomes_match {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+            if self.tables_digest == self.seq_digest {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+            if self.metrics_match {
+                "match"
+            } else {
+                "DIVERGED"
+            },
+        );
+        out.push_str("outcomes:\n");
+        for (i, o) in r.outcomes.iter().enumerate() {
+            out.push_str(&format!("  op={i:03} {o:?}\n"));
+        }
+        out.push_str("metrics (shard-invariant):\n");
+        for line in &self.metric_lines {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.passed() {
+                "PASS (sharded service byte-identical to the sequential manager)"
+            } else {
+                "FAIL (sharded service diverged from the sequential manager)"
+            }
+        ));
+        out
+    }
+}
+
+/// Runs the serve scenario: one sharded trace run plus the sequential
+/// reference run, differentially compared on outcomes, final tables
+/// and shard-invariant metrics.
+#[must_use]
+pub fn run_serve(config: &ServeConfig) -> ServeOutcome {
+    let (planner, hosts) = build_manager(config);
+    let ops = service::generate_trace(&TraceConfig::new(hosts, config.seed, config.requests));
+
+    // Sequential reference on an identical, independently built manager.
+    let (mut seq_mgr, _) = build_manager(config);
+    let mut seq_rec = ObsRecorder::new();
+    let seq_outcomes: Vec<TraceOutcome> =
+        service::apply_trace_sequential(&mut seq_mgr, &ops, &mut seq_rec);
+    let seq_digest = fnv64(format!("{:?}", seq_mgr.port_tables()).as_bytes());
+
+    // Sharded run.
+    let mut rec = ObsRecorder::new();
+    let report = service::run_trace(&planner, &ops, config.shards, &mut rec);
+    let tables_digest = fnv64(format!("{:?}", report.tables).as_bytes());
+
+    let consistent = report.tables.check_all().is_ok();
+    let outcomes_match = report.outcomes == seq_outcomes;
+    let metric_lines = invariant_metric_lines(&rec);
+    let metrics_match = metric_lines == invariant_metric_lines(&seq_rec);
+
+    ServeOutcome {
+        config: *config,
+        report,
+        tables_digest,
+        seq_digest,
+        consistent,
+        outcomes_match,
+        metrics_match,
+        metric_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_run_passes_and_report_is_shard_invariant() {
+        let reports: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| {
+                let outcome = run_serve(&ServeConfig::new(4, 3, 48, shards));
+                assert!(outcome.passed(), "{}", outcome.summary_line());
+                outcome.render_report()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "1 vs 2 shards");
+        assert_eq!(reports[0], reports[2], "1 vs 8 shards");
+        assert!(reports[0].contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn serve_summary_line_names_the_shard_count() {
+        let outcome = run_serve(&ServeConfig::new(4, 7, 24, 2));
+        assert!(outcome.summary_line().contains("shards=2"));
+    }
+}

@@ -47,7 +47,9 @@ pub mod trace;
 
 pub use audit::{GuaranteeAuditor, LaneAudit, LaneBudget};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, Metrics, PerLane, METRIC_NAMES};
+pub use metrics::{
+    Counter, Dim, Gauge, Histogram, Metrics, PerLane, Sample, SampleValue, METRIC_NAMES,
+};
 pub use perfetto::perfetto_trace;
 pub use recorder::{NullRecorder, ObsRecorder, Recorder, RejectKind, ServedKind};
 pub use report::{bench_json, render_metrics, vl_shares, BenchRecord, VlShare};

@@ -245,6 +245,11 @@ pub const METRIC_NAMES: &[&str] = &[
     "recovery_backoff_cycles",
     "span_records_total",
     "span_dropped_total",
+    "serve_shard_admit_total",
+    "serve_shard_reject_total",
+    "serve_shard_rollback_total",
+    "serve_queue_depth",
+    "serve_batch_latency",
 ];
 
 /// A metric dimension attached to a [`Sample`].
@@ -258,6 +263,8 @@ pub enum Dim {
     Sl(u8),
     /// A rejection reason label.
     Reason(&'static str),
+    /// An admission-service shard index (0..16).
+    Shard(u8),
 }
 
 impl std::fmt::Display for Dim {
@@ -267,6 +274,7 @@ impl std::fmt::Display for Dim {
             Dim::Vl(v) => write!(f, "vl={v}"),
             Dim::Sl(s) => write!(f, "sl={s}"),
             Dim::Reason(r) => write!(f, "reason={r}"),
+            Dim::Shard(s) => write!(f, "shard={s}"),
         }
     }
 }
@@ -403,6 +411,20 @@ pub struct Metrics {
     /// `span_dropped_total`: span records overwritten because the span
     /// ring was full.
     pub span_dropped: Counter,
+    /// `serve_shard_admit_total`: hop reservations committed per
+    /// admission-service shard.
+    pub serve_shard_admit: PerLane<Counter>,
+    /// `serve_shard_reject_total`: admission votes denied per shard.
+    pub serve_shard_reject: PerLane<Counter>,
+    /// `serve_shard_rollback_total`: aborted multi-hop batches that
+    /// rolled reservations back, per shard.
+    pub serve_shard_rollback: PerLane<Counter>,
+    /// `serve_queue_depth`: dispatched-but-unfinalized operations
+    /// observed by the service coordinator at each dispatch.
+    pub serve_queue_depth: Histogram,
+    /// `serve_batch_latency`: logical ticks (finalized operations)
+    /// between an operation's dispatch and its finalization.
+    pub serve_batch_latency: Histogram,
 }
 
 impl Metrics {
@@ -600,6 +622,37 @@ impl Metrics {
         }
         counter(&mut out, "span_records_total", Dim::None, self.span_records);
         counter(&mut out, "span_dropped_total", Dim::None, self.span_dropped);
+        for (i, c) in self.serve_shard_admit.0.iter().enumerate() {
+            counter(&mut out, "serve_shard_admit_total", Dim::Shard(i as u8), *c);
+        }
+        for (i, c) in self.serve_shard_reject.0.iter().enumerate() {
+            counter(
+                &mut out,
+                "serve_shard_reject_total",
+                Dim::Shard(i as u8),
+                *c,
+            );
+        }
+        for (i, c) in self.serve_shard_rollback.0.iter().enumerate() {
+            counter(
+                &mut out,
+                "serve_shard_rollback_total",
+                Dim::Shard(i as u8),
+                *c,
+            );
+        }
+        if self.serve_queue_depth.count() > 0 {
+            out.push(Self::hist_sample(
+                "serve_queue_depth",
+                &self.serve_queue_depth,
+            ));
+        }
+        if self.serve_batch_latency.count() > 0 {
+            out.push(Self::hist_sample(
+                "serve_batch_latency",
+                &self.serve_batch_latency,
+            ));
+        }
         out
     }
 
@@ -699,6 +752,32 @@ impl Metrics {
             .merge(&other.recovery_backoff_cycles);
         self.span_records.merge(other.span_records);
         self.span_dropped.merge(other.span_dropped);
+        for (a, b) in self
+            .serve_shard_admit
+            .0
+            .iter_mut()
+            .zip(other.serve_shard_admit.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .serve_shard_reject
+            .0
+            .iter_mut()
+            .zip(other.serve_shard_reject.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .serve_shard_rollback
+            .0
+            .iter_mut()
+            .zip(other.serve_shard_rollback.0.iter())
+        {
+            a.merge(*b);
+        }
+        self.serve_queue_depth.merge(&other.serve_queue_depth);
+        self.serve_batch_latency.merge(&other.serve_batch_latency);
     }
 }
 
@@ -819,6 +898,11 @@ mod tests {
         m.recovery_backoff_cycles.observe(128);
         m.span_records.add(2);
         m.span_dropped.incr();
+        m.serve_shard_admit.lane(0).incr();
+        m.serve_shard_reject.lane(1).incr();
+        m.serve_shard_rollback.lane(0).incr();
+        m.serve_queue_depth.observe(2);
+        m.serve_batch_latency.observe(1);
         let snap = m.snapshot();
         assert!(!snap.is_empty());
         for s in &snap {

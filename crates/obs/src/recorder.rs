@@ -202,6 +202,29 @@ pub trait Recorder {
     #[inline]
     fn recovery_degraded(&mut self) {}
 
+    /// A shard of the admission service committed one hop reservation.
+    #[inline]
+    fn serve_shard_admit(&mut self, _shard: u8) {}
+
+    /// A shard of the admission service denied an admission vote.
+    #[inline]
+    fn serve_shard_reject(&mut self, _shard: u8) {}
+
+    /// A shard rolled back already-committed hops of an aborted
+    /// multi-hop batch.
+    #[inline]
+    fn serve_shard_rollback(&mut self, _shard: u8) {}
+
+    /// Dispatched-but-unfinalized operation count observed by the
+    /// admission-service coordinator at a dispatch.
+    #[inline]
+    fn serve_queue_depth(&mut self, _depth: u64) {}
+
+    /// Logical ticks (finalized operations) between an operation's
+    /// dispatch and its finalization by the coordinator.
+    #[inline]
+    fn serve_batch_latency(&mut self, _ticks: u64) {}
+
     /// A wall-clock profiling span named `name` opened on the calling
     /// thread. No-op unless the recorder carries a
     /// [`crate::span::SpanRecorder`].
@@ -431,6 +454,31 @@ impl Recorder for ObsRecorder {
             port: 0,
             detail: 0,
         });
+    }
+
+    #[inline]
+    fn serve_shard_admit(&mut self, shard: u8) {
+        self.metrics.serve_shard_admit.lane(shard).incr();
+    }
+
+    #[inline]
+    fn serve_shard_reject(&mut self, shard: u8) {
+        self.metrics.serve_shard_reject.lane(shard).incr();
+    }
+
+    #[inline]
+    fn serve_shard_rollback(&mut self, shard: u8) {
+        self.metrics.serve_shard_rollback.lane(shard).incr();
+    }
+
+    #[inline]
+    fn serve_queue_depth(&mut self, depth: u64) {
+        self.metrics.serve_queue_depth.observe(depth);
+    }
+
+    #[inline]
+    fn serve_batch_latency(&mut self, ticks: u64) {
+        self.metrics.serve_batch_latency.observe(ticks);
     }
 
     #[inline]

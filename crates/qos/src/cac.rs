@@ -25,6 +25,20 @@ pub struct PortKey {
     pub port: u8,
 }
 
+impl PortKey {
+    /// A stable 64-bit code for this port — independent of process,
+    /// hasher and shard count. Keys per-table RNG sub-streams and
+    /// assigns ports to admission-service shards.
+    #[must_use]
+    pub fn stable_code(self) -> u64 {
+        let (tag, idx) = match self.node {
+            NodeId::Switch(i) => (0u64, u64::from(i)),
+            NodeId::Host(i) => (1u64, u64::from(i)),
+        };
+        (tag << 32) | (idx << 8) | u64::from(self.port)
+    }
+}
+
 /// Why a request was rejected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RejectReason {
@@ -72,12 +86,19 @@ impl std::fmt::Display for RejectReason {
 /// of panicking so a damaged or repaired table degrades gracefully —
 /// the reservation may have been evicted by a repair pass between admit
 /// and release.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `key`/`error` name the **first** failing hop (in release order);
+/// `failures` lists every hop that failed, so a multi-hop release that
+/// goes wrong at several ports loses no diagnostics.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReleaseError {
-    /// Port whose table rejected the release.
+    /// Port whose table rejected the release (first failure).
     pub key: PortKey,
-    /// The underlying table error.
+    /// The underlying table error of the first failure.
     pub error: TableError,
+    /// Every failed hop in release order (downstream-first), first
+    /// failure included. Never empty.
+    pub failures: Vec<(PortKey, TableError)>,
 }
 
 impl std::fmt::Display for ReleaseError {
@@ -86,7 +107,11 @@ impl std::fmt::Display for ReleaseError {
             f,
             "release failed at {:?} port {}: {}",
             self.key.node, self.key.port, self.error
-        )
+        )?;
+        if self.failures.len() > 1 {
+            write!(f, " (+{} more failed hops)", self.failures.len() - 1)?;
+        }
+        Ok(())
     }
 }
 
@@ -230,27 +255,35 @@ impl PortTables {
         };
         match self.table_mut(key).release(hop.sequence, weight) {
             Ok(_) => Ok(()),
-            Err(error) => Err(ReleaseError { key, error }),
+            Err(error) => Err(ReleaseError {
+                key,
+                error,
+                failures: vec![(key, error)],
+            }),
         }
     }
 
     /// Releases a whole path. Every hop is attempted even when one
-    /// fails (a partial release would strand capacity); the first error
-    /// is reported.
+    /// fails (a partial release would strand capacity); the returned
+    /// error carries **all** failed hops, headlined by the first.
     pub fn release_path(
         &mut self,
         hops: &[HopReservation],
         weight: Weight,
     ) -> Result<(), ReleaseError> {
-        let mut first_err = None;
+        let mut failures: Vec<(PortKey, TableError)> = Vec::new();
         for &hop in hops.iter().rev() {
             if let Err(e) = self.release_hop(hop, weight) {
-                first_err.get_or_insert(e);
+                failures.extend(e.failures);
             }
         }
-        match first_err {
+        match failures.first().copied() {
             None => Ok(()),
-            Some(e) => Err(e),
+            Some((key, error)) => Err(ReleaseError {
+                key,
+                error,
+                failures,
+            }),
         }
     }
 
@@ -265,6 +298,65 @@ impl PortTables {
     /// Mutable access to one touched table (recovery layer).
     pub(crate) fn get_table_mut(&mut self, key: PortKey) -> Option<&mut HighPriorityTable> {
         self.tables.get_mut(&key)
+    }
+
+    /// An empty registry with this registry's configuration (allocator
+    /// and capacity cap) — the shape a service shard starts from.
+    pub(crate) fn empty_like(&self) -> PortTables {
+        PortTables {
+            tables: BTreeMap::new(),
+            allocator: self.allocator,
+            capacity_limit: self.capacity_limit,
+        }
+    }
+
+    /// Moves every table of `other` into this registry. Key sets must
+    /// be disjoint (shards own disjoint port sets); a collision keeps
+    /// `other`'s table, which the sharded service never produces.
+    pub(crate) fn absorb(&mut self, other: PortTables) {
+        self.tables.extend(other.tables);
+    }
+
+    /// Non-mutating single-hop admission vote: exactly the error the
+    /// real admission at `key` would return, including for a port whose
+    /// table was never touched (checked against a fresh table).
+    pub(crate) fn probe_admit(
+        &self,
+        key: PortKey,
+        sl: ServiceLevel,
+        distance: Distance,
+        weight: Weight,
+    ) -> Result<(), TableError> {
+        match self.tables.get(&key) {
+            Some(t) => t.check_admit(sl, distance, weight),
+            None => {
+                let mut t = HighPriorityTable::with_allocator(self.allocator);
+                t.set_capacity_limit(self.capacity_limit);
+                t.check_admit(sl, distance, weight)
+            }
+        }
+    }
+
+    /// Single-hop admission (the sharded service's commit step): the
+    /// same table mutation `admit_path` performs at one hop, recorded
+    /// into `rec`.
+    pub(crate) fn admit_at(
+        &mut self,
+        key: PortKey,
+        sl: ServiceLevel,
+        vl: VirtualLane,
+        distance: Distance,
+        weight: Weight,
+        rec: &mut dyn iba_obs::Recorder,
+    ) -> Result<HopReservation, TableError> {
+        let adm = self
+            .table_mut(key)
+            .admit_observed(sl, vl, distance, weight, rec)?;
+        Ok(HopReservation {
+            node: key.node,
+            port: key.port,
+            sequence: adm.sequence,
+        })
     }
 
     /// Mean reserved bandwidth (Mbps) over a set of ports, given the
@@ -388,6 +480,60 @@ mod tests {
         let err = pt.release_path(&hops, 50).unwrap_err();
         assert_eq!(err.error, TableError::UnknownSequence);
         pt.check_all().unwrap();
+    }
+
+    #[test]
+    fn release_path_aggregates_every_failed_hop() {
+        let mut pt = PortTables::new(0.8);
+        let path = [key(0, 0), key(1, 1), key(2, 2)];
+        let hops = pt
+            .admit_path(&path, sl(2), vl(2), Distance::D8, 50)
+            .unwrap();
+        pt.release_path(&hops, 50).unwrap();
+        // A full double release fails at all three hops; the error must
+        // carry every failure, headlined by the first in release order
+        // (downstream-first, i.e. the last hop of the path).
+        let err = pt.release_path(&hops, 50).unwrap_err();
+        assert_eq!(err.failures.len(), 3);
+        assert_eq!(err.key, key(2, 2));
+        assert_eq!((err.key, err.error), err.failures[0]);
+        assert!(err
+            .failures
+            .iter()
+            .all(|(_, e)| *e == TableError::UnknownSequence));
+        assert_eq!(
+            err.failures.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![key(2, 2), key(1, 1), key(0, 0)]
+        );
+        assert!(err.to_string().contains("+2 more failed hops"));
+        // A partial double release (one live hop re-admitted) reports
+        // only the hops that actually failed.
+        let live = pt
+            .admit_path(&[key(1, 1)], sl(2), vl(2), Distance::D8, 50)
+            .unwrap();
+        let mixed = [hops[0], live[0], hops[2]];
+        let err = pt.release_path(&mixed, 50).unwrap_err();
+        assert_eq!(err.failures.len(), 2);
+        assert_eq!(
+            err.failures.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![key(2, 2), key(0, 0)]
+        );
+        pt.check_all().unwrap();
+    }
+
+    #[test]
+    fn stable_code_is_injective_across_node_kinds() {
+        let a = PortKey {
+            node: NodeId::Switch(3),
+            port: 1,
+        };
+        let b = PortKey {
+            node: NodeId::Host(3),
+            port: 1,
+        };
+        assert_ne!(a.stable_code(), b.stable_code());
+        assert_eq!(a.stable_code(), (3 << 8) | 1);
+        assert_eq!(b.stable_code(), (1 << 32) | (3 << 8) | 1);
     }
 
     #[test]

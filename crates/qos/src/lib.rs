@@ -18,7 +18,11 @@
 //!   its admission limit and produce the flows and fabric to run;
 //! * [`recovery`] — guarantee-preserving recovery: hot table repair,
 //!   re-admission through a graceful-degradation ladder, and bounded
-//!   retry with deterministic backoff.
+//!   retry with deterministic backoff;
+//! * [`service`] — the sharded admission service: port tables
+//!   partitioned across exclusive worker threads, batched multi-hop
+//!   admission with vote/commit/abort, byte-identical to the
+//!   single-owner manager at any shard count.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +34,7 @@ pub mod frame;
 pub mod manager;
 pub mod measure;
 pub mod recovery;
+pub mod service;
 
 pub use cac::{PortKey, PortTables, RejectReason};
 pub use churn::{ChurnEvent, ChurnRunner, ChurnStats};
@@ -38,3 +43,7 @@ pub use frame::{FillReport, QosFrame};
 pub use manager::{LowPriorityPolicy, QosManager};
 pub use measure::QosObserver;
 pub use recovery::{RecoveryManager, RecoveryPolicy, RecoveryStats, RecoverySummary};
+pub use service::{
+    apply_trace_sequential, generate_trace, run_trace, ServeReport, TraceConfig, TraceOp,
+    TraceOutcome,
+};

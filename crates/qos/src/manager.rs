@@ -60,6 +60,22 @@ impl LowPriorityPolicy {
     }
 }
 
+/// What admission will actually reserve for a request: the resolved
+/// lane, the (possibly tightened) distance, the gross table weight and
+/// the output ports crossed, in canonical path order.
+#[derive(Clone, Debug)]
+pub(crate) struct AdmitPlan {
+    /// The virtual lane the SL maps to.
+    pub(crate) vl: iba_core::VirtualLane,
+    /// The reserved entry spacing.
+    pub(crate) distance: iba_core::Distance,
+    /// Table weight covering the gross (wire) rate.
+    pub(crate) weight: iba_core::Weight,
+    /// Output ports from source uplink to the destination-facing
+    /// switch port.
+    pub(crate) path: Vec<PortKey>,
+}
+
 /// The QoS manager for one subnet.
 #[derive(Clone, Debug)]
 pub struct QosManager {
@@ -225,6 +241,33 @@ impl QosManager {
         self.request_observed(req, &mut iba_obs::NullRecorder)
     }
 
+    /// Pure planning step shared by the synchronous path and the
+    /// sharded admission service: resolves a request to the exact
+    /// (VL, distance, weight, path) tuple admission will reserve, or
+    /// the reject reason the manager would report, without touching
+    /// any table or counter.
+    pub(crate) fn plan_request(&self, req: &ConnectionRequest) -> Result<AdmitPlan, RejectReason> {
+        // Reserve for the gross (wire) rate when headers are modelled.
+        let gross_factor =
+            f64::from(req.packet_bytes + self.header_bytes) / f64::from(req.packet_bytes);
+        let weight =
+            iba_core::weight_for_bandwidth(req.mean_bw_mbps * gross_factor, self.link_mbps)
+                .ok_or(RejectReason::RequestTooLarge)?;
+        let vl = self.sl_to_vl.vl(req.sl);
+        // The reserved distance is the request's own, tightened when the
+        // SL shares its VL with stricter SLs (see `set_sl_to_vl`).
+        let distance = match self.effective_distance(req.sl) {
+            Some(d) if d.at_least_as_strict(req.distance) => d,
+            _ => req.distance,
+        };
+        Ok(AdmitPlan {
+            vl,
+            distance,
+            weight,
+            path: self.path_ports(req.src, req.dst),
+        })
+    }
+
     /// [`QosManager::request`] with instrumentation: records
     /// `cac_admit_total{sl}` or `cac_reject_total{reason}` plus the
     /// allocator probe metrics of every hop into `rec`.
@@ -233,26 +276,19 @@ impl QosManager {
         req: &ConnectionRequest,
         rec: &mut dyn iba_obs::Recorder,
     ) -> Result<ConnectionId, RejectReason> {
-        // Reserve for the gross (wire) rate when headers are modelled.
-        let gross_factor =
-            f64::from(req.packet_bytes + self.header_bytes) / f64::from(req.packet_bytes);
-        let weight =
-            match iba_core::weight_for_bandwidth(req.mean_bw_mbps * gross_factor, self.link_mbps) {
-                Some(w) => w,
-                None => {
-                    self.rejected += 1;
-                    rec.cac_reject(iba_obs::RejectKind::RequestTooLarge);
-                    return Err(RejectReason::RequestTooLarge);
-                }
-            };
-        let vl = self.sl_to_vl.vl(req.sl);
-        // The reserved distance is the request's own, tightened when the
-        // SL shares its VL with stricter SLs (see `set_sl_to_vl`).
-        let distance = match self.effective_distance(req.sl) {
-            Some(d) if d.at_least_as_strict(req.distance) => d,
-            _ => req.distance,
+        let AdmitPlan {
+            vl,
+            distance,
+            weight,
+            path,
+        } = match self.plan_request(req) {
+            Ok(p) => p,
+            Err(e) => {
+                self.rejected += 1;
+                rec.cac_reject(e.kind());
+                return Err(e);
+            }
         };
-        let path = self.path_ports(req.src, req.dst);
         let hops = match self
             .tables
             .admit_path_observed(&path, req.sl, vl, distance, weight, rec)
@@ -369,6 +405,12 @@ impl QosManager {
     #[must_use]
     pub fn port_tables(&self) -> &PortTables {
         &self.tables
+    }
+
+    /// Mutable access to the raw port tables (the sharded admission
+    /// service's sequential reference path).
+    pub(crate) fn tables_mut(&mut self) -> &mut PortTables {
+        &mut self.tables
     }
 
     /// Builds the `VLArbitrationTable` configuration of one output port:

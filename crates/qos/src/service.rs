@@ -1,0 +1,1205 @@
+//! The sharded admission-control service: the paper's §5 CAC made
+//! concurrent without a global lock — and without giving up the
+//! workspace's byte-identical determinism contract.
+//!
+//! # Ownership
+//!
+//! [`PortTables`] is partitioned by output port: port `k` belongs to
+//! shard `k.stable_code() % shards`, and each shard **exclusively
+//! owns** its partition behind a bounded-channel worker thread. No
+//! table is ever touched by two threads; there is no lock at all.
+//!
+//! # Batched multi-hop admission
+//!
+//! An admission must reserve every output port on the path or nothing
+//! (the paper: "it is only accepted if there are available resources"
+//! at each node). The coordinator runs a two-phase protocol per
+//! request:
+//!
+//! 1. **Vote** — every participating shard answers, per hop, the exact
+//!    error the real admission would return ([`HighPriorityTable::
+//!    check_admit`] mirrors `admit`'s check order), without mutating.
+//! 2. **Commit** — all hops voted yes: each shard reserves its hops in
+//!    ascending canonical path order.
+//! 3. **Abort** — some hop voted no: let `k` be the *first* failing
+//!    path index. Shards replay exactly what the sequential
+//!    transaction would have done: admit every owned hop before `k`,
+//!    re-run the failing admission at `k` (it records the same
+//!    allocator probes and fails the same way), then roll the
+//!    reservations back in descending order. Hops after `k` are never
+//!    touched. Because rollback releases can trigger defragmentation,
+//!    this mutation-faithful replay — not a mere skip — is what keeps
+//!    the final tables byte-identical to the single-owner
+//!    [`QosManager`].
+//!
+//! # Determinism argument
+//!
+//! * Each table sees exactly the per-table operation sequence the
+//!   sequential manager would apply, in the same order: the
+//!   coordinator dispatches operations **strictly in trace order**,
+//!   holds a shard claim for every in-flight operation, and never
+//!   lets two in-flight operations share a shard. Outcomes and final
+//!   table bytes are therefore independent of the shard count.
+//! * Every random stream is a [`SplitMix64`] keyed by the owning
+//!   port's [`PortKey::stable_code`], so repair randomness is
+//!   identical no matter which shard (or how many shards) runs it.
+//! * The coordinator's scheduling state (queue depth, dispatch tick)
+//!   is a pure function of the trace and the shard count — worker
+//!   reply timing cannot leak into any observable.
+//!
+//! The differential test (`tests/service_equivalence.rs`) proves the
+//! claim on 100 random traces at 1, 2 and 8 shards.
+
+use crate::cac::{PortKey, PortTables, RejectReason};
+use crate::connection::{ConnectionId, HopReservation};
+use crate::manager::QosManager;
+use crate::recovery::{RecoveryManager, RecoverySummary};
+use iba_core::{Distance, ServiceLevel, SplitMix64, TableError, VirtualLane, Weight};
+use iba_traffic::ConnectionRequest;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// Domain-separation constant for trace generation.
+const TRACE_SEED: u64 = 0x5E87_EACE_5EED;
+/// Domain-separation constant for table corruption (the same one the
+/// single-stream [`QosManager::corrupt_tables`] uses).
+const CORRUPT_SEED: u64 = 0x07AB_1EC0_5EED;
+/// Odd multiplier spreading a port's stable code into a sub-seed.
+const KEY_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One operation of a request trace, addressed by request id (`rid`).
+#[derive(Clone, Debug)]
+pub enum TraceOp {
+    /// Admit a connection (the request's `id` is the trace `rid`).
+    Admit(ConnectionRequest),
+    /// Tear down the connection admitted under this `rid` (a no-op
+    /// outcome when it was rejected, already torn down, or unknown).
+    Teardown(u32),
+    /// Damage every table with seed-keyed corruption, then repair all
+    /// of them (the chaos drill as a trace citizen).
+    ///
+    /// Repair evicts and re-admits sequences under fresh ids, so the
+    /// hop reservations of connections admitted earlier go stale — a
+    /// stale release could alias a rebuilt sequence. A repair
+    /// therefore **invalidates every live connection handle**:
+    /// tearing one down afterwards reports `TornDown(false)`.
+    Repair {
+        /// Seed for both the corruption and the repair streams.
+        seed: u64,
+    },
+}
+
+/// The outcome of one trace operation — the unit of the differential
+/// test: a sharded run must produce the exact same outcome vector as
+/// the sequential manager.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceOutcome {
+    /// The connection was admitted end to end.
+    Admitted {
+        /// The request id now live.
+        rid: u32,
+    },
+    /// The request was rejected (with the failing hop where the
+    /// reason has one).
+    Rejected(RejectReason),
+    /// Teardown result: `true` when a live connection was released.
+    TornDown(bool),
+    /// Corruption + repair pass over every table.
+    Repaired {
+        /// Damage operations injected before the repair.
+        damage: usize,
+        /// Aggregated repair summary across all tables.
+        summary: RecoverySummary,
+    },
+}
+
+/// Parameters of [`generate_trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Hosts addressable by generated requests (`src`/`dst < hosts`).
+    pub hosts: u16,
+    /// Operations to generate.
+    pub len: usize,
+    /// Seed of the trace stream.
+    pub seed: u64,
+    /// Percentage of operations that are corrupt+repair drills
+    /// (0 disables them — required by the strict weight-conservation
+    /// invariant, which repair evictions legitimately break).
+    pub repair_pct: u8,
+}
+
+impl TraceConfig {
+    /// The standard admit-heavy mix: ~60% admits (loaded enough to
+    /// force mid-path rejections and rollbacks), ~32% teardowns of
+    /// earlier requests, 8% repair drills.
+    #[must_use]
+    pub fn new(hosts: u16, seed: u64, len: usize) -> Self {
+        TraceConfig {
+            hosts,
+            len,
+            seed,
+            repair_pct: 8,
+        }
+    }
+}
+
+/// Generates a seeded admit/teardown/repair trace. Request ids are the
+/// operation indices, so every `rid` is unique and teardowns of
+/// rejected or double-torn requests occur naturally.
+#[must_use]
+pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceOp> {
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ TRACE_SEED);
+    let hosts = cfg.hosts.max(2);
+    let mut ops = Vec::with_capacity(cfg.len);
+    for i in 0..cfg.len {
+        let roll = rng.next_u64() % 100;
+        let repair_band = u64::from(cfg.repair_pct.min(100));
+        let teardown_band = repair_band + 32;
+        if i > 0 && roll < repair_band {
+            ops.push(TraceOp::Repair {
+                seed: rng.next_u64(),
+            });
+        } else if i > 0 && roll < teardown_band {
+            ops.push(TraceOp::Teardown((rng.next_u64() % i as u64) as u32));
+        } else {
+            let src = (rng.next_u64() % u64::from(hosts)) as u16;
+            let dst = ((u64::from(src) + 1 + rng.next_u64() % u64::from(hosts - 1))
+                % u64::from(hosts)) as u16;
+            let distance = match rng.next_u64() % 4 {
+                0 => Distance::D8,
+                1 => Distance::D16,
+                2 => Distance::D32,
+                _ => Distance::D64,
+            };
+            // Large enough that a handful of connections saturate a
+            // port (forcing mid-path rejections), small enough that
+            // plenty are admitted.
+            let mean_bw_mbps = (1 + rng.next_u64() % 50) as f64 * 10.0;
+            // `% 13` keeps the id in the paper's 13 QoS SLs, so the
+            // constructor cannot fail; the else arm is unreachable.
+            if let Some(sl) = ServiceLevel::new((rng.next_u64() % 13) as u8) {
+                ops.push(TraceOp::Admit(ConnectionRequest {
+                    id: i as u32,
+                    src: iba_topo::HostId(src),
+                    dst: iba_topo::HostId(dst),
+                    sl,
+                    distance,
+                    mean_bw_mbps,
+                    packet_bytes: 256,
+                }));
+            } else {
+                ops.push(TraceOp::Teardown(0));
+            }
+        }
+    }
+    ops
+}
+
+/// Per-table sub-seed for a port's corruption/repair streams: the
+/// trace seed spread by the port's stable code, so the stream is a
+/// property of the *table*, not of whichever shard happens to own it.
+fn keyed_seed(seed: u64, key: PortKey) -> u64 {
+    seed ^ key.stable_code().wrapping_mul(KEY_SPREAD)
+}
+
+/// Deterministically corrupts every touched table of a registry, each
+/// with its own [`SplitMix64`] stream keyed by the port's stable code.
+/// Returns the number of damage operations applied.
+///
+/// Unlike [`QosManager::corrupt_tables`] (one stream walked across all
+/// tables in key order) the per-table keying makes the damage
+/// independent of which other tables sit in the same registry — the
+/// property that lets shards corrupt their partitions in isolation and
+/// still match a sequential pass over the whole registry.
+pub fn corrupt_tables_keyed(tables: &mut PortTables, seed: u64) -> usize {
+    let mut ops = 0;
+    for key in tables.sorted_keys() {
+        let mut rng = SplitMix64::seed_from_u64(keyed_seed(seed ^ CORRUPT_SEED, key));
+        if let Some(t) = tables.get_table_mut(key) {
+            ops += t.inject_corruption(&mut rng);
+        }
+    }
+    ops
+}
+
+/// Repairs every touched table of a registry with a fresh
+/// [`RecoveryManager`] per table, seeded by the port's stable code —
+/// the shard-invariant counterpart of
+/// [`QosManager::repair_tables`]. Returns the field-wise sum of the
+/// per-table summaries.
+pub fn repair_tables_keyed(
+    tables: &mut PortTables,
+    seed: u64,
+    rec: &mut dyn iba_obs::Recorder,
+) -> RecoverySummary {
+    let mut total = RecoverySummary::default();
+    for key in tables.sorted_keys() {
+        let mut recovery = RecoveryManager::new(keyed_seed(seed, key));
+        if let Some(t) = tables.get_table_mut(key) {
+            let s = recovery.repair_table(t, rec);
+            total.tables += s.tables;
+            total.repaired += s.repaired;
+            total.evicted += s.evicted;
+            total.reinstalled += s.reinstalled;
+            total.lost += s.lost;
+        }
+    }
+    total
+}
+
+/// Applies a trace to the single-owner [`QosManager`] — the reference
+/// the sharded service is differentially tested against. Teardowns
+/// address requests by `rid` through a private map, so a double
+/// teardown can never hit a recycled connection slot.
+pub fn apply_trace_sequential(
+    mgr: &mut QosManager,
+    ops: &[TraceOp],
+    rec: &mut dyn iba_obs::Recorder,
+) -> Vec<TraceOutcome> {
+    let mut ids: BTreeMap<u32, ConnectionId> = BTreeMap::new();
+    ops.iter()
+        .map(|op| match op {
+            TraceOp::Admit(req) => match mgr.request_observed(req, rec) {
+                Ok(id) => {
+                    ids.insert(req.id, id);
+                    TraceOutcome::Admitted { rid: req.id }
+                }
+                Err(e) => TraceOutcome::Rejected(e),
+            },
+            TraceOp::Teardown(rid) => {
+                let torn = ids
+                    .remove(rid)
+                    .map(|id| mgr.teardown_observed(id, rec))
+                    .unwrap_or(false);
+                TraceOutcome::TornDown(torn)
+            }
+            TraceOp::Repair { seed } => {
+                let damage = corrupt_tables_keyed(mgr.tables_mut(), *seed);
+                let summary = repair_tables_keyed(mgr.tables_mut(), *seed, rec);
+                // Repair invalidates the live handles (see TraceOp).
+                ids.clear();
+                TraceOutcome::Repaired { damage, summary }
+            }
+        })
+        .collect()
+}
+
+/// A connection still live when the trace ended (weight-conservation
+/// audits sum `weight × hops` over these).
+#[derive(Clone, Debug)]
+pub struct LiveConn {
+    /// The request id.
+    pub rid: u32,
+    /// Per-hop reserved weight.
+    pub weight: Weight,
+    /// Per-hop reservations, source-side first.
+    pub hops: Vec<HopReservation>,
+}
+
+/// What a sharded trace run produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-operation outcomes, in trace order.
+    pub outcomes: Vec<TraceOutcome>,
+    /// The reassembled port tables (union of all shard partitions).
+    pub tables: PortTables,
+    /// Admitted requests.
+    pub accepted: u64,
+    /// Rejected requests (planner and table rejections).
+    pub rejected: u64,
+    /// Live connections released by teardowns.
+    pub released: u64,
+    /// Connections still live at the end, in `rid` order.
+    pub live: Vec<LiveConn>,
+}
+
+/// The shard owning an output port: a pure function of the port's
+/// stable code, independent of process, registry contents and trace.
+#[must_use]
+pub fn shard_of(key: PortKey, shards: usize) -> usize {
+    (key.stable_code() % shards.max(1) as u64) as usize
+}
+
+/// Everything a shard needs to evaluate one admission hop.
+#[derive(Clone, Copy, Debug)]
+struct AdmitSpec {
+    sl: ServiceLevel,
+    vl: VirtualLane,
+    distance: Distance,
+    weight: Weight,
+}
+
+/// One hop's vote: path index and the exact admission result.
+type HopVote = (usize, Result<(), TableError>);
+
+/// Coordinator → shard messages. `hops` carry `(path index, key)` in
+/// ascending path order — the canonical reservation order.
+enum ToShard {
+    Vote {
+        op: usize,
+        spec: AdmitSpec,
+        hops: Vec<(usize, PortKey)>,
+    },
+    Commit {
+        op: usize,
+        spec: AdmitSpec,
+        hops: Vec<(usize, PortKey)>,
+    },
+    Abort {
+        op: usize,
+        spec: AdmitSpec,
+        hops: Vec<(usize, PortKey)>,
+        fail_at: usize,
+    },
+    Release {
+        op: usize,
+        weight: Weight,
+        hops: Vec<(usize, HopReservation)>,
+    },
+    Repair {
+        op: usize,
+        seed: u64,
+    },
+    Finish,
+}
+
+/// Shard → coordinator replies.
+enum FromShard {
+    Voted {
+        op: usize,
+        votes: Vec<HopVote>,
+    },
+    Committed {
+        op: usize,
+        hops: Vec<(usize, HopReservation)>,
+    },
+    Aborted {
+        op: usize,
+        error: Option<TableError>,
+    },
+    Released {
+        op: usize,
+    },
+    Repaired {
+        op: usize,
+        damage: usize,
+        summary: RecoverySummary,
+    },
+    Finished {
+        shard: usize,
+        tables: Box<PortTables>,
+        rec: Box<iba_obs::ObsRecorder>,
+    },
+}
+
+/// Coordinator-side state of one dispatched, unfinalized operation.
+enum OpState {
+    /// Outcome known; waiting for its in-order finalize turn.
+    Resolved(Resolution),
+    /// Admission: waiting for `waiting` shards' votes.
+    Voting {
+        rid: u32,
+        spec: AdmitSpec,
+        path: Vec<PortKey>,
+        participants: Vec<usize>,
+        waiting: usize,
+        votes: Vec<HopVote>,
+    },
+    /// Admission: all votes yes, waiting for shard commits.
+    Committing {
+        rid: u32,
+        spec: AdmitSpec,
+        waiting: usize,
+        hops: Vec<(usize, HopReservation)>,
+    },
+    /// Admission: vote failed at `fail_key`, shards rolling back.
+    Aborting {
+        fail_key: PortKey,
+        waiting: usize,
+        error: Option<TableError>,
+    },
+    /// Teardown: waiting for shard releases.
+    Releasing { waiting: usize },
+    /// Repair drill: waiting for every shard's pass.
+    Repairing {
+        waiting: usize,
+        damage: usize,
+        summary: RecoverySummary,
+    },
+}
+
+/// A resolved operation, ready to finalize.
+enum Resolution {
+    Admitted {
+        rid: u32,
+        sl: u8,
+        weight: Weight,
+        hops: Vec<HopReservation>,
+    },
+    Rejected(RejectReason),
+    TornDown(bool),
+    Repaired {
+        damage: usize,
+        summary: RecoverySummary,
+    },
+}
+
+fn reject_for(error: Option<TableError>, key: PortKey) -> RejectReason {
+    match error {
+        Some(TableError::NoFreeSequence) => RejectReason::NoFreeSequence(key),
+        Some(TableError::CapacityExceeded) => RejectReason::CapacityExceeded(key),
+        Some(TableError::RequestTooLarge) => RejectReason::RequestTooLarge,
+        _ => RejectReason::InvalidRequest,
+    }
+}
+
+/// The shard worker: exclusively owns one partition of the port
+/// tables and executes the coordinator's protocol messages in arrival
+/// order. It never blocks on the (unbounded) reply channel, so the
+/// service cannot deadlock.
+fn shard_worker(
+    shard: usize,
+    base: &PortTables,
+    rx: &mpsc::Receiver<ToShard>,
+    tx: &mpsc::Sender<FromShard>,
+) {
+    let mut tables = base.empty_like();
+    let mut rec = iba_obs::ObsRecorder::new();
+    let lane = shard as u8;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Vote { op, spec, hops } => {
+                let votes = hops
+                    .iter()
+                    .map(|&(i, k)| {
+                        (
+                            i,
+                            tables.probe_admit(k, spec.sl, spec.distance, spec.weight),
+                        )
+                    })
+                    .collect();
+                let _ = tx.send(FromShard::Voted { op, votes });
+            }
+            ToShard::Commit { op, spec, hops } => {
+                let wanted = hops.len();
+                let mut done = Vec::with_capacity(wanted);
+                for (i, k) in hops {
+                    if let Ok(h) =
+                        tables.admit_at(k, spec.sl, spec.vl, spec.distance, spec.weight, &mut rec)
+                    {
+                        use iba_obs::Recorder;
+                        rec.serve_shard_admit(lane);
+                        done.push((i, h));
+                    }
+                }
+                // The conflict gate guarantees nothing touched these
+                // tables since the vote, so every voted-yes hop
+                // commits.
+                assert!(
+                    done.len() == wanted,
+                    "vote/commit divergence on shard {shard}"
+                );
+                let _ = tx.send(FromShard::Committed { op, hops: done });
+            }
+            ToShard::Abort {
+                op,
+                spec,
+                hops,
+                fail_at,
+            } => {
+                use iba_obs::Recorder;
+                // Mutation-faithful rollback replay (see module docs):
+                // admit the owned hops before the failing index...
+                let mut done: Vec<(usize, HopReservation)> = Vec::new();
+                for &(i, k) in hops.iter().filter(|&&(i, _)| i < fail_at) {
+                    if let Ok(h) =
+                        tables.admit_at(k, spec.sl, spec.vl, spec.distance, spec.weight, &mut rec)
+                    {
+                        done.push((i, h));
+                    }
+                }
+                assert!(
+                    done.len() == hops.iter().filter(|&&(i, _)| i < fail_at).count(),
+                    "vote/rollback divergence on shard {shard}"
+                );
+                // ...replay the failing admission (recording the same
+                // allocator probes the sequential path records)...
+                let mut error = None;
+                if let Some(&(_, k)) = hops.iter().find(|&&(i, _)| i == fail_at) {
+                    match tables.admit_at(k, spec.sl, spec.vl, spec.distance, spec.weight, &mut rec)
+                    {
+                        Err(e) => {
+                            error = Some(e);
+                            rec.serve_shard_reject(lane);
+                        }
+                        Ok(h) => {
+                            // Undo the stray reservation before the
+                            // invariant below reports the divergence.
+                            let _ = tables.release_hop(h, spec.weight);
+                        }
+                    }
+                    assert!(
+                        error.is_some(),
+                        "aborted hop admitted despite a failing vote on shard {shard}"
+                    );
+                }
+                // ...then roll back in descending path order, exactly
+                // like the sequential transaction.
+                if !done.is_empty() {
+                    rec.serve_shard_rollback(lane);
+                }
+                for &(_, h) in done.iter().rev() {
+                    let _ = tables.release_hop(h, spec.weight);
+                }
+                let _ = tx.send(FromShard::Aborted { op, error });
+            }
+            ToShard::Release { op, weight, hops } => {
+                // Descending path order, mirroring `release_path`. A
+                // failed hop (evicted by an earlier repair) is
+                // absorbed exactly like the sequential teardown does.
+                for &(_, h) in hops.iter().rev() {
+                    let _ = tables.release_hop(h, weight);
+                }
+                let _ = tx.send(FromShard::Released { op });
+            }
+            ToShard::Repair { op, seed } => {
+                let damage = corrupt_tables_keyed(&mut tables, seed);
+                let summary = repair_tables_keyed(&mut tables, seed, &mut rec);
+                let _ = tx.send(FromShard::Repaired {
+                    op,
+                    damage,
+                    summary,
+                });
+            }
+            ToShard::Finish => {
+                let _ = tx.send(FromShard::Finished {
+                    shard,
+                    tables: Box::new(tables),
+                    rec: Box::new(rec),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// What the coordinator decided to do with the next trace operation.
+enum Dispatch {
+    /// Resolved locally, no shard involved.
+    Local(Resolution),
+    /// Admission voted across `participants`.
+    Admit {
+        rid: u32,
+        spec: AdmitSpec,
+        path: Vec<PortKey>,
+        participants: Vec<usize>,
+    },
+    /// Teardown released across `participants`.
+    Teardown {
+        weight: Weight,
+        hops: Vec<HopReservation>,
+        participants: Vec<usize>,
+    },
+    /// Repair drill across every shard.
+    Repair { seed: u64 },
+}
+
+/// Shards of a hop list, ascending and deduplicated.
+fn participants_of(keys: &[PortKey], shards: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = keys.iter().map(|&k| shard_of(k, shards)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Runs a trace through the sharded service and returns the report.
+///
+/// `planner` supplies the topology, routing, SL configuration and
+/// table template; its own tables are never touched. Worker metrics
+/// (allocator probes, recovery counters, `serve_shard_*`) merge into
+/// `rec` alongside the coordinator's admission counters when the run
+/// finishes.
+///
+/// Outcomes and final tables are byte-identical to
+/// [`apply_trace_sequential`] on the same trace at **any** shard
+/// count; only the `serve_*` metrics depend on the shard count.
+pub fn run_trace(
+    planner: &QosManager,
+    ops: &[TraceOp],
+    shards: usize,
+    rec: &mut iba_obs::ObsRecorder,
+) -> ServeReport {
+    use iba_obs::Recorder;
+    let shards = shards.max(1);
+    let base = planner.port_tables();
+    // lint: allow(no-thread-spawn) -- the shard workers ARE the service: each exclusively owns one table partition, and the coordinator's strict in-order dispatch keeps every observable byte-identical at any shard count (proven by tests/service_equivalence.rs).
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<FromShard>();
+        let mut to_shard: Vec<mpsc::SyncSender<ToShard>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ToShard>(8);
+            to_shard.push(tx);
+            let reply = reply_tx.clone();
+            scope.spawn(move || shard_worker(s, base, &rx, &reply));
+        }
+        drop(reply_tx);
+
+        let n = ops.len();
+        let mut outcomes: Vec<TraceOutcome> = Vec::with_capacity(n);
+        let mut pending: BTreeMap<usize, OpState> = BTreeMap::new();
+        let mut dispatched_at: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut claims: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut claimed = vec![false; shards];
+        let mut ids: BTreeMap<u32, LiveConn> = BTreeMap::new();
+        let (mut accepted, mut rejected, mut released) = (0u64, 0u64, 0u64);
+        let (mut next, mut dispatch) = (0usize, 0usize); // finalize / dispatch cursors
+
+        while next < n {
+            // Dispatch strictly in trace order while the head of the
+            // undispatched suffix is eligible. Stopping at the first
+            // ineligible operation (instead of skipping it) is what
+            // keeps every per-shard message stream a pure function of
+            // the trace.
+            while dispatch < n {
+                let in_flight = dispatch - next;
+                let Some(action) = plan_dispatch(
+                    &ops[dispatch],
+                    planner,
+                    shards,
+                    in_flight,
+                    &claimed,
+                    &mut ids,
+                ) else {
+                    break;
+                };
+                rec.serve_queue_depth(in_flight as u64);
+                dispatched_at.insert(dispatch, next);
+                let op = dispatch;
+                match action {
+                    Dispatch::Local(res) => {
+                        pending.insert(op, OpState::Resolved(res));
+                    }
+                    Dispatch::Admit {
+                        rid,
+                        spec,
+                        path,
+                        participants,
+                    } => {
+                        for &s in &participants {
+                            claimed[s] = true;
+                            let hops: Vec<(usize, PortKey)> = path
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, k)| shard_of(*k, shards) == s)
+                                .map(|(i, &k)| (i, k))
+                                .collect();
+                            let _ = to_shard[s].send(ToShard::Vote { op, spec, hops });
+                        }
+                        claims.insert(op, participants.clone());
+                        let waiting = participants.len();
+                        pending.insert(
+                            op,
+                            OpState::Voting {
+                                rid,
+                                spec,
+                                path,
+                                participants,
+                                waiting,
+                                votes: Vec::new(),
+                            },
+                        );
+                    }
+                    Dispatch::Teardown {
+                        weight,
+                        hops,
+                        participants,
+                    } => {
+                        for &s in &participants {
+                            claimed[s] = true;
+                            let mine: Vec<(usize, HopReservation)> = hops
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, h)| {
+                                    shard_of(
+                                        PortKey {
+                                            node: h.node,
+                                            port: h.port,
+                                        },
+                                        shards,
+                                    ) == s
+                                })
+                                .map(|(i, &h)| (i, h))
+                                .collect();
+                            let _ = to_shard[s].send(ToShard::Release {
+                                op,
+                                weight,
+                                hops: mine,
+                            });
+                        }
+                        let waiting = participants.len();
+                        claims.insert(op, participants);
+                        pending.insert(op, OpState::Releasing { waiting });
+                    }
+                    Dispatch::Repair { seed } => {
+                        for (s, tx) in to_shard.iter().enumerate() {
+                            claimed[s] = true;
+                            let _ = tx.send(ToShard::Repair { op, seed });
+                        }
+                        claims.insert(op, (0..shards).collect());
+                        pending.insert(
+                            op,
+                            OpState::Repairing {
+                                waiting: shards,
+                                damage: 0,
+                                summary: RecoverySummary::default(),
+                            },
+                        );
+                    }
+                }
+                dispatch += 1;
+            }
+
+            // Wait for the oldest in-flight operation specifically;
+            // replies for younger operations advance their state
+            // machines as they arrive (that is the pipelining).
+            while !matches!(pending.get(&next), Some(OpState::Resolved(_))) {
+                let Ok(reply) = reply_rx.recv() else {
+                    // A worker can only disappear by panicking; the
+                    // scope join below re-raises it.
+                    return drain_report(planner, outcomes, ids, accepted, rejected, released);
+                };
+                apply_reply(reply, &mut pending, &to_shard);
+            }
+
+            // Finalize in trace order.
+            if let Some(OpState::Resolved(res)) = pending.remove(&next) {
+                for s in claims.remove(&next).unwrap_or_default() {
+                    claimed[s] = false;
+                }
+                let start = dispatched_at.remove(&next).unwrap_or(next);
+                rec.serve_batch_latency((next - start) as u64);
+                outcomes.push(match res {
+                    Resolution::Admitted {
+                        rid,
+                        sl,
+                        weight,
+                        hops,
+                    } => {
+                        accepted += 1;
+                        rec.cac_admit(sl);
+                        ids.insert(rid, LiveConn { rid, weight, hops });
+                        TraceOutcome::Admitted { rid }
+                    }
+                    Resolution::Rejected(reason) => {
+                        rejected += 1;
+                        rec.cac_reject(reason.kind());
+                        TraceOutcome::Rejected(reason)
+                    }
+                    Resolution::TornDown(torn) => {
+                        if torn {
+                            released += 1;
+                            rec.cac_release();
+                        }
+                        TraceOutcome::TornDown(torn)
+                    }
+                    Resolution::Repaired { damage, summary } => {
+                        // Repair invalidates the live handles (see
+                        // TraceOp::Repair).
+                        ids.clear();
+                        TraceOutcome::Repaired { damage, summary }
+                    }
+                });
+            }
+            next += 1;
+        }
+
+        // Collect every shard's partition and recorder.
+        for tx in &to_shard {
+            let _ = tx.send(ToShard::Finish);
+        }
+        let mut parts: Vec<Option<PortTables>> = (0..shards).map(|_| None).collect();
+        let mut seen = 0;
+        while seen < shards {
+            let Ok(reply) = reply_rx.recv() else { break };
+            if let FromShard::Finished {
+                shard,
+                tables,
+                rec: worker_rec,
+            } = reply
+            {
+                parts[shard] = Some(*tables);
+                rec.merge(&worker_rec);
+                seen += 1;
+            }
+        }
+        let mut tables = base.empty_like();
+        for t in parts.into_iter().flatten() {
+            tables.absorb(t);
+        }
+        ServeReport {
+            outcomes,
+            tables,
+            accepted,
+            rejected,
+            released,
+            live: ids.into_values().collect(),
+        }
+    })
+}
+
+/// Decides whether the next trace operation can be dispatched now and,
+/// if so, what to send. Returns `None` when the operation must wait:
+/// admissions wait for their shard set to be unclaimed; teardowns and
+/// repairs wait for an empty pipeline (their correctness depends on
+/// every earlier outcome being finalized).
+fn plan_dispatch(
+    op: &TraceOp,
+    planner: &QosManager,
+    shards: usize,
+    in_flight: usize,
+    claimed: &[bool],
+    ids: &mut BTreeMap<u32, LiveConn>,
+) -> Option<Dispatch> {
+    match op {
+        TraceOp::Admit(req) => match planner.plan_request(req) {
+            Err(e) => Some(Dispatch::Local(Resolution::Rejected(e))),
+            Ok(plan) => {
+                let participants = participants_of(&plan.path, shards);
+                if participants.iter().any(|&s| claimed[s]) {
+                    return None;
+                }
+                Some(Dispatch::Admit {
+                    rid: req.id,
+                    spec: AdmitSpec {
+                        sl: req.sl,
+                        vl: plan.vl,
+                        distance: plan.distance,
+                        weight: plan.weight,
+                    },
+                    path: plan.path,
+                    participants,
+                })
+            }
+        },
+        TraceOp::Teardown(rid) => {
+            if in_flight > 0 {
+                return None;
+            }
+            match ids.remove(rid) {
+                None => Some(Dispatch::Local(Resolution::TornDown(false))),
+                Some(conn) => {
+                    let keys: Vec<PortKey> = conn
+                        .hops
+                        .iter()
+                        .map(|h| PortKey {
+                            node: h.node,
+                            port: h.port,
+                        })
+                        .collect();
+                    Some(Dispatch::Teardown {
+                        weight: conn.weight,
+                        hops: conn.hops,
+                        participants: participants_of(&keys, shards),
+                    })
+                }
+            }
+        }
+        TraceOp::Repair { seed } => {
+            if in_flight > 0 {
+                return None;
+            }
+            Some(Dispatch::Repair { seed: *seed })
+        }
+    }
+}
+
+/// Advances one operation's state machine with a shard reply,
+/// launching the commit/abort phase when the last vote lands.
+fn apply_reply(
+    reply: FromShard,
+    pending: &mut BTreeMap<usize, OpState>,
+    to_shard: &[mpsc::SyncSender<ToShard>],
+) {
+    match reply {
+        FromShard::Voted { op, votes: got } => {
+            let Some(OpState::Voting {
+                rid,
+                spec,
+                path,
+                participants,
+                waiting,
+                votes,
+            }) = pending.get_mut(&op)
+            else {
+                return;
+            };
+            votes.extend(got);
+            *waiting -= 1;
+            if *waiting > 0 {
+                return;
+            }
+            let fail_at = votes
+                .iter()
+                .filter(|(_, v)| v.is_err())
+                .map(|&(i, _)| i)
+                .min();
+            let (rid, spec) = (*rid, *spec);
+            match fail_at {
+                None => {
+                    // Unanimous yes: commit everywhere.
+                    let waiting = participants.len();
+                    for (s, tx) in to_shard.iter().enumerate() {
+                        if !participants.contains(&s) {
+                            continue;
+                        }
+                        let hops: Vec<(usize, PortKey)> = path
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, k)| shard_of(*k, to_shard.len()) == s)
+                            .map(|(i, &k)| (i, k))
+                            .collect();
+                        let _ = tx.send(ToShard::Commit { op, spec, hops });
+                    }
+                    pending.insert(
+                        op,
+                        OpState::Committing {
+                            rid,
+                            spec,
+                            waiting,
+                            hops: Vec::new(),
+                        },
+                    );
+                }
+                Some(k) => {
+                    // First failing hop wins; every participant replays
+                    // its slice of the sequential rollback.
+                    let fail_key = path[k];
+                    let waiting = participants.len();
+                    for (s, tx) in to_shard.iter().enumerate() {
+                        if !participants.contains(&s) {
+                            continue;
+                        }
+                        let hops: Vec<(usize, PortKey)> = path
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, key)| shard_of(*key, to_shard.len()) == s)
+                            .map(|(i, &key)| (i, key))
+                            .collect();
+                        let _ = tx.send(ToShard::Abort {
+                            op,
+                            spec,
+                            hops,
+                            fail_at: k,
+                        });
+                    }
+                    pending.insert(
+                        op,
+                        OpState::Aborting {
+                            fail_key,
+                            waiting,
+                            error: None,
+                        },
+                    );
+                }
+            }
+        }
+        FromShard::Committed { op, hops: got } => {
+            let Some(OpState::Committing {
+                rid,
+                spec,
+                waiting,
+                hops,
+            }) = pending.get_mut(&op)
+            else {
+                return;
+            };
+            hops.extend(got);
+            *waiting -= 1;
+            if *waiting > 0 {
+                return;
+            }
+            hops.sort_unstable_by_key(|&(i, _)| i);
+            let res = Resolution::Admitted {
+                rid: *rid,
+                sl: spec.sl.raw(),
+                weight: spec.weight,
+                hops: hops.iter().map(|&(_, h)| h).collect(),
+            };
+            pending.insert(op, OpState::Resolved(res));
+        }
+        FromShard::Aborted { op, error: got } => {
+            let Some(OpState::Aborting {
+                fail_key,
+                waiting,
+                error,
+            }) = pending.get_mut(&op)
+            else {
+                return;
+            };
+            if error.is_none() {
+                *error = got;
+            }
+            *waiting -= 1;
+            if *waiting > 0 {
+                return;
+            }
+            let res = Resolution::Rejected(reject_for(*error, *fail_key));
+            pending.insert(op, OpState::Resolved(res));
+        }
+        FromShard::Released { op } => {
+            let Some(OpState::Releasing { waiting }) = pending.get_mut(&op) else {
+                return;
+            };
+            *waiting -= 1;
+            if *waiting == 0 {
+                pending.insert(op, OpState::Resolved(Resolution::TornDown(true)));
+            }
+        }
+        FromShard::Repaired {
+            op,
+            damage: got_damage,
+            summary: got,
+        } => {
+            let Some(OpState::Repairing {
+                waiting,
+                damage,
+                summary,
+            }) = pending.get_mut(&op)
+            else {
+                return;
+            };
+            *damage += got_damage;
+            summary.tables += got.tables;
+            summary.repaired += got.repaired;
+            summary.evicted += got.evicted;
+            summary.reinstalled += got.reinstalled;
+            summary.lost += got.lost;
+            *waiting -= 1;
+            if *waiting == 0 {
+                let res = Resolution::Repaired {
+                    damage: *damage,
+                    summary: *summary,
+                };
+                pending.insert(op, OpState::Resolved(res));
+            }
+        }
+        FromShard::Finished { .. } => {}
+    }
+}
+
+/// Fallback report when a worker disappeared mid-trace (its panic is
+/// re-raised by the thread scope as soon as this returns).
+fn drain_report(
+    planner: &QosManager,
+    outcomes: Vec<TraceOutcome>,
+    ids: BTreeMap<u32, LiveConn>,
+    accepted: u64,
+    rejected: u64,
+    released: u64,
+) -> ServeReport {
+    ServeReport {
+        outcomes,
+        tables: planner.port_tables().empty_like(),
+        accepted,
+        rejected,
+        released,
+        live: ids.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_core::SlTable;
+    use iba_topo::{irregular, updown};
+
+    fn planner(seed: u64) -> QosManager {
+        let topo = irregular::generate(irregular::IrregularConfig::with_switches(4, seed));
+        let routing = updown::compute(&topo);
+        QosManager::new(topo, routing, SlTable::paper_table1())
+    }
+
+    #[test]
+    fn trace_generation_is_seeded_and_mixed() {
+        let cfg = TraceConfig::new(16, 7, 200);
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same trace");
+        let admits = a.iter().filter(|o| matches!(o, TraceOp::Admit(_))).count();
+        let teardowns = a
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Teardown(_)))
+            .count();
+        let repairs = a
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Repair { .. }))
+            .count();
+        assert!(admits > 80, "{admits} admits");
+        assert!(teardowns > 20, "{teardowns} teardowns");
+        assert!(repairs > 3, "{repairs} repairs");
+        let no_repair = generate_trace(&TraceConfig {
+            repair_pct: 0,
+            ..cfg
+        });
+        assert!(no_repair
+            .iter()
+            .all(|o| !matches!(o, TraceOp::Repair { .. })));
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_on_one_trace() {
+        let cfg = TraceConfig::new(16, 3, 96);
+        let ops = generate_trace(&cfg);
+        let mut seq_mgr = planner(0);
+        let mut seq_rec = iba_obs::ObsRecorder::new();
+        let seq = apply_trace_sequential(&mut seq_mgr, &ops, &mut seq_rec);
+        for shards in [1usize, 2, 8] {
+            let p = planner(0);
+            let mut rec = iba_obs::ObsRecorder::new();
+            let report = run_trace(&p, &ops, shards, &mut rec);
+            assert_eq!(report.outcomes, seq, "outcomes diverge at {shards} shards");
+            assert_eq!(
+                format!("{:?}", report.tables),
+                format!("{:?}", seq_mgr.port_tables()),
+                "tables diverge at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_corruption_is_registry_independent() {
+        // The same port must receive the same damage whether its table
+        // sits alone in a registry or among others — the property that
+        // makes shard-local repair match the sequential pass.
+        let mk = |keys: &[PortKey]| {
+            let mut pt = PortTables::new(0.8);
+            for &k in keys {
+                pt.admit_path(
+                    &[k],
+                    ServiceLevel::new(2).unwrap(),
+                    VirtualLane::data(2),
+                    Distance::D16,
+                    40,
+                )
+                .ok();
+            }
+            pt
+        };
+        let a = PortKey {
+            node: iba_sim::NodeId::Switch(0),
+            port: 1,
+        };
+        let b = PortKey {
+            node: iba_sim::NodeId::Switch(5),
+            port: 3,
+        };
+        let mut both = mk(&[a, b]);
+        let mut alone = mk(&[a]);
+        corrupt_tables_keyed(&mut both, 42);
+        corrupt_tables_keyed(&mut alone, 42);
+        assert_eq!(
+            format!("{:?}", both.table(a)),
+            format!("{:?}", alone.table(a)),
+        );
+    }
+}

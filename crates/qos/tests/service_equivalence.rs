@@ -1,0 +1,141 @@
+//! Differential property tests for the sharded admission service.
+//!
+//! 100 seeded random admit/teardown/repair traces, each replayed at
+//! 1, 2 and 8 shards, must produce outcomes, final tables and
+//! shard-invariant metrics **byte-identical** to the synchronous
+//! single-owner [`QosManager`] — including the interleaved multi-hop
+//! batches that fail mid-path and must roll back (the run asserts
+//! rollbacks actually occurred, so the equivalence is not vacuous).
+
+use iba_core::SlTable;
+use iba_obs::{ObsRecorder, Sample, SampleValue};
+use iba_qos::service::{apply_trace_sequential, generate_trace, run_trace, TraceConfig};
+use iba_qos::{QosManager, TraceOutcome};
+use iba_topo::{irregular, updown};
+
+const SEEDS: u64 = 100;
+const TRACE_LEN: usize = 48;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn build_manager(seed: u64) -> (QosManager, u16) {
+    let topo = irregular::generate(irregular::IrregularConfig::with_switches(4, seed));
+    let hosts = topo.num_hosts() as u16;
+    let routing = updown::compute(&topo);
+    (
+        QosManager::new(topo, routing, SlTable::paper_table1()),
+        hosts,
+    )
+}
+
+/// The shard-invariant metric view: everything but the `serve_*`
+/// samples, which legitimately depend on the shard count.
+fn invariant_samples(rec: &ObsRecorder) -> Vec<Sample> {
+    rec.metrics
+        .snapshot()
+        .into_iter()
+        .filter(|s| !s.name.starts_with("serve_"))
+        .collect()
+}
+
+fn count_of(rec: &ObsRecorder, name: &str) -> u64 {
+    rec.metrics
+        .snapshot()
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| match s.value {
+            SampleValue::Count(v) => v,
+            SampleValue::Hist { count, .. } => count,
+        })
+        .sum()
+}
+
+#[test]
+fn sharded_service_matches_sequential_on_100_seeds() {
+    let mut total_rollbacks = 0u64;
+    let mut total_rejects = 0usize;
+    for seed in 0..SEEDS {
+        let (mut seq_mgr, hosts) = build_manager(seed);
+        let ops = generate_trace(&TraceConfig::new(hosts, seed, TRACE_LEN));
+        let mut seq_rec = ObsRecorder::new();
+        let seq = apply_trace_sequential(&mut seq_mgr, &ops, &mut seq_rec);
+        let seq_tables = format!("{:?}", seq_mgr.port_tables());
+        let seq_metrics = format!("{:?}", invariant_samples(&seq_rec));
+        total_rejects += seq
+            .iter()
+            .filter(|o| matches!(o, TraceOutcome::Rejected(_)))
+            .count();
+
+        for shards in SHARD_COUNTS {
+            let (planner, _) = build_manager(seed);
+            let mut rec = ObsRecorder::new();
+            let report = run_trace(&planner, &ops, shards, &mut rec);
+            assert_eq!(
+                report.outcomes, seq,
+                "outcomes diverge: seed {seed}, {shards} shards"
+            );
+            assert_eq!(
+                format!("{:?}", report.tables),
+                seq_tables,
+                "tables diverge: seed {seed}, {shards} shards"
+            );
+            assert_eq!(
+                format!("{:?}", invariant_samples(&rec)),
+                seq_metrics,
+                "metrics diverge: seed {seed}, {shards} shards"
+            );
+            report
+                .tables
+                .check_all()
+                .unwrap_or_else(|e| panic!("inconsistent: seed {seed}, {shards} shards: {e}"));
+            total_rollbacks += count_of(&rec, "serve_shard_rollback_total");
+        }
+    }
+    // The equivalence must have been exercised by real mid-path
+    // failures, not an all-accepting workload.
+    assert!(total_rejects > 0, "no rejected admissions across all seeds");
+    assert!(
+        total_rollbacks > 0,
+        "no multi-hop batch ever rolled back across all seeds"
+    );
+}
+
+/// After every repair-free trace (repair evictions legitimately shed
+/// weight, so conservation is only exact without them), the weight
+/// reserved across all shards' tables must equal the live connections'
+/// `weight x hops` — i.e. no rolled-back partial batch leaked a
+/// reservation anywhere — and every table must pass the named
+/// consistency invariants from `iba_core::invariants`.
+#[test]
+fn weight_is_conserved_across_all_shards_after_every_trace() {
+    for seed in 0..SEEDS {
+        let (_, hosts) = build_manager(seed);
+        let ops = generate_trace(&TraceConfig {
+            repair_pct: 0,
+            ..TraceConfig::new(hosts, seed, TRACE_LEN)
+        });
+        for shards in SHARD_COUNTS {
+            let (planner, _) = build_manager(seed);
+            let mut rec = ObsRecorder::new();
+            let report = run_trace(&planner, &ops, shards, &mut rec);
+            let reserved: u64 = report
+                .tables
+                .tables()
+                .map(|(_, t)| u64::from(t.reserved_weight()))
+                .sum();
+            let live: u64 = report
+                .live
+                .iter()
+                .map(|c| u64::from(c.weight) * c.hops.len() as u64)
+                .sum();
+            assert_eq!(
+                reserved, live,
+                "leaked reservation: seed {seed}, {shards} shards"
+            );
+            for (key, table) in report.tables.tables() {
+                iba_core::invariants::check_table(table).unwrap_or_else(|e| {
+                    panic!("invariant broken at {key:?}: seed {seed}, {shards} shards: {e}")
+                });
+            }
+        }
+    }
+}

@@ -212,3 +212,37 @@ fn audit_perfetto_export_is_structurally_valid() {
         }
     }
 }
+
+#[test]
+fn serve_replay_matches_golden_file_at_every_shard_count() {
+    // The replay report deliberately contains nothing that depends on
+    // the shard count (the `serve_*` metrics are filtered out), so the
+    // same fixture must match at 1, 2 and 8 shards — the golden-file
+    // form of the service's determinism contract.
+    let replay = |shards: &str| {
+        run_cli(&[
+            "serve",
+            "--switches",
+            "4",
+            "--seed",
+            "3",
+            "--requests",
+            "96",
+            "--replay",
+            "--shards",
+            shards,
+        ])
+    };
+    let got = replay("2");
+    assert_eq!(got, replay("1"), "replay diverges between 1 and 2 shards");
+    assert_eq!(got, replay("8"), "replay diverges between 2 and 8 shards");
+    let path = format!(
+        "{}/tests/golden/serve_trace_s4_seed3.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("IBA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n")).expect("regenerate serve fixture");
+        return;
+    }
+    assert_matches_golden(&got, "serve_trace_s4_seed3.txt");
+}

@@ -20,6 +20,7 @@ COMMANDS:
     audit   check the per-SL service guarantee against a live grant stream
     chaos   inject faults + table corruption, recover, re-audit guarantees
     serve   drive the sharded admission service over a seeded trace
+    timeline  windowed metric timeline over a seed sweep (TIMELINE.json)
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
 
@@ -36,8 +37,21 @@ OPTIONS:
     --shards <K>           (serve) admission-service shards   [default: 2]
     --requests <N>         (serve) trace operations           [default: 96]
     --replay               (serve) print the shard-invariant replay report
-    --perfetto <FILE>      (audit/trace/sweep) write a Perfetto/Chrome
-                           trace-event JSON timeline to FILE
+    --perfetto <FILE>      (audit/trace/sweep/serve) write a Perfetto/
+                           Chrome trace-event JSON timeline to FILE; on
+                           serve it carries one pid-3 track per request
+    --window <W>           (timeline/serve) ticks per timeline window
+                           [default: 4096 sim cycles; serve counts
+                           finalized trace ops instead]
+    --json                 (timeline) emit the TIMELINE.json document
+    --slo <SPEC>           (timeline/serve/audit/chaos) gate the run on a
+                           declarative SLO spec, e.g.
+                           'p99(serve_batch_latency) <= 8; rate(cac_reject_total) == 0'
+    --flight-dir <DIR>     (timeline/serve/audit/chaos) on an SLO breach
+                           or FAIL verdict, dump a flight-recorder
+                           bundle into DIR
+    --prom                 (report) Prometheus text exposition instead
+                           of the human-readable report
     --background           add best-effort background traffic
     --dot                  (topo) emit Graphviz DOT instead of a summary
 
@@ -47,6 +61,10 @@ inconsistent table) behind; `--seeds` sizes its faulted fabric sweep.
 `serve` exits non-zero when the sharded service diverges from the
 sequential manager on any observable; its `--replay` report is
 byte-identical at any `--shards`.
+`timeline` runs `--seeds` seeded experiments and merges their windowed
+metric deltas; its TIMELINE.json is byte-identical at any `--threads`.
+A breached `--slo` also exits non-zero, with a machine-readable
+`slo: verdict=FAIL ...` first line on stderr.
 ";
 
 /// Which subcommand to run.
@@ -71,6 +89,8 @@ pub enum Command {
     /// Sharded admission service differentially audited against the
     /// sequential manager.
     Serve,
+    /// Windowed metric timeline over a seed sweep.
+    Timeline,
     /// Educational walkthrough.
     Demo,
     /// Print usage.
@@ -106,9 +126,21 @@ pub struct Args {
     pub requests: usize,
     /// `--replay` (serve): print the shard-invariant replay report.
     pub replay: bool,
-    /// `--perfetto` (audit/trace/sweep): write a Perfetto/Chrome
-    /// trace-event JSON file here.
+    /// `--perfetto` (audit/trace/sweep/serve): write a Perfetto/Chrome
+    /// trace-event JSON file here (serve adds per-request tracks).
     pub perfetto: Option<String>,
+    /// `--window` (timeline/serve): ticks per timeline window.
+    pub window: u64,
+    /// `--json` (timeline): emit the TIMELINE.json document.
+    pub json: bool,
+    /// `--slo` (timeline/serve/audit/chaos): declarative SLO spec the
+    /// run must satisfy to exit zero.
+    pub slo: Option<String>,
+    /// `--flight-dir` (timeline/serve/audit/chaos): where to dump the
+    /// flight-recorder bundle on a breach or FAIL verdict.
+    pub flight_dir: Option<String>,
+    /// `--prom` (report): Prometheus text exposition.
+    pub prom: bool,
     /// `--background`.
     pub background: bool,
     /// `--dot`.
@@ -132,6 +164,11 @@ impl Default for Args {
             requests: 96,
             replay: false,
             perfetto: None,
+            window: 4096,
+            json: false,
+            slo: None,
+            flight_dir: None,
+            prom: false,
             background: false,
             dot: false,
         }
@@ -183,6 +220,7 @@ impl Args {
             "audit" => Command::Audit,
             "chaos" => Command::Chaos,
             "serve" => Command::Serve,
+            "timeline" => Command::Timeline,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError::UnknownCommand(other.to_string())),
@@ -193,9 +231,11 @@ impl Args {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
                 "--replay" => args.replay = true,
+                "--json" => args.json = true,
+                "--prom" => args.prom = true,
                 "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
                 | "--threads" | "--allocator" | "--rounds" | "--shards" | "--requests"
-                | "--perfetto" => {
+                | "--perfetto" | "--window" | "--slo" | "--flight-dir" => {
                     let value = it
                         .next()
                         .ok_or_else(|| ParseError::MissingValue(flag.clone()))?;
@@ -225,6 +265,19 @@ impl Args {
                             }
                             args.perfetto = Some(value.clone());
                         }
+                        "--window" => args.window = value.parse().map_err(|_| bad())?,
+                        "--slo" => {
+                            if value.is_empty() {
+                                return Err(bad());
+                            }
+                            args.slo = Some(value.clone());
+                        }
+                        "--flight-dir" => {
+                            if value.is_empty() {
+                                return Err(bad());
+                            }
+                            args.flight_dir = Some(value.clone());
+                        }
                         _ => unreachable!(),
                     }
                 }
@@ -239,6 +292,9 @@ impl Args {
         }
         if args.shards == 0 {
             return Err(ParseError::BadValue("--shards".into(), "0".into()));
+        }
+        if args.window == 0 {
+            return Err(ParseError::BadValue("--window".into(), "0".into()));
         }
         Ok(args)
     }
@@ -417,6 +473,63 @@ mod tests {
         assert_eq!(a.perfetto.as_deref(), Some("t.json"));
         let a = Args::parse(&argv("sweep --perfetto s.json --seeds 2")).unwrap();
         assert_eq!(a.perfetto.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn timeline_flags_parse() {
+        let a = Args::parse(&argv("timeline")).unwrap();
+        assert_eq!(a.command, Command::Timeline);
+        assert_eq!(a.window, 4096);
+        assert!(!a.json);
+        assert_eq!(a.slo, None);
+        assert_eq!(a.flight_dir, None);
+        let a = Args::parse(&argv(
+            "timeline --switches 4 --seed 11 --seeds 3 --window 2048 --json --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(a.switches, 4);
+        assert_eq!(a.seed, 11);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.window, 2048);
+        assert!(a.json);
+        assert_eq!(a.threads, 2);
+        assert!(matches!(
+            Args::parse(&argv("timeline --window 0")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("timeline --window banana")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn slo_and_flight_flags_parse() {
+        let a = Args::parse(&argv(
+            "serve --slo rate(cac_admit_total)==0 --flight-dir flight --window 16",
+        ))
+        .unwrap();
+        assert_eq!(a.slo.as_deref(), Some("rate(cac_admit_total)==0"));
+        assert_eq!(a.flight_dir.as_deref(), Some("flight"));
+        assert_eq!(a.window, 16);
+        let a = Args::parse(&argv("audit --slo rate(audit_violations_total)==0")).unwrap();
+        assert_eq!(a.slo.as_deref(), Some("rate(audit_violations_total)==0"));
+        assert!(matches!(
+            Args::parse(&argv("serve --slo")).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+        assert!(matches!(
+            Args::parse(&argv("serve --flight-dir")).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn report_prom_flag() {
+        let a = Args::parse(&argv("report --prom --switches 4")).unwrap();
+        assert_eq!(a.command, Command::Report);
+        assert!(a.prom);
+        assert!(!Args::parse(&argv("report")).unwrap().prom);
     }
 
     #[test]

@@ -194,17 +194,54 @@ pub fn run_experiment(args: &Args) -> String {
 }
 
 /// Writes a Perfetto/Chrome trace-event JSON timeline built from the
-/// given span and ring-trace sources (either may be absent).
+/// given span, ring-trace and per-request sources (any may be absent).
 fn write_perfetto(
     path: &str,
     spans: Option<&iba_obs::SpanRecorder>,
     sim: Option<&iba_obs::RingTracer>,
+    requests: &[(u64, iba_obs::TraceEvent)],
 ) -> Result<String, String> {
-    let json = iba_obs::perfetto_trace(spans, sim).pretty();
+    let json = iba_obs::perfetto_trace_full(spans, sim, requests).pretty();
     std::fs::write(path, &json).map_err(|e| format!("cannot write '{path}': {e}"))?;
     Ok(format!(
         "perfetto timeline written to {path} ({} bytes) — open with ui.perfetto.dev\n",
         json.len()
+    ))
+}
+
+/// The machine-readable first line of an SLO report — the line CI
+/// greps for on stderr.
+fn slo_first_line(report: &iba_obs::SloReport) -> String {
+    report
+        .render()
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Parses `--slo` and evaluates it over the given windows.
+fn evaluate_slo(
+    spec: &str,
+    windows: &[(u64, &iba_obs::Metrics)],
+) -> Result<iba_obs::SloReport, String> {
+    let spec = iba_obs::SloSpec::parse(spec).map_err(|e| format!("slo: {e}"))?;
+    Ok(spec.evaluate(windows))
+}
+
+/// Writes a flight-recorder bundle into `--flight-dir` (created if
+/// absent) and reports what landed there.
+fn write_flight_bundle(dir: &str, input: &iba_obs::FlightInput<'_>) -> Result<String, String> {
+    let files = iba_obs::flight_build(input);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create '{dir}': {e}"))?;
+    for (name, contents) in &files {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::write(&path, contents)
+            .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
+    }
+    Ok(format!(
+        "flight recorder bundle written to {dir} ({} file(s))\n",
+        files.len()
     ))
 }
 
@@ -264,7 +301,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         merged.metrics.sim_events.get(),
     );
     if let Some(path) = &args.perfetto {
-        out.push_str(&write_perfetto(path, merged.spans.as_ref(), None)?);
+        out.push_str(&write_perfetto(path, merged.spans.as_ref(), None, &[])?);
     }
     Ok(out)
 }
@@ -296,12 +333,18 @@ fn run_instrumented(args: &Args, rec: &mut iba_obs::ObsRecorder) {
     fabric.run_until_recorded(steady, &mut obs, rec);
 }
 
-/// `ibaqos report` — per-VL metrics and serviced-bytes shares.
+/// `ibaqos report` — per-VL metrics and serviced-bytes shares. With
+/// `--prom` the same registry is rendered in Prometheus text
+/// exposition format instead (golden-tested byte for byte).
 #[must_use]
 pub fn report(args: &Args) -> String {
     let mut rec = iba_obs::ObsRecorder::new();
     run_instrumented(args, &mut rec);
-    iba_obs::render_metrics(&rec.metrics)
+    if args.prom {
+        iba_obs::render_prom(&rec.metrics)
+    } else {
+        iba_obs::render_metrics(&rec.metrics)
+    }
 }
 
 /// `ibaqos trace` — the newest `--limit` ring-buffer events as text.
@@ -329,6 +372,7 @@ pub fn trace(args: &Args) -> Result<String, String> {
             path,
             rec.spans.as_ref(),
             rec.tracer.as_ref(),
+            &[],
         )?);
     }
     Ok(out)
@@ -349,20 +393,70 @@ pub fn audit(args: &Args) -> Result<String, String> {
             path,
             Some(&spans),
             outcome.auditor.tracer(),
+            &[],
         )?);
     }
-    if outcome.passed() {
-        Ok(out)
-    } else {
+    // SLO gating: the audit has no timeline, so the spec is evaluated
+    // over a single pseudo-window holding the auditor's exported
+    // registry (audit_gap_max / audit_bound_cycles /
+    // audit_violations_total).
+    let mut exported = iba_obs::Metrics::new();
+    outcome.auditor.export_into(&mut exported);
+    let slo_report = match &args.slo {
+        Some(spec) => {
+            let report = evaluate_slo(spec, &[(0, &exported)])?;
+            report.stamp(&mut exported);
+            out.push_str(&report.render());
+            Some(report)
+        }
+        None => None,
+    };
+    let verdict_pass = outcome.passed();
+    let slo_pass = slo_report.as_ref().is_none_or(|r| r.pass);
+    if !verdict_pass || !slo_pass {
+        if let Some(dir) = &args.flight_dir {
+            let reason = if verdict_pass {
+                slo_first_line(slo_report.as_ref().expect("slo failed"))
+            } else {
+                format!(
+                    "audit: verdict=FAIL violations={} allocator={} mtu={} seed={}",
+                    outcome.violations(),
+                    args.allocator.name(),
+                    args.mtu,
+                    args.seed,
+                )
+            };
+            out.push_str(&write_flight_bundle(
+                dir,
+                &iba_obs::FlightInput {
+                    reason: &reason,
+                    metrics: &exported,
+                    timeline: None,
+                    tracer: outcome.auditor.tracer(),
+                    requests: &[],
+                    slo: slo_report.as_ref(),
+                    tail_windows: 8,
+                },
+            )?);
+        }
+    }
+    if !verdict_pass {
         // Failure contract: the first stderr line is machine-readable.
-        Err(format!(
+        return Err(format!(
             "audit: verdict=FAIL violations={} allocator={} mtu={} seed={}\n{out}",
             outcome.violations(),
             args.allocator.name(),
             args.mtu,
             args.seed,
-        ))
+        ));
     }
+    if !slo_pass {
+        return Err(format!(
+            "{}\n{out}",
+            slo_first_line(slo_report.as_ref().expect("slo failed"))
+        ));
+    }
+    Ok(out)
 }
 
 /// `ibaqos chaos` — fills a port's table, injects `--rounds` of seeded
@@ -383,12 +477,54 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         args.threads
     };
     let outcome = iba_harness::run_chaos(&cfg, threads);
-    let out = outcome.render_report();
-    if outcome.passed() {
-        Ok(out)
-    } else {
-        Err(format!("{}\n{out}", outcome.summary_line()))
+    let mut out = outcome.render_report();
+    // SLO gating over a single pseudo-window: the post-repair
+    // auditor's exported registry plus the fault-injection totals.
+    let mut exported = iba_obs::Metrics::new();
+    outcome.audit.auditor.export_into(&mut exported);
+    exported.fault_injected.add(outcome.faults_injected);
+    let slo_report = match &args.slo {
+        Some(spec) => {
+            let report = evaluate_slo(spec, &[(0, &exported)])?;
+            report.stamp(&mut exported);
+            out.push_str(&report.render());
+            Some(report)
+        }
+        None => None,
+    };
+    let verdict_pass = outcome.passed();
+    let slo_pass = slo_report.as_ref().is_none_or(|r| r.pass);
+    if !verdict_pass || !slo_pass {
+        if let Some(dir) = &args.flight_dir {
+            let reason = if verdict_pass {
+                slo_first_line(slo_report.as_ref().expect("slo failed"))
+            } else {
+                outcome.summary_line()
+            };
+            out.push_str(&write_flight_bundle(
+                dir,
+                &iba_obs::FlightInput {
+                    reason: &reason,
+                    metrics: &exported,
+                    timeline: None,
+                    tracer: outcome.audit.auditor.tracer(),
+                    requests: &[],
+                    slo: slo_report.as_ref(),
+                    tail_windows: 8,
+                },
+            )?);
+        }
     }
+    if !verdict_pass {
+        return Err(format!("{}\n{out}", outcome.summary_line()));
+    }
+    if !slo_pass {
+        return Err(format!(
+            "{}\n{out}",
+            slo_first_line(slo_report.as_ref().expect("slo failed"))
+        ));
+    }
+    Ok(out)
 }
 
 /// `ibaqos serve` — drives a seeded admit/teardown/repair trace
@@ -400,8 +536,16 @@ pub fn chaos(args: &Args) -> Result<String, String> {
 /// first stderr line) on any divergence or consistency failure.
 pub fn serve(args: &Args) -> Result<String, String> {
     let cfg = iba_harness::ServeConfig::new(args.switches, args.seed, args.requests, args.shards);
-    let outcome = iba_harness::run_serve(&cfg);
-    let out = if args.replay {
+    // `--slo`/`--flight-dir`/`--perfetto` need the windowed run: a
+    // timeline keyed by finalized trace operations plus per-request
+    // trace records for span reassembly and request tracks.
+    let windowed = args.slo.is_some() || args.flight_dir.is_some() || args.perfetto.is_some();
+    let mut outcome = if windowed {
+        iba_harness::run_serve_windowed(&cfg, args.window)
+    } else {
+        iba_harness::run_serve(&cfg)
+    };
+    let mut out = if args.replay {
         outcome.render_report()
     } else {
         format!(
@@ -416,11 +560,143 @@ pub fn serve(args: &Args) -> Result<String, String> {
             )
         )
     };
-    if outcome.passed() {
-        Ok(out)
-    } else {
-        Err(format!("{}\n{out}", outcome.summary_line()))
+    if let Some(path) = &args.perfetto {
+        // Request tracks: one pid-3 track per request id, the causal
+        // dispatch -> vote -> commit/abort -> finalize chain. The ring
+        // tracer is skipped here — its Request records are the same
+        // ones already drained into `request_records`.
+        out.push_str(&write_perfetto(
+            path,
+            None,
+            None,
+            &outcome.report.request_records,
+        )?);
     }
+    let slo_report = match &args.slo {
+        Some(spec) => {
+            let report = match &outcome.recorder.timeline {
+                Some(tl) => {
+                    let windows: Vec<(u64, &iba_obs::Metrics)> =
+                        tl.windows().iter().map(|(i, m)| (*i, m)).collect();
+                    evaluate_slo(spec, &windows)?
+                }
+                None => evaluate_slo(spec, &[(0, &outcome.recorder.metrics)])?,
+            };
+            // Stamp after the replay report above was rendered, so the
+            // shard-invariant report is not perturbed by the verdict.
+            report.stamp(&mut outcome.recorder.metrics);
+            out.push('\n');
+            out.push_str(&report.render());
+            Some(report)
+        }
+        None => None,
+    };
+    let verdict_pass = outcome.passed();
+    let slo_pass = slo_report.as_ref().is_none_or(|r| r.pass);
+    if !verdict_pass || !slo_pass {
+        if let Some(dir) = &args.flight_dir {
+            let reason = if verdict_pass {
+                slo_first_line(slo_report.as_ref().expect("slo failed"))
+            } else {
+                outcome.summary_line()
+            };
+            out.push_str(&write_flight_bundle(
+                dir,
+                &iba_obs::FlightInput {
+                    reason: &reason,
+                    metrics: &outcome.recorder.metrics,
+                    timeline: outcome.recorder.timeline.as_ref(),
+                    tracer: outcome.recorder.tracer.as_ref(),
+                    requests: &outcome.report.request_records,
+                    slo: slo_report.as_ref(),
+                    tail_windows: 8,
+                },
+            )?);
+        }
+    }
+    if !verdict_pass {
+        return Err(format!("{}\n{out}", outcome.summary_line()));
+    }
+    if !slo_pass {
+        return Err(format!(
+            "{}\n{out}",
+            slo_first_line(slo_report.as_ref().expect("slo failed"))
+        ));
+    }
+    Ok(out)
+}
+
+/// `ibaqos timeline` — runs `--seeds` seeded experiments with a
+/// windowed timeline aggregator attached to every run and merges the
+/// per-run deltas in seed order. The `--json` document (schema
+/// `iba.timeline.v1`) is byte-identical at any `--threads`, which CI
+/// verifies with `cmp`. With `--slo` the spec is evaluated over the
+/// merged windows; a breach exits non-zero (machine-readable
+/// `slo: verdict=FAIL` first line) and, with `--flight-dir`, dumps a
+/// flight-recorder bundle.
+pub fn timeline(args: &Args) -> Result<String, String> {
+    let threads = if args.threads > 0 {
+        args.threads
+    } else {
+        iba_harness::threads_from_env()
+    };
+    let mut cfg =
+        iba_harness::TimelineConfig::new(args.switches, args.seed, args.seeds, args.window);
+    cfg.mtu = args.mtu;
+    cfg.steady_packets = args.steady_packets;
+    let mut outcome = iba_harness::run_timeline(&cfg, threads);
+    let mut out = if args.json {
+        outcome.to_json_string()
+    } else {
+        outcome.render()
+    };
+    let slo_report = match &args.slo {
+        Some(spec) => {
+            let report = {
+                let windows: Vec<(u64, &iba_obs::Metrics)> = outcome
+                    .timeline()
+                    .windows()
+                    .iter()
+                    .map(|(i, m)| (*i, m))
+                    .collect();
+                evaluate_slo(spec, &windows)?
+            };
+            report.stamp(&mut outcome.recorder.metrics);
+            // Keep `--json` output the bare TIMELINE.json document (CI
+            // byte-compares it); the verdict then only reaches stderr.
+            if !args.json {
+                out.push_str(&report.render());
+            }
+            Some(report)
+        }
+        None => None,
+    };
+    let slo_pass = slo_report.as_ref().is_none_or(|r| r.pass);
+    if !slo_pass {
+        if let Some(dir) = &args.flight_dir {
+            let reason = slo_first_line(slo_report.as_ref().expect("slo failed"));
+            let note = write_flight_bundle(
+                dir,
+                &iba_obs::FlightInput {
+                    reason: &reason,
+                    metrics: &outcome.recorder.metrics,
+                    timeline: Some(outcome.timeline()),
+                    tracer: outcome.recorder.tracer.as_ref(),
+                    requests: &[],
+                    slo: slo_report.as_ref(),
+                    tail_windows: 8,
+                },
+            )?;
+            if !args.json {
+                out.push_str(&note);
+            }
+        }
+        return Err(format!(
+            "{}\n{out}",
+            slo_first_line(slo_report.as_ref().expect("slo failed"))
+        ));
+    }
+    Ok(out)
 }
 
 /// `ibaqos demo` — a narrated walk through the paper's algorithm.
@@ -633,6 +909,126 @@ mod tests {
         let events = json.get("traceEvents").expect("traceEvents key");
         assert!(matches!(events, iba_obs::Json::Array(v) if !v.is_empty()));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_prom_renders_exposition() {
+        let mut a = args(crate::Command::Report);
+        a.prom = true;
+        let out = report(&a);
+        assert!(out.starts_with("# TYPE"), "{out}");
+        assert!(out.contains("# TYPE cac_admit_total counter"), "{out}");
+        assert!(out.contains("arb_bytes_total{vl="), "{out}");
+    }
+
+    #[test]
+    fn timeline_command_renders_and_json_is_thread_invariant() {
+        let mut a = args(crate::Command::Timeline);
+        a.switches = 4;
+        a.seeds = 2;
+        a.window = 2048;
+        a.threads = 1;
+        let text = timeline(&a).unwrap();
+        assert!(text.starts_with("timeline sweep:"), "{text}");
+        assert!(text.contains("runs:"), "{text}");
+        a.json = true;
+        let serial = timeline(&a).unwrap();
+        assert!(serial.contains("iba.timeline.v1"), "{serial}");
+        a.threads = 3;
+        assert_eq!(serial, timeline(&a).unwrap(), "TIMELINE.json not invariant");
+    }
+
+    #[test]
+    fn timeline_slo_gates_and_dumps_flight_bundle() {
+        let dir =
+            std::env::temp_dir().join(format!("ibaqos_timeline_flight_{}", std::process::id()));
+        let mut a = args(crate::Command::Timeline);
+        a.switches = 4;
+        a.seeds = 2;
+        a.window = 2048;
+        a.slo = Some("rate(sim_events_total) >= 1".into());
+        let ok = timeline(&a).expect("busy windows satisfy the floor");
+        assert!(ok.contains("slo: verdict=PASS"), "{ok}");
+        // An impossible ceiling must breach, exit Err and dump.
+        a.slo = Some("rate(sim_events_total) == 0".into());
+        a.flight_dir = Some(dir.to_string_lossy().into_owned());
+        let err = timeline(&a).expect_err("every busy window breaches");
+        assert!(err.starts_with("slo: verdict=FAIL"), "{err}");
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST.txt")).unwrap();
+        assert!(manifest.contains("iba.flight.v1"), "{manifest}");
+        assert!(manifest.contains("timeline_tail.json"), "{manifest}");
+        assert!(dir.join("metrics.prom").exists());
+        assert!(dir.join("slo.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_slo_gates_and_dumps_request_traces() {
+        let dir = std::env::temp_dir().join(format!("ibaqos_serve_flight_{}", std::process::id()));
+        let mut a = args(crate::Command::Serve);
+        a.switches = 4;
+        a.seed = 3;
+        a.requests = 48;
+        a.shards = 3;
+        a.window = 16;
+        a.slo = Some("rate(cac_admit_total) >= 1 burn 0.99".into());
+        let ok = serve(&a).expect("admissions happen");
+        assert!(ok.contains("slo: verdict=PASS"), "{ok}");
+        // The tight spec from CI: zero admissions can never hold.
+        a.slo = Some("rate(cac_admit_total) == 0".into());
+        a.flight_dir = Some(dir.to_string_lossy().into_owned());
+        let err = serve(&a).expect_err("admissions breach the zero-rate spec");
+        assert!(err.starts_with("slo: verdict=FAIL"), "{err}");
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST.txt")).unwrap();
+        assert!(manifest.contains("requests.txt"), "{manifest}");
+        let requests = std::fs::read_to_string(dir.join("requests.txt")).unwrap();
+        assert!(requests.contains("request"), "{requests}");
+        assert!(dir.join("timeline_tail.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_perfetto_export_carries_request_tracks() {
+        let path =
+            std::env::temp_dir().join(format!("ibaqos_serve_perfetto_{}.json", std::process::id()));
+        let mut a = args(crate::Command::Serve);
+        a.switches = 4;
+        a.seed = 3;
+        a.requests = 24;
+        a.shards = 2;
+        a.perfetto = Some(path.to_string_lossy().into_owned());
+        let report = serve(&a).expect("serve passes");
+        assert!(report.contains("perfetto timeline written"), "{report}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"requests\""), "missing pid-3 track: {json}");
+        assert!(json.contains("traceEvents"), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn audit_and_chaos_slo_gate_on_exported_registry() {
+        let mut a = args(crate::Command::Audit);
+        a.mtu = 4096;
+        a.seed = 42;
+        a.slo = Some("rate(audit_violations_total) == 0".into());
+        let ok = audit(&a).expect("bit-reversal audits clean");
+        assert!(ok.contains("slo: verdict=PASS"), "{ok}");
+        a.slo = Some("rate(audit_violations_total) >= 1".into());
+        let err = audit(&a).expect_err("clean audit breaches a violation floor");
+        assert!(err.starts_with("slo: verdict=FAIL"), "{err}");
+
+        let mut c = args(crate::Command::Chaos);
+        c.mtu = 4096;
+        c.seed = 42;
+        c.rounds = 1;
+        c.seeds = 1;
+        c.threads = 1;
+        c.slo = Some("rate(fault_injected_total) >= 1".into());
+        let ok = chaos(&c).expect("chaos injects faults and recovers");
+        assert!(ok.contains("slo: verdict=PASS"), "{ok}");
+        c.slo = Some("rate(fault_injected_total) == 0".into());
+        let err = chaos(&c).expect_err("injected faults breach the zero spec");
+        assert!(err.starts_with("slo: verdict=FAIL"), "{err}");
     }
 
     #[test]

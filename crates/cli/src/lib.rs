@@ -17,7 +17,12 @@
 //! ibaqos chaos  [--allocator A] [--mtu M] [--seed S]
 //!               [--rounds R] [--seeds N] [--threads T]  fault-injection + recovery
 //! ibaqos serve  [--switches N] [--seed S] [--shards K]
-//!               [--requests N] [--replay]               sharded admission service
+//!               [--requests N] [--replay] [--window W]
+//!               [--slo SPEC] [--flight-dir DIR]
+//!               [--perfetto FILE]                       sharded admission service
+//! ibaqos timeline [run options] [--seeds N] [--threads T]
+//!               [--window W] [--json] [--slo SPEC]
+//!               [--flight-dir DIR]                      windowed metric timeline
 //! ibaqos demo                                           table-filling walkthrough
 //! ```
 //!
@@ -34,7 +39,15 @@
 //! `serve` drives a seeded admit/teardown/repair trace through the
 //! sharded admission service, differentially audits it against the
 //! sequential manager, and exits non-zero on any divergence; its
-//! `--replay` report is byte-identical at any `--shards`.
+//! `--replay` report is byte-identical at any `--shards`, and its
+//! `--perfetto` export renders one causal track per request. `timeline`
+//! merges windowed metric deltas from a seed sweep into a
+//! `TIMELINE.json` document that is byte-identical at any `--threads`.
+//! `report --prom` renders the registry in Prometheus text exposition.
+//! `--slo` gates `timeline`/`serve`/`audit`/`chaos` on a declarative
+//! spec (see `METRICS.md`); a breach exits non-zero with a
+//! machine-readable `slo: verdict=FAIL` first line and, with
+//! `--flight-dir`, dumps a flight-recorder bundle for post-mortems.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -57,6 +70,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Audit => commands::audit(&args),
         Command::Chaos => commands::chaos(&args),
         Command::Serve => commands::serve(&args),
+        Command::Timeline => commands::timeline(&args),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),
     }

@@ -24,6 +24,7 @@ pub mod engine;
 pub mod experiment;
 pub mod serve;
 pub mod sweep;
+pub mod timeline;
 
 pub use audit::{run_audit, run_audit_spanned, AuditConfig, AuditOutcome};
 pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome};
@@ -32,5 +33,8 @@ pub use experiment::{
     build_experiment_sized, run_measured, run_measured_faulted, run_measured_instrumented,
     run_measured_recorded, Experiment, Measured,
 };
-pub use serve::{run_serve, ServeConfig, ServeOutcome};
+pub use serve::{
+    run_serve, run_serve_windowed, timeline_invariant_lines, ServeConfig, ServeOutcome,
+};
 pub use sweep::{run_points, run_points_spanned, PointOutcome, SimPoint};
+pub use timeline::{run_timeline, TimelineConfig, TimelineOutcome};

@@ -72,12 +72,17 @@ pub struct ServeOutcome {
     pub metrics_match: bool,
     /// Rendered shard-invariant metric samples, one line each.
     pub metric_lines: Vec<String>,
+    /// The sharded run's merged recorder: cumulative metrics, the
+    /// coordinator's request tracer and — on windowed runs — the
+    /// finished timeline (the SLO engine and the flight recorder draw
+    /// from here).
+    pub recorder: ObsRecorder,
 }
 
 /// Snapshot of a registry with the shard-count-dependent `serve_*`
 /// samples removed — the shard-invariant metric view.
-fn invariant_metric_lines(rec: &ObsRecorder) -> Vec<String> {
-    rec.metrics
+fn invariant_metric_lines(metrics: &iba_obs::Metrics) -> Vec<String> {
+    metrics
         .snapshot()
         .into_iter()
         .filter(|s| !s.name.starts_with("serve_"))
@@ -212,30 +217,78 @@ impl ServeOutcome {
     }
 }
 
+/// Ring capacity for the coordinator's request tracer on windowed runs
+/// (16-byte records; two coordinator records per trace op).
+const SERVE_TRACE_CAP: usize = 1 << 16;
+
 /// Runs the serve scenario: one sharded trace run plus the sequential
 /// reference run, differentially compared on outcomes, final tables
 /// and shard-invariant metrics.
 #[must_use]
 pub fn run_serve(config: &ServeConfig) -> ServeOutcome {
+    run_serve_inner(config, 0)
+}
+
+/// [`run_serve`] with a windowed timeline (one logical tick per
+/// finalized trace op, `window_len` ticks per window) attached to both
+/// the sharded and the sequential recorder, plus a request tracer on
+/// the coordinator so `ServeReport::request_records` carries the
+/// dispatch/finalize stages. The differential verdicts are unaffected;
+/// per-window **invariant** metrics are additionally shard-count
+/// invariant (worker-side metrics merge after the last tick, so they
+/// land in the trailing window at every shard count).
+#[must_use]
+pub fn run_serve_windowed(config: &ServeConfig, window_len: u64) -> ServeOutcome {
+    run_serve_inner(config, window_len.max(1))
+}
+
+/// Per-window shard-invariant metric lines of a finished timeline —
+/// the serve timeline's cross-shard equality witness.
+#[must_use]
+pub fn timeline_invariant_lines(timeline: &iba_obs::Timeline) -> Vec<String> {
+    timeline
+        .windows()
+        .iter()
+        .flat_map(|(idx, m)| {
+            invariant_metric_lines(m)
+                .into_iter()
+                .map(move |l| format!("window={idx} {l}"))
+        })
+        .collect()
+}
+
+fn run_serve_inner(config: &ServeConfig, window_len: u64) -> ServeOutcome {
     let (planner, hosts) = build_manager(config);
     let ops = service::generate_trace(&TraceConfig::new(hosts, config.seed, config.requests));
 
     // Sequential reference on an identical, independently built manager.
     let (mut seq_mgr, _) = build_manager(config);
-    let mut seq_rec = ObsRecorder::new();
+    let mut seq_rec = if window_len > 0 {
+        ObsRecorder::with_timeline(window_len)
+    } else {
+        ObsRecorder::new()
+    };
     let seq_outcomes: Vec<TraceOutcome> =
         service::apply_trace_sequential(&mut seq_mgr, &ops, &mut seq_rec);
+    seq_rec.finish_timeline();
     let seq_digest = fnv64(format!("{:?}", seq_mgr.port_tables()).as_bytes());
 
     // Sharded run.
-    let mut rec = ObsRecorder::new();
+    let mut rec = if window_len > 0 {
+        let mut r = ObsRecorder::with_tracer(SERVE_TRACE_CAP);
+        r.timeline = Some(iba_obs::Timeline::new(window_len));
+        r
+    } else {
+        ObsRecorder::new()
+    };
     let report = service::run_trace(&planner, &ops, config.shards, &mut rec);
+    rec.finish_timeline();
     let tables_digest = fnv64(format!("{:?}", report.tables).as_bytes());
 
     let consistent = report.tables.check_all().is_ok();
     let outcomes_match = report.outcomes == seq_outcomes;
-    let metric_lines = invariant_metric_lines(&rec);
-    let metrics_match = metric_lines == invariant_metric_lines(&seq_rec);
+    let metric_lines = invariant_metric_lines(&rec.metrics);
+    let metrics_match = metric_lines == invariant_metric_lines(&seq_rec.metrics);
 
     ServeOutcome {
         config: *config,
@@ -246,6 +299,7 @@ pub fn run_serve(config: &ServeConfig) -> ServeOutcome {
         outcomes_match,
         metrics_match,
         metric_lines,
+        recorder: rec,
     }
 }
 
@@ -272,5 +326,40 @@ mod tests {
     fn serve_summary_line_names_the_shard_count() {
         let outcome = run_serve(&ServeConfig::new(4, 7, 24, 2));
         assert!(outcome.summary_line().contains("shards=2"));
+    }
+
+    #[test]
+    fn windowed_serve_timeline_is_shard_count_invariant() {
+        let window_len = 16;
+        let runs: Vec<ServeOutcome> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| run_serve_windowed(&ServeConfig::new(4, 3, 48, shards), window_len))
+            .collect();
+        let reference: Vec<String> =
+            timeline_invariant_lines(runs[0].recorder.timeline.as_ref().expect("timeline on"));
+        assert!(!reference.is_empty());
+        // 48 ops at 16 ticks/window: several windows, not just one.
+        assert!(runs[0].recorder.timeline.as_ref().unwrap().len() > 1);
+        for run in &runs[1..] {
+            assert!(run.passed(), "{}", run.summary_line());
+            let lines = timeline_invariant_lines(run.recorder.timeline.as_ref().unwrap());
+            assert_eq!(
+                reference, lines,
+                "per-window invariant metrics diverged at {} shards",
+                run.config.shards
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_serve_collects_request_records() {
+        let outcome = run_serve_windowed(&ServeConfig::new(4, 3, 48, 4), 16);
+        assert!(!outcome.report.request_records.is_empty());
+        let spans = iba_obs::reassemble(&outcome.report.request_records);
+        assert_eq!(spans.len(), 48, "one span per trace op");
+        // Unwindowed runs carry no coordinator tracer: worker stages
+        // only reach the report when the coordinator traces too.
+        let plain = run_serve(&ServeConfig::new(4, 3, 48, 4));
+        assert!(plain.recorder.timeline.is_none());
     }
 }

@@ -25,8 +25,24 @@
 //!   against the observed inter-grant gaps (driven by `ibaqos audit`);
 //! * [`span`] — the [`span::SpanRecorder`] wall-clock profiler:
 //!   begin/end records with thread ids in a bounded ring;
-//! * [`perfetto`] — merges span records and sim trace events into a
-//!   Perfetto/Chrome trace-event JSON timeline.
+//! * [`perfetto`] — merges span records, sim trace events and
+//!   per-request causal traces into a Perfetto/Chrome trace-event
+//!   JSON timeline;
+//! * [`timeline`] — the windowed [`timeline::Timeline`] aggregator:
+//!   delta-encoded per-window metrics keyed by absolute window index,
+//!   merged commutatively so `TIMELINE.json` is byte-identical at any
+//!   `IBA_THREADS`/shard count (driven by `ibaqos timeline`);
+//! * [`slo`] — a declarative SLO engine (`p99(..) <= N`,
+//!   `rate(..) == 0`, burn-rate accounting) evaluated deterministically
+//!   over timeline windows, gating `ibaqos serve`/`audit`/`chaos` via
+//!   `--slo`;
+//! * [`prom`] — Prometheus-style text exposition of a metrics
+//!   snapshot (`ibaqos report --prom`);
+//! * [`request`] — reassembles ring-trace request records into
+//!   causally ordered per-request span trees;
+//! * [`flight`] — the flight recorder: renders a post-mortem bundle
+//!   (trace tail, timeline tail, request spans, SLO report) when a
+//!   run fails.
 //!
 //! The full list of metric names, dimensions and units is the
 //! **metrics contract** in `METRICS.md` at the repository root;
@@ -37,21 +53,31 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod prom;
 pub mod recorder;
 pub mod report;
+pub mod request;
+pub mod slo;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use audit::{GuaranteeAuditor, LaneAudit, LaneBudget};
+pub use flight::{build as flight_build, FlightInput};
 pub use json::Json;
 pub use metrics::{
     Counter, Dim, Gauge, Histogram, Metrics, PerLane, Sample, SampleValue, METRIC_NAMES,
 };
-pub use perfetto::perfetto_trace;
+pub use perfetto::{perfetto_trace, perfetto_trace_full};
+pub use prom::render_prom;
 pub use recorder::{NullRecorder, ObsRecorder, Recorder, RejectKind, ServedKind};
 pub use report::{bench_json, render_metrics, vl_shares, BenchRecord, VlShare};
+pub use request::{reassemble, RequestSpan, StageRecord};
+pub use slo::{SloClause, SloReport, SloSpec};
 pub use span::{SpanEvent, SpanPhase, SpanRecorder};
-pub use trace::{fault_code, RingTracer, TraceEvent, RECORD_BYTES};
+pub use timeline::{Timeline, DEFAULT_WINDOW_LEN, TIMELINE_SCHEMA};
+pub use trace::{fault_code, request_stage, RingTracer, TraceEvent, RECORD_BYTES};

@@ -40,6 +40,12 @@ impl Counter {
     pub fn get(self) -> u64 {
         self.0
     }
+
+    /// A counter holding exactly `v` (used by delta encoding).
+    #[must_use]
+    pub fn from_get(v: u64) -> Counter {
+        Counter(v)
+    }
 }
 
 /// A gauge: a signed value that can move both ways (e.g. live
@@ -192,6 +198,19 @@ impl Histogram {
         self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// Removes an `earlier` cumulative reading of the **same**
+    /// histogram, leaving the observations made since — the inverse of
+    /// [`Histogram::merge`] for the prefix case. Subtraction saturates,
+    /// so a mismatched pair degrades to empty buckets instead of
+    /// wrapping.
+    pub fn subtract(&mut self, earlier: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *b = b.saturating_sub(*o);
+        }
+        self.count = self.count.saturating_sub(earlier.count);
+        self.sum = self.sum.saturating_sub(earlier.sum);
+    }
 }
 
 /// Sixteen instances of a metric, indexed by lane (VL or SL).
@@ -250,6 +269,9 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve_shard_rollback_total",
     "serve_queue_depth",
     "serve_batch_latency",
+    "timeline_window_total",
+    "slo_eval_total",
+    "slo_breach_total",
 ];
 
 /// A metric dimension attached to a [`Sample`].
@@ -425,6 +447,14 @@ pub struct Metrics {
     /// `serve_batch_latency`: logical ticks (finalized operations)
     /// between an operation's dispatch and its finalization.
     pub serve_batch_latency: Histogram,
+    /// `timeline_window_total`: telemetry windows closed by a
+    /// [`crate::timeline::Timeline`] aggregator.
+    pub timeline_windows: Counter,
+    /// `slo_eval_total`: SLO clause evaluations performed (one per
+    /// clause per timeline window).
+    pub slo_evals: Counter,
+    /// `slo_breach_total`: SLO clause evaluations that breached.
+    pub slo_breaches: Counter,
 }
 
 impl Metrics {
@@ -653,6 +683,14 @@ impl Metrics {
                 &self.serve_batch_latency,
             ));
         }
+        counter(
+            &mut out,
+            "timeline_window_total",
+            Dim::None,
+            self.timeline_windows,
+        );
+        counter(&mut out, "slo_eval_total", Dim::None, self.slo_evals);
+        counter(&mut out, "slo_breach_total", Dim::None, self.slo_breaches);
         out
     }
 
@@ -778,6 +816,143 @@ impl Metrics {
         }
         self.serve_queue_depth.merge(&other.serve_queue_depth);
         self.serve_batch_latency.merge(&other.serve_batch_latency);
+        self.timeline_windows.merge(other.timeline_windows);
+        self.slo_evals.merge(other.slo_evals);
+        self.slo_breaches.merge(other.slo_breaches);
+    }
+
+    /// The per-window delta `self − earlier`, where `earlier` is a
+    /// previous cumulative snapshot of the **same** registry.
+    ///
+    /// Counters and histograms subtract field-wise (saturating, so a
+    /// mismatched pair degrades to zero instead of wrapping); gauges
+    /// are level readings and keep their current value. Applied at
+    /// fixed tick boundaries this turns a cumulative registry into
+    /// per-window rates — the [`crate::timeline::Timeline`] encoding.
+    #[must_use]
+    pub fn delta_from(&self, earlier: &Metrics) -> Metrics {
+        let mut out = self.clone();
+        out.subtract(earlier);
+        out
+    }
+
+    /// In-place counterpart of [`Metrics::delta_from`]: subtracts the
+    /// earlier cumulative reading field-by-field (mirror of
+    /// [`Metrics::merge`]).
+    fn subtract(&mut self, earlier: &Metrics) {
+        fn sub_c(a: &mut Counter, b: Counter) {
+            *a = Counter::from_get(a.get().saturating_sub(b.get()));
+        }
+        fn sub_h(a: &mut Histogram, b: &Histogram) {
+            a.subtract(b);
+        }
+        sub_c(&mut self.alloc_probe, earlier.alloc_probe);
+        sub_c(&mut self.alloc_probe_rejected, earlier.alloc_probe_rejected);
+        sub_c(&mut self.alloc_select_fail, earlier.alloc_select_fail);
+        sub_h(&mut self.alloc_probe_depth, &earlier.alloc_probe_depth);
+        for (a, b) in self.arb_grant.0.iter_mut().zip(earlier.arb_grant.0.iter()) {
+            sub_c(a, *b);
+        }
+        for (a, b) in self.arb_bytes.0.iter_mut().zip(earlier.arb_bytes.0.iter()) {
+            sub_c(a, *b);
+        }
+        sub_c(&mut self.arb_high_bytes, earlier.arb_high_bytes);
+        sub_c(&mut self.arb_low_bytes, earlier.arb_low_bytes);
+        sub_c(&mut self.arb_vl15_bytes, earlier.arb_vl15_bytes);
+        for (a, b) in self
+            .arb_weight_exhausted
+            .0
+            .iter_mut()
+            .zip(earlier.arb_weight_exhausted.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self
+            .arb_hol_stall
+            .0
+            .iter_mut()
+            .zip(earlier.arb_hol_stall.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        sub_h(&mut self.arb_queue_depth, &earlier.arb_queue_depth);
+        sub_c(&mut self.sim_events, earlier.sim_events);
+        sub_h(
+            &mut self.sim_event_queue_depth,
+            &earlier.sim_event_queue_depth,
+        );
+        sub_c(&mut self.schedule_compiles, earlier.schedule_compiles);
+        sub_c(
+            &mut self.schedule_invalidations,
+            earlier.schedule_invalidations,
+        );
+        for (a, b) in self.cac_admit.0.iter_mut().zip(earlier.cac_admit.0.iter()) {
+            sub_c(a, *b);
+        }
+        for (a, b) in self.cac_reject.iter_mut().zip(earlier.cac_reject.iter()) {
+            sub_c(a, *b);
+        }
+        sub_c(&mut self.cac_release, earlier.cac_release);
+        sub_c(&mut self.harness_runs, earlier.harness_runs);
+        // Gauges (harness_threads, audit_gap_max, audit_bound_cycles)
+        // are level readings: the window keeps the current level.
+        for (a, b) in self
+            .audit_violations
+            .0
+            .iter_mut()
+            .zip(earlier.audit_violations.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        sub_c(&mut self.fault_injected, earlier.fault_injected);
+        for (a, b) in self
+            .fault_blocked
+            .0
+            .iter_mut()
+            .zip(earlier.fault_blocked.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        sub_c(&mut self.recovery_repairs, earlier.recovery_repairs);
+        sub_c(&mut self.recovery_evicted, earlier.recovery_evicted);
+        sub_c(&mut self.recovery_reinstalls, earlier.recovery_reinstalls);
+        sub_c(&mut self.recovery_retries, earlier.recovery_retries);
+        sub_c(&mut self.recovery_degraded, earlier.recovery_degraded);
+        sub_h(
+            &mut self.recovery_backoff_cycles,
+            &earlier.recovery_backoff_cycles,
+        );
+        sub_c(&mut self.span_records, earlier.span_records);
+        sub_c(&mut self.span_dropped, earlier.span_dropped);
+        for (a, b) in self
+            .serve_shard_admit
+            .0
+            .iter_mut()
+            .zip(earlier.serve_shard_admit.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self
+            .serve_shard_reject
+            .0
+            .iter_mut()
+            .zip(earlier.serve_shard_reject.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self
+            .serve_shard_rollback
+            .0
+            .iter_mut()
+            .zip(earlier.serve_shard_rollback.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        sub_h(&mut self.serve_queue_depth, &earlier.serve_queue_depth);
+        sub_h(&mut self.serve_batch_latency, &earlier.serve_batch_latency);
+        sub_c(&mut self.timeline_windows, earlier.timeline_windows);
+        sub_c(&mut self.slo_evals, earlier.slo_evals);
+        sub_c(&mut self.slo_breaches, earlier.slo_breaches);
     }
 }
 
@@ -903,6 +1078,9 @@ mod tests {
         m.serve_shard_rollback.lane(0).incr();
         m.serve_queue_depth.observe(2);
         m.serve_batch_latency.observe(1);
+        m.timeline_windows.incr();
+        m.slo_evals.add(2);
+        m.slo_breaches.incr();
         let snap = m.snapshot();
         assert!(!snap.is_empty());
         for s in &snap {
@@ -938,6 +1116,117 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert_eq!(a.sum(), whole.sum());
         assert_eq!(a.buckets(), whole.buckets());
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+        // Single bucket: every quantile is that bucket's upper bound.
+        let mut single = Histogram::default();
+        for _ in 0..5 {
+            single.observe(3); // bucket [2, 3]
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 3, "single bucket at q={q}");
+        }
+        // All-overflow: every quantile is the overflow bound (u64::MAX).
+        let mut over = Histogram::default();
+        over.observe(65536);
+        over.observe(u64::MAX);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(over.quantile(q), u64::MAX, "overflow at q={q}");
+        }
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(single.quantile(-1.0), 3);
+        assert_eq!(single.quantile(7.5), 3);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_count_and_sum_exactly() {
+        // Seeded property check (the workspace carries no proptest):
+        // for many random partitions of a random observation stream,
+        // merge(a, b) must equal observing the whole stream — count,
+        // sum and every bucket, exactly.
+        let mut state = 0x9E37_79B9_97F4_A7C1u64;
+        let mut next = move || {
+            // SplitMix64 step — deterministic, dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for case in 0..64 {
+            let len = 1 + (next() % 200) as usize;
+            let values: Vec<u64> = (0..len)
+                .map(|_| {
+                    // Mix small values, bucket edges and overflow.
+                    match next() % 4 {
+                        0 => next() % 8,
+                        1 => 1 << (next() % 17),
+                        2 => next() % 70_000,
+                        _ => next(),
+                    }
+                })
+                .collect();
+            let split = (next() % (len as u64 + 1)) as usize;
+            let mut a = Histogram::default();
+            let mut b = Histogram::default();
+            let mut whole = Histogram::default();
+            for (i, &v) in values.iter().enumerate() {
+                if i < split {
+                    a.observe(v);
+                } else {
+                    b.observe(v);
+                }
+                whole.observe(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count(), "count diverged in case {case}");
+            assert_eq!(a.sum(), whole.sum(), "sum diverged in case {case}");
+            assert_eq!(
+                a.buckets(),
+                whole.buckets(),
+                "buckets diverged in case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_from_recovers_the_window_increment() {
+        let mut earlier = Metrics::new();
+        earlier.alloc_probe.add(10);
+        earlier.arb_bytes.lane(2).add(512);
+        earlier.arb_queue_depth.observe(4);
+        earlier.harness_threads.set(2);
+
+        let mut later = earlier.clone();
+        later.alloc_probe.add(5);
+        later.arb_bytes.lane(2).add(256);
+        later.arb_bytes.lane(3).add(64);
+        later.arb_queue_depth.observe(9);
+        later.cac_release.incr();
+        later.timeline_windows.incr();
+
+        let delta = later.delta_from(&earlier);
+        assert_eq!(delta.alloc_probe.get(), 5);
+        assert_eq!(delta.arb_bytes.0[2].get(), 256);
+        assert_eq!(delta.arb_bytes.0[3].get(), 64);
+        assert_eq!(delta.arb_queue_depth.count(), 1);
+        assert_eq!(delta.arb_queue_depth.sum(), 9);
+        assert_eq!(delta.cac_release.get(), 1);
+        assert_eq!(delta.timeline_windows.get(), 1);
+        // Gauges are level readings: the window keeps the current level.
+        assert_eq!(delta.harness_threads.get(), 2);
+        // Delta of a snapshot against itself is empty (gauges aside).
+        let zero = later.delta_from(&later);
+        assert_eq!(zero.alloc_probe.get(), 0);
+        assert_eq!(zero.arb_queue_depth.count(), 0);
+        assert_eq!(zero.cac_release.get(), 0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   instant event (`ph:"i"`), one track per virtual lane, mapping one
 //!   simulator cycle to one microsecond so slot gaps are readable on
 //!   the same zoom scale.
+//! * **pid 3 — requests**: per-request causal traces from the
+//!   admission-service plane ([`crate::request`]), one track per
+//!   request id: a begin/end pair spanning dispatch→finalize with an
+//!   instant per protocol stage in causal order.
 //!
 //! Every event carries the `ph`/`ts`/`pid`/`tid`/`name` keys the
 //! trace-event format requires, and events are stably sorted by
@@ -28,6 +32,8 @@ use crate::trace::{RingTracer, TraceEvent};
 pub const PID_WALL_CLOCK: i64 = 1;
 /// Process id of the simulator-cycle track group.
 pub const PID_SIM_CYCLES: i64 = 2;
+/// Process id of the per-request causal-trace track group.
+pub const PID_REQUESTS: i64 = 3;
 
 fn event(ph: &str, ts: Json, pid: i64, tid: Json, name: &str) -> Vec<(String, Json)> {
     vec![
@@ -98,14 +104,44 @@ fn sim_event_fields(ev: &TraceEvent) -> (u8, &'static str, Vec<(String, Json)>) 
                 ("detail".to_string(), Json::uint(u64::from(detail))),
             ],
         ),
+        TraceEvent::Request {
+            rid,
+            stage,
+            shard,
+            path,
+        } => (
+            0,
+            crate::trace::request_stage::label(stage),
+            vec![
+                ("rid".to_string(), Json::uint(u64::from(rid))),
+                ("shard".to_string(), Json::uint(u64::from(shard))),
+                ("hop".to_string(), Json::uint(u64::from(path))),
+            ],
+        ),
     }
 }
 
-/// Builds the trace-event JSON document for the given sources. Either
-/// source may be absent; the result is always a well-formed trace with
-/// a `traceEvents` array.
+/// Builds the trace-event JSON document for span and sim sources —
+/// [`perfetto_trace_full`] with no request records.
 #[must_use]
 pub fn perfetto_trace(spans: Option<&SpanRecorder>, sim: Option<&RingTracer>) -> Json {
+    perfetto_trace_full(spans, sim, &[])
+}
+
+/// Builds the trace-event JSON document for the given sources. Any
+/// source may be absent or empty; the result is always a well-formed
+/// trace with a `traceEvents` array. `requests` is a drained list of
+/// [`TraceEvent::Request`] records (other kinds are ignored), rendered
+/// as one track per request in causal order: worker and coordinator
+/// clocks are not comparable, so each track's timestamps are the
+/// running maximum over the causally sorted stages — monotone per
+/// track by construction.
+#[must_use]
+pub fn perfetto_trace_full(
+    spans: Option<&SpanRecorder>,
+    sim: Option<&RingTracer>,
+    requests: &[(u64, TraceEvent)],
+) -> Json {
     // (sort key in ns, insertion index, event) — stable sort keeps
     // per-track order and begin-before-end at equal timestamps.
     let mut timeline: Vec<(u128, Json)> = Vec::new();
@@ -164,6 +200,56 @@ pub fn perfetto_trace(spans: Option<&SpanRecorder>, sim: Option<&RingTracer>) ->
                 ));
             }
         }
+    }
+
+    let request_spans = crate::request::reassemble(requests);
+    if !request_spans.is_empty() {
+        head.push(metadata("process_name", PID_REQUESTS, None, "requests"));
+    }
+    for span in &request_spans {
+        let tid = Json::uint(u64::from(span.rid));
+        head.push(metadata(
+            "thread_name",
+            PID_REQUESTS,
+            Some(i64::from(span.rid)),
+            &format!("request {} ({})", span.rid, span.outcome()),
+        ));
+        let mut clock = span.stages.first().map_or(0, |s| s.time);
+        let name = format!("request {}", span.rid);
+        timeline.push((
+            u128::from(clock) * 1000,
+            Json::Object(event(
+                "B",
+                Json::uint(clock),
+                PID_REQUESTS,
+                tid.clone(),
+                &name,
+            )),
+        ));
+        for s in &span.stages {
+            clock = clock.max(s.time);
+            let mut fields = event(
+                "i",
+                Json::uint(clock),
+                PID_REQUESTS,
+                tid.clone(),
+                crate::trace::request_stage::label(s.stage),
+            );
+            fields.push(("s".to_string(), Json::str("t")));
+            fields.push((
+                "args".to_string(),
+                Json::Object(vec![
+                    ("shard".to_string(), Json::uint(u64::from(s.shard))),
+                    ("hop".to_string(), Json::uint(u64::from(s.path))),
+                    ("recorded_at".to_string(), Json::uint(s.time)),
+                ]),
+            ));
+            timeline.push((u128::from(clock) * 1000, Json::Object(fields)));
+        }
+        timeline.push((
+            u128::from(clock) * 1000,
+            Json::Object(event("E", Json::uint(clock), PID_REQUESTS, tid, &name)),
+        ));
     }
 
     let mut order: Vec<usize> = (0..timeline.len()).collect();
@@ -277,5 +363,59 @@ mod tests {
         let doc = perfetto_trace(None, None);
         assert_eq!(trace_events(&doc).len(), 0);
         assert!(Json::parse(&doc.pretty()).is_ok());
+    }
+
+    #[test]
+    fn request_records_become_one_track_per_request() {
+        use crate::trace::request_stage;
+        let req = |rid: u32, stage: u8, shard: u8, path: u8| TraceEvent::Request {
+            rid,
+            stage,
+            shard,
+            path,
+        };
+        // Worker clocks run ahead of the coordinator's: the commit was
+        // recorded at t=9 but the finalize at t=4.
+        let records = vec![
+            (
+                1,
+                req(0, request_stage::DISPATCH, 0, request_stage::NO_PATH),
+            ),
+            (9, req(0, request_stage::COMMIT, 1, 0)),
+            (
+                4,
+                req(0, request_stage::FINALIZE, 0, request_stage::NO_PATH),
+            ),
+            (
+                2,
+                req(1, request_stage::DISPATCH, 0, request_stage::NO_PATH),
+            ),
+        ];
+        let doc = perfetto_trace_full(None, None, &records);
+        let events = trace_events(&doc);
+        let on_pid3 = |e: &&Json| {
+            e.get("pid").and_then(Json::as_f64) == Some(PID_REQUESTS as f64)
+                && e.get("ph") != Some(&Json::str("M"))
+        };
+        // Two tracks: each has B + E plus one instant per stage.
+        let begins = events
+            .iter()
+            .filter(|e| on_pid3(e) && e.get("ph") == Some(&Json::str("B")))
+            .count();
+        assert_eq!(begins, 2);
+        // Per-track timestamps never go backwards despite the worker
+        // clock skew (the finalize instant is clamped up to t=9).
+        let mut last: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for e in events.iter().filter(on_pid3) {
+            let tid = format!("{:?}", e.get("tid"));
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            if let Some(prev) = last.insert(tid, ts) {
+                assert!(prev <= ts, "request track went backwards");
+            }
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("args").and_then(|a| a.get("name"))
+                == Some(&Json::str("request 0 (commit)"))));
     }
 }

@@ -225,6 +225,15 @@ pub trait Recorder {
     #[inline]
     fn serve_batch_latency(&mut self, _ticks: u64) {}
 
+    /// One causal stage of an admission-service request: `rid` is the
+    /// request id (the trace-op index), `stage` one of the
+    /// [`crate::trace::request_stage`] constants, `shard` the shard
+    /// that observed the stage and `path` the hop index within the
+    /// request's path ([`crate::trace::request_stage::NO_PATH`] when
+    /// the stage is not hop-specific). Trace-only: no metric moves.
+    #[inline]
+    fn request_stage(&mut self, _rid: u32, _stage: u8, _shard: u8, _path: u8) {}
+
     /// A wall-clock profiling span named `name` opened on the calling
     /// thread. No-op unless the recorder carries a
     /// [`crate::span::SpanRecorder`].
@@ -252,6 +261,8 @@ pub struct ObsRecorder {
     pub tracer: Option<RingTracer>,
     /// The wall-clock span profiler, when profiling is enabled.
     pub spans: Option<crate::span::SpanRecorder>,
+    /// The windowed timeline aggregator, when timelines are enabled.
+    pub timeline: Option<crate::timeline::Timeline>,
     now: u64,
 }
 
@@ -281,6 +292,24 @@ impl ObsRecorder {
         }
     }
 
+    /// A recorder that also aggregates a windowed timeline with
+    /// `window_len` ticks per window (see [`crate::timeline`]).
+    #[must_use]
+    pub fn with_timeline(window_len: u64) -> Self {
+        ObsRecorder {
+            timeline: Some(crate::timeline::Timeline::new(window_len)),
+            ..ObsRecorder::default()
+        }
+    }
+
+    /// Closes the timeline's trailing partial window, if a timeline is
+    /// attached and has an open window. Call once when a run ends.
+    pub fn finish_timeline(&mut self) {
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.finish(&mut self.metrics);
+        }
+    }
+
     /// The recorder's current timestamp (last [`Recorder::tick`]).
     #[must_use]
     pub fn now(&self) -> u64 {
@@ -307,10 +336,18 @@ impl ObsRecorder {
     /// are tagged with their recording thread, so a union is a valid
     /// multi-track wall-clock timeline (workers share the merge
     /// target's epoch via [`crate::span::SpanRecorder::with_epoch`]).
+    ///
+    /// Timelines are likewise merged when both sides carry one:
+    /// windows are keyed by absolute window index, so a window-wise
+    /// [`Metrics::merge`] is commutative and the merged timeline is
+    /// independent of merge order (see [`crate::timeline::Timeline`]).
     pub fn merge(&mut self, other: &ObsRecorder) {
         self.metrics.merge(&other.metrics);
         self.now = self.now.max(other.now);
         if let (Some(mine), Some(theirs)) = (self.spans.as_mut(), other.spans.as_ref()) {
+            mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (self.timeline.as_mut(), other.timeline.as_ref()) {
             mine.merge(theirs);
         }
     }
@@ -329,6 +366,11 @@ impl Recorder for ObsRecorder {
     #[inline]
     fn tick(&mut self, now: u64) {
         self.now = now;
+        // Disjoint field borrows: the timeline reads/mutates the
+        // metrics registry while borrowed out of the same struct.
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.tick(now, &mut self.metrics);
+        }
     }
 
     #[inline]
@@ -479,6 +521,16 @@ impl Recorder for ObsRecorder {
     #[inline]
     fn serve_batch_latency(&mut self, ticks: u64) {
         self.metrics.serve_batch_latency.observe(ticks);
+    }
+
+    #[inline]
+    fn request_stage(&mut self, rid: u32, stage: u8, shard: u8, path: u8) {
+        self.trace(TraceEvent::Request {
+            rid,
+            stage,
+            shard,
+            path,
+        });
     }
 
     #[inline]
@@ -651,6 +703,66 @@ mod tests {
         let mut c = ObsRecorder::new();
         c.merge(&a);
         assert!(c.spans.is_none());
+    }
+
+    #[test]
+    fn with_timeline_rolls_windows_on_tick() {
+        let mut r = ObsRecorder::with_timeline(10);
+        r.tick(0);
+        r.sim_event(1);
+        r.tick(12); // crosses into window 1: closes window 0
+        r.sim_event(0);
+        r.finish_timeline();
+        let tl = r.timeline.as_ref().expect("timeline installed");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.windows()[&0].sim_events.get(), 1);
+        assert_eq!(tl.windows()[&1].sim_events.get(), 1);
+        assert_eq!(r.metrics.timeline_windows.get(), 2);
+        assert_eq!(r.metrics.sim_events.get(), 2);
+    }
+
+    #[test]
+    fn request_stage_hook_traces_without_metrics() {
+        let mut r = ObsRecorder::with_tracer(4);
+        r.tick(7);
+        r.request_stage(5, crate::trace::request_stage::VOTE, 2, 1);
+        let records = r.tracer.as_ref().map(RingTracer::records).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0],
+            (
+                7,
+                TraceEvent::Request {
+                    rid: 5,
+                    stage: crate::trace::request_stage::VOTE,
+                    shard: 2,
+                    path: 1
+                }
+            )
+        );
+        assert!(r.metrics.snapshot().is_empty(), "hook is metric-free");
+    }
+
+    #[test]
+    fn merge_combines_timelines_window_wise() {
+        let mut a = ObsRecorder::with_timeline(10);
+        a.tick(0);
+        a.cac_release();
+        a.tick(11);
+        a.finish_timeline();
+        let mut b = ObsRecorder::with_timeline(10);
+        b.tick(0);
+        b.cac_admit(1);
+        b.tick(11);
+        b.finish_timeline();
+        a.merge(&b);
+        let tl = a.timeline.as_ref().unwrap();
+        assert_eq!(tl.windows()[&0].cac_release.get(), 1);
+        assert_eq!(tl.windows()[&0].cac_admit.0[1].get(), 1);
+        // Merging into a timeline-less recorder keeps it timeline-less.
+        let mut c = ObsRecorder::new();
+        c.merge(&a);
+        assert!(c.timeline.is_none());
     }
 
     #[test]

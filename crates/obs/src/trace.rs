@@ -43,6 +43,44 @@ pub const KIND_ALLOC_SELECT: u8 = 8;
 /// `value` a sub-kind-specific detail (mask, rate shift, eviction
 /// count, backoff cycles).
 pub const KIND_FAULT: u8 = 9;
+/// Record kind: one causal stage of a sharded admission-service
+/// request (dispatch → vote → commit/abort → finalize). The `lane`
+/// byte carries a [`request_stage`] code, `aux` packs the shard (high
+/// byte) and path index (low byte; [`request_stage::NO_PATH`] when the
+/// stage has no hop), and `value` is the request id.
+pub const KIND_REQUEST: u8 = 10;
+
+/// Stage codes carried in the `lane` byte of a
+/// [`TraceEvent::Request`] record. The numeric order **is** the causal
+/// order within one request, so sorting records by `(rid, stage, path,
+/// shard)` reconstructs the span tree.
+pub mod request_stage {
+    /// The coordinator dispatched the operation (root of the span).
+    pub const DISPATCH: u8 = 0;
+    /// A shard voted on its hops of the admission.
+    pub const VOTE: u8 = 1;
+    /// A shard committed one hop reservation.
+    pub const COMMIT: u8 = 2;
+    /// A shard replayed/rolled back its hops of a failed admission.
+    pub const ABORT: u8 = 3;
+    /// The coordinator finalized the operation (close of the span).
+    pub const FINALIZE: u8 = 4;
+    /// Path-index placeholder for stages that concern no single hop.
+    pub const NO_PATH: u8 = 0xFF;
+
+    /// Short label for reports; `"request"` for unknown codes.
+    #[must_use]
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            DISPATCH => "dispatch",
+            VOTE => "vote",
+            COMMIT => "commit",
+            ABORT => "abort",
+            FINALIZE => "finalize",
+            _ => "request",
+        }
+    }
+}
 
 /// Sub-kind codes carried in the `lane` byte of a
 /// [`TraceEvent::Fault`] record.
@@ -150,6 +188,18 @@ pub enum TraceEvent {
         /// Sub-kind-specific detail (mask, shift, evictions, cycles).
         detail: u32,
     },
+    /// One causal stage of a sharded admission-service request.
+    Request {
+        /// The request id (trace operation index).
+        rid: u32,
+        /// Stage code (one of the [`request_stage`] constants).
+        stage: u8,
+        /// Shard that produced the record (coordinator stages use 0).
+        shard: u8,
+        /// Path (hop) index the stage concerns, or
+        /// [`request_stage::NO_PATH`] when none.
+        path: u8,
+    },
 }
 
 impl TraceEvent {
@@ -175,6 +225,17 @@ impl TraceEvent {
                 (KIND_ALLOC_SELECT, 0, u16::from(found), depth)
             }
             TraceEvent::Fault { code, port, detail } => (KIND_FAULT, code, port, detail),
+            TraceEvent::Request {
+                rid,
+                stage,
+                shard,
+                path,
+            } => (
+                KIND_REQUEST,
+                stage,
+                (u16::from(shard) << 8) | u16::from(path),
+                rid,
+            ),
         };
         let mut buf = [0u8; RECORD_BYTES];
         buf[0..8].copy_from_slice(&now.to_le_bytes());
@@ -223,6 +284,12 @@ impl TraceEvent {
                 port: aux,
                 detail: value,
             },
+            KIND_REQUEST => TraceEvent::Request {
+                rid: value,
+                stage: lane,
+                shard: (aux >> 8) as u8,
+                path: (aux & 0xFF) as u8,
+            },
             _ => return None,
         };
         Some((time, ev))
@@ -262,6 +329,22 @@ impl TraceEvent {
                 "{time:>10}  fault            kind={} port={port} detail={detail}",
                 fault_code::label(code)
             ),
+            TraceEvent::Request {
+                rid,
+                stage,
+                shard,
+                path,
+            } => {
+                let at = if path == request_stage::NO_PATH {
+                    String::from("-")
+                } else {
+                    path.to_string()
+                };
+                format!(
+                    "{time:>10}  request          rid={rid} stage={} shard={shard} path={at}",
+                    request_stage::label(stage)
+                )
+            }
         }
     }
 }
@@ -405,6 +488,18 @@ mod tests {
                 port: 0,
                 detail: 5,
             },
+            TraceEvent::Request {
+                rid: 42,
+                stage: request_stage::COMMIT,
+                shard: 3,
+                path: 1,
+            },
+            TraceEvent::Request {
+                rid: u32::MAX,
+                stage: request_stage::ABORT,
+                shard: 255,
+                path: request_stage::NO_PATH,
+            },
         ];
         for (i, ev) in events.iter().enumerate() {
             let t = 1000 + i as u64;
@@ -413,7 +508,7 @@ mod tests {
         }
         // Every declared KIND_* constant is exercised above: the wire
         // kinds seen on encode must be exactly the declared set, with
-        // no numbering gaps left in 1..=9.
+        // no numbering gaps left in 1..=10.
         let mut kinds: Vec<u8> = events.iter().map(|ev| ev.encode(0)[8]).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -429,9 +524,10 @@ mod tests {
                 KIND_RELEASE,
                 KIND_ALLOC_SELECT,
                 KIND_FAULT,
+                KIND_REQUEST,
             ]
         );
-        assert_eq!(kinds, (1..=9).collect::<Vec<u8>>());
+        assert_eq!(kinds, (1..=10).collect::<Vec<u8>>());
     }
 
     #[test]

@@ -66,6 +66,10 @@ const TRACE_SEED: u64 = 0x5E87_EACE_5EED;
 const CORRUPT_SEED: u64 = 0x07AB_1EC0_5EED;
 /// Odd multiplier spreading a port's stable code into a sub-seed.
 const KEY_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Ring capacity of each shard worker's request tracer (16-byte
+/// records; the ring keeps the newest protocol stages when a long
+/// trace overflows it).
+const WORKER_TRACE_CAP: usize = 16384;
 
 /// One operation of a request trace, addressed by request id (`rid`).
 #[derive(Clone, Debug)]
@@ -258,28 +262,36 @@ pub fn apply_trace_sequential(
 ) -> Vec<TraceOutcome> {
     let mut ids: BTreeMap<u32, ConnectionId> = BTreeMap::new();
     ops.iter()
-        .map(|op| match op {
-            TraceOp::Admit(req) => match mgr.request_observed(req, rec) {
-                Ok(id) => {
-                    ids.insert(req.id, id);
-                    TraceOutcome::Admitted { rid: req.id }
+        .enumerate()
+        .map(|(i, op)| {
+            let outcome = match op {
+                TraceOp::Admit(req) => match mgr.request_observed(req, rec) {
+                    Ok(id) => {
+                        ids.insert(req.id, id);
+                        TraceOutcome::Admitted { rid: req.id }
+                    }
+                    Err(e) => TraceOutcome::Rejected(e),
+                },
+                TraceOp::Teardown(rid) => {
+                    let torn = ids
+                        .remove(rid)
+                        .map(|id| mgr.teardown_observed(id, rec))
+                        .unwrap_or(false);
+                    TraceOutcome::TornDown(torn)
                 }
-                Err(e) => TraceOutcome::Rejected(e),
-            },
-            TraceOp::Teardown(rid) => {
-                let torn = ids
-                    .remove(rid)
-                    .map(|id| mgr.teardown_observed(id, rec))
-                    .unwrap_or(false);
-                TraceOutcome::TornDown(torn)
-            }
-            TraceOp::Repair { seed } => {
-                let damage = corrupt_tables_keyed(mgr.tables_mut(), *seed);
-                let summary = repair_tables_keyed(mgr.tables_mut(), *seed, rec);
-                // Repair invalidates the live handles (see TraceOp).
-                ids.clear();
-                TraceOutcome::Repaired { damage, summary }
-            }
+                TraceOp::Repair { seed } => {
+                    let damage = corrupt_tables_keyed(mgr.tables_mut(), *seed);
+                    let summary = repair_tables_keyed(mgr.tables_mut(), *seed, rec);
+                    // Repair invalidates the live handles (see TraceOp).
+                    ids.clear();
+                    TraceOutcome::Repaired { damage, summary }
+                }
+            };
+            // One logical tick per applied op — the same clock the
+            // sharded coordinator advances per finalized op, so a
+            // timeline attached to either recorder windows identically.
+            rec.tick((i + 1) as u64);
+            outcome
         })
         .collect()
 }
@@ -311,6 +323,12 @@ pub struct ServeReport {
     pub released: u64,
     /// Connections still live at the end, in `rid` order.
     pub live: Vec<LiveConn>,
+    /// Per-request causal trace records (`TraceEvent::Request` only),
+    /// drained from the coordinator's ring first and then each
+    /// shard's in shard order — a deterministic input for
+    /// `iba_obs::request::reassemble`. Empty when the coordinator's
+    /// recorder carries no tracer.
+    pub request_records: Vec<(u64, iba_obs::TraceEvent)>,
 }
 
 /// The shard owning an output port: a pure function of the port's
@@ -463,15 +481,18 @@ fn shard_worker(
     rx: &mpsc::Receiver<ToShard>,
     tx: &mpsc::Sender<FromShard>,
 ) {
+    use iba_obs::{request_stage, Recorder};
     let mut tables = base.empty_like();
-    let mut rec = iba_obs::ObsRecorder::new();
+    let mut rec = iba_obs::ObsRecorder::with_tracer(WORKER_TRACE_CAP);
     let lane = shard as u8;
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Vote { op, spec, hops } => {
+                rec.tick(op as u64);
                 let votes = hops
                     .iter()
                     .map(|&(i, k)| {
+                        rec.request_stage(op as u32, request_stage::VOTE, lane, i as u8);
                         (
                             i,
                             tables.probe_admit(k, spec.sl, spec.distance, spec.weight),
@@ -481,14 +502,15 @@ fn shard_worker(
                 let _ = tx.send(FromShard::Voted { op, votes });
             }
             ToShard::Commit { op, spec, hops } => {
+                rec.tick(op as u64);
                 let wanted = hops.len();
                 let mut done = Vec::with_capacity(wanted);
                 for (i, k) in hops {
                     if let Ok(h) =
                         tables.admit_at(k, spec.sl, spec.vl, spec.distance, spec.weight, &mut rec)
                     {
-                        use iba_obs::Recorder;
                         rec.serve_shard_admit(lane);
+                        rec.request_stage(op as u32, request_stage::COMMIT, lane, i as u8);
                         done.push((i, h));
                     }
                 }
@@ -507,7 +529,8 @@ fn shard_worker(
                 hops,
                 fail_at,
             } => {
-                use iba_obs::Recorder;
+                rec.tick(op as u64);
+                rec.request_stage(op as u32, request_stage::ABORT, lane, fail_at as u8);
                 // Mutation-faithful rollback replay (see module docs):
                 // admit the owned hops before the failing index...
                 let mut done: Vec<(usize, HopReservation)> = Vec::new();
@@ -554,6 +577,7 @@ fn shard_worker(
                 let _ = tx.send(FromShard::Aborted { op, error });
             }
             ToShard::Release { op, weight, hops } => {
+                rec.tick(op as u64);
                 // Descending path order, mirroring `release_path`. A
                 // failed hop (evicted by an earlier repair) is
                 // absorbed exactly like the sequential teardown does.
@@ -563,6 +587,7 @@ fn shard_worker(
                 let _ = tx.send(FromShard::Released { op });
             }
             ToShard::Repair { op, seed } => {
+                rec.tick(op as u64);
                 let damage = corrupt_tables_keyed(&mut tables, seed);
                 let summary = repair_tables_keyed(&mut tables, seed, &mut rec);
                 let _ = tx.send(FromShard::Repaired {
@@ -629,7 +654,7 @@ pub fn run_trace(
     shards: usize,
     rec: &mut iba_obs::ObsRecorder,
 ) -> ServeReport {
-    use iba_obs::Recorder;
+    use iba_obs::{request_stage, Recorder};
     let shards = shards.max(1);
     let base = planner.port_tables();
     // lint: allow(no-thread-spawn) -- the shard workers ARE the service: each exclusively owns one table partition, and the coordinator's strict in-order dispatch keeps every observable byte-identical at any shard count (proven by tests/service_equivalence.rs).
@@ -673,6 +698,12 @@ pub fn run_trace(
                     break;
                 };
                 rec.serve_queue_depth(in_flight as u64);
+                rec.request_stage(
+                    dispatch as u32,
+                    request_stage::DISPATCH,
+                    0,
+                    request_stage::NO_PATH,
+                );
                 dispatched_at.insert(dispatch, next);
                 let op = dispatch;
                 match action {
@@ -809,6 +840,19 @@ pub fn run_trace(
                         TraceOutcome::Repaired { damage, summary }
                     }
                 });
+                rec.request_stage(
+                    next as u32,
+                    request_stage::FINALIZE,
+                    0,
+                    request_stage::NO_PATH,
+                );
+                // Drain-side queue sample: depth after this operation
+                // left the pipeline (the dispatch-side twin is above).
+                rec.serve_queue_depth((dispatch - next - 1) as u64);
+                // One logical tick per finalized operation — the clock
+                // the timeline aggregator windows over; the sequential
+                // reference advances the same clock per applied op.
+                rec.tick((next + 1) as u64);
             }
             next += 1;
         }
@@ -818,6 +862,7 @@ pub fn run_trace(
             let _ = tx.send(ToShard::Finish);
         }
         let mut parts: Vec<Option<PortTables>> = (0..shards).map(|_| None).collect();
+        let mut shard_requests: Vec<Vec<(u64, iba_obs::TraceEvent)>> = vec![Vec::new(); shards];
         let mut seen = 0;
         while seen < shards {
             let Ok(reply) = reply_rx.recv() else { break };
@@ -828,6 +873,7 @@ pub fn run_trace(
             } = reply
             {
                 parts[shard] = Some(*tables);
+                shard_requests[shard] = drain_request_records(&worker_rec);
                 rec.merge(&worker_rec);
                 seen += 1;
             }
@@ -836,6 +882,13 @@ pub fn run_trace(
         for t in parts.into_iter().flatten() {
             tables.absorb(t);
         }
+        // Coordinator records first, then each shard's in shard order —
+        // a deterministic concatenation regardless of reply arrival
+        // order (the reassembler orders causally, not by position).
+        let mut request_records = drain_request_records(rec);
+        for sr in shard_requests {
+            request_records.extend(sr);
+        }
         ServeReport {
             outcomes,
             tables,
@@ -843,6 +896,7 @@ pub fn run_trace(
             rejected,
             released,
             live: ids.into_values().collect(),
+            request_records,
         }
     })
 }
@@ -1104,7 +1158,22 @@ fn drain_report(
         rejected,
         released,
         live: ids.into_values().collect(),
+        request_records: Vec::new(),
     }
+}
+
+/// Filters a recorder's ring for the per-request causal records
+/// (`TraceEvent::Request`), leaving every other kind in place.
+fn drain_request_records(rec: &iba_obs::ObsRecorder) -> Vec<(u64, iba_obs::TraceEvent)> {
+    rec.tracer
+        .as_ref()
+        .map(|t| {
+            t.records()
+                .into_iter()
+                .filter(|(_, ev)| matches!(ev, iba_obs::TraceEvent::Request { .. }))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -1164,6 +1233,56 @@ mod tests {
                 "tables diverge at {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn request_records_cover_every_operation() {
+        use iba_obs::{request_stage, RequestSpan};
+        let cfg = TraceConfig::new(16, 5, 64);
+        let ops = generate_trace(&cfg);
+        let p = planner(0);
+        let mut rec = iba_obs::ObsRecorder::with_tracer(1 << 16);
+        let report = run_trace(&p, &ops, 4, &mut rec);
+
+        let spans = iba_obs::reassemble(&report.request_records);
+        assert_eq!(spans.len(), ops.len(), "one span per trace op");
+        for (span, outcome) in spans.iter().zip(&report.outcomes) {
+            let stages: Vec<u8> = span.stages.iter().map(|s| s.stage).collect();
+            assert_eq!(stages[0], request_stage::DISPATCH, "rid {}", span.rid);
+            assert_eq!(
+                *stages.last().unwrap(),
+                request_stage::FINALIZE,
+                "rid {}",
+                span.rid
+            );
+            match outcome {
+                TraceOutcome::Admitted { .. } => {
+                    assert!(
+                        stages.contains(&request_stage::COMMIT),
+                        "admitted rid {} has no commit stage",
+                        span.rid
+                    );
+                    assert!(!span.aborted(), "admitted rid {} aborted", span.rid);
+                }
+                // Planner-local rejections never reach a shard, so an
+                // abort stage is possible but not guaranteed here.
+                TraceOutcome::Rejected(_) | TraceOutcome::TornDown(_) => {}
+                TraceOutcome::Repaired { .. } => {}
+            }
+        }
+        // At least one table-level rejection went through the
+        // vote/abort protocol on this trace.
+        assert!(
+            spans.iter().any(RequestSpan::aborted),
+            "trace exercised no abort path"
+        );
+
+        // The record stream is a pure function of the trace: same
+        // trace, same shards, same records.
+        let p2 = planner(0);
+        let mut rec2 = iba_obs::ObsRecorder::with_tracer(1 << 16);
+        let report2 = run_trace(&p2, &ops, 4, &mut rec2);
+        assert_eq!(report.request_records, report2.request_records);
     }
 
     #[test]

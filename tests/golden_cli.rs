@@ -103,6 +103,62 @@ fn report_output_matches_golden_file() {
 }
 
 #[test]
+fn report_prom_output_matches_golden_file() {
+    // The Prometheus exposition of the same experiment as
+    // `report_s4_seed3.txt` — a pure function of the snapshot, so it
+    // is byte-stable across machines and refactors.
+    let got = run_cli(&[
+        "report",
+        "--switches",
+        "4",
+        "--seed",
+        "3",
+        "--steady-packets",
+        "2",
+        "--mtu",
+        "256",
+        "--prom",
+    ]);
+    let path = format!(
+        "{}/tests/golden/report_prom_s4_seed3.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("IBA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n")).expect("regenerate prom fixture");
+        return;
+    }
+    assert_matches_golden(&got, "report_prom_s4_seed3.txt");
+}
+
+#[test]
+fn timeline_json_matches_at_every_thread_count() {
+    // The CLI-level form of the timeline invariance contract: the
+    // TIMELINE.json document must be byte-identical at any --threads.
+    let doc = |threads: &str| {
+        run_cli(&[
+            "timeline",
+            "--switches",
+            "4",
+            "--seed",
+            "11",
+            "--seeds",
+            "3",
+            "--steady-packets",
+            "2",
+            "--window",
+            "2048",
+            "--json",
+            "--threads",
+            threads,
+        ])
+    };
+    let got = doc("1");
+    assert!(got.contains("iba.timeline.v1"), "{got}");
+    assert_eq!(got, doc("2"), "TIMELINE.json diverges at 2 threads");
+    assert_eq!(got, doc("8"), "TIMELINE.json diverges at 8 threads");
+}
+
+#[test]
 fn trace_output_matches_golden_file() {
     let out = run_cli(&[
         "trace",

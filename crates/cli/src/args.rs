@@ -20,6 +20,8 @@ COMMANDS:
     audit   check the per-SL service guarantee against a live grant stream
     chaos   inject faults + table corruption, recover, re-audit guarantees
     serve   drive the sharded admission service over a seeded trace
+    chaos-serve  drive the sharded admission service under a control-plane
+            fault calendar (crashes, message loss) and audit exactly-once
     timeline  windowed metric timeline over a seed sweep (TIMELINE.json)
     demo    step-by-step walkthrough of the table-filling algorithm
     help    show this text
@@ -34,9 +36,14 @@ OPTIONS:
     --threads <T>          (sweep) worker threads, 0 = IBA_THREADS/auto
     --allocator <A>        (audit/chaos) bit-reversal | first-fit | reverse-fit
     --rounds <R>           (chaos) corruption/repair rounds   [default: 3]
-    --shards <K>           (serve) admission-service shards   [default: 2]
-    --requests <N>         (serve) trace operations           [default: 96]
-    --replay               (serve) print the shard-invariant replay report
+    --shards <K>           (serve/chaos-serve) admission-service shards
+                           [default: 2]
+    --requests <N>         (serve/chaos-serve) trace operations [default: 96]
+    --replay               (serve/chaos-serve) print the shard-invariant
+                           replay report
+    --no-journal           (chaos-serve) disable the per-shard write-ahead
+                           intent journal — the negative control; injected
+                           crashes then lose reservations and the run FAILs
     --perfetto <FILE>      (audit/trace/sweep/serve) write a Perfetto/
                            Chrome trace-event JSON timeline to FILE; on
                            serve it carries one pid-3 track per request
@@ -61,6 +68,9 @@ inconsistent table) behind; `--seeds` sizes its faulted fabric sweep.
 `serve` exits non-zero when the sharded service diverges from the
 sequential manager on any observable; its `--replay` report is
 byte-identical at any `--shards`.
+`chaos-serve` exits non-zero when the faulted service loses or
+duplicates a reservation or diverges from the sequential manager; its
+`--replay` report is byte-identical at any `--shards`.
 `timeline` runs `--seeds` seeded experiments and merges their windowed
 metric deltas; its TIMELINE.json is byte-identical at any `--threads`.
 A breached `--slo` also exits non-zero, with a machine-readable
@@ -89,6 +99,9 @@ pub enum Command {
     /// Sharded admission service differentially audited against the
     /// sequential manager.
     Serve,
+    /// Sharded admission service under a control-plane fault calendar,
+    /// audited for convergence and exactly-once semantics.
+    ChaosServe,
     /// Windowed metric timeline over a seed sweep.
     Timeline,
     /// Educational walkthrough.
@@ -124,8 +137,12 @@ pub struct Args {
     pub shards: usize,
     /// `--requests` (serve): trace operations to generate.
     pub requests: usize,
-    /// `--replay` (serve): print the shard-invariant replay report.
+    /// `--replay` (serve/chaos-serve): print the shard-invariant
+    /// replay report.
     pub replay: bool,
+    /// `--no-journal` (chaos-serve): disable the write-ahead intent
+    /// journal (the negative control).
+    pub no_journal: bool,
     /// `--perfetto` (audit/trace/sweep/serve): write a Perfetto/Chrome
     /// trace-event JSON file here (serve adds per-request tracks).
     pub perfetto: Option<String>,
@@ -163,6 +180,7 @@ impl Default for Args {
             shards: 2,
             requests: 96,
             replay: false,
+            no_journal: false,
             perfetto: None,
             window: 4096,
             json: false,
@@ -220,6 +238,7 @@ impl Args {
             "audit" => Command::Audit,
             "chaos" => Command::Chaos,
             "serve" => Command::Serve,
+            "chaos-serve" => Command::ChaosServe,
             "timeline" => Command::Timeline,
             "demo" => Command::Demo,
             "help" | "--help" | "-h" => Command::Help,
@@ -231,6 +250,7 @@ impl Args {
                 "--background" => args.background = true,
                 "--dot" => args.dot = true,
                 "--replay" => args.replay = true,
+                "--no-journal" => args.no_journal = true,
                 "--json" => args.json = true,
                 "--prom" => args.prom = true,
                 "--switches" | "--seed" | "--mtu" | "--steady-packets" | "--limit" | "--seeds"
@@ -463,6 +483,29 @@ mod tests {
         ));
         assert!(matches!(
             Args::parse(&argv("serve --requests banana")).unwrap_err(),
+            ParseError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn chaos_serve_flags_parse() {
+        let a = Args::parse(&argv("chaos-serve")).unwrap();
+        assert_eq!(a.command, Command::ChaosServe);
+        assert_eq!(a.shards, 2);
+        assert_eq!(a.requests, 96);
+        assert!(!a.no_journal);
+        let a = Args::parse(&argv(
+            "chaos-serve --switches 4 --seed 7 --shards 8 --requests 40 --replay --no-journal",
+        ))
+        .unwrap();
+        assert_eq!(a.switches, 4);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.shards, 8);
+        assert_eq!(a.requests, 40);
+        assert!(a.replay);
+        assert!(a.no_journal);
+        assert!(matches!(
+            Args::parse(&argv("chaos-serve --shards 0")).unwrap_err(),
             ParseError::BadValue(_, _)
         ));
     }

@@ -626,6 +626,97 @@ pub fn serve(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `ibaqos chaos-serve` — drives the sharded admission service under a
+/// seeded control-plane fault calendar (worker crashes, vote-message
+/// loss/delay, reply loss) and audits the survivor for convergence to
+/// the sequential manager plus exactly-once reservation semantics. The
+/// `--replay` report is byte-identical at any `--shards`; CI checks 1,
+/// 2 and 8 with `cmp`. `--no-journal` is the negative control: the
+/// same calendar must then lose reservations and FAIL (machine-readable
+/// `chaos-serve: verdict=FAIL` first line on stderr).
+pub fn chaos_serve(args: &Args) -> Result<String, String> {
+    let mut cfg =
+        iba_harness::ChaosServeConfig::new(args.switches, args.seed, args.requests, args.shards);
+    cfg.journal = !args.no_journal;
+    let windowed = args.slo.is_some() || args.flight_dir.is_some() || args.perfetto.is_some();
+    let mut outcome = if windowed {
+        iba_harness::run_chaos_serve_windowed(&cfg, args.window)
+    } else {
+        iba_harness::run_chaos_serve(&cfg)
+    };
+    let mut out = if args.replay {
+        outcome.render_report()
+    } else {
+        let f = &outcome.fault_stats;
+        format!(
+            "{}\n{}",
+            outcome.summary_line(),
+            format_args!(
+                "faults: crashes={} msg_losses={} msg_delays={} reply_losses={} timeouts={}",
+                f.crashes, f.msg_losses, f.msg_delays, f.reply_losses, f.timeouts,
+            )
+        )
+    };
+    if let Some(path) = &args.perfetto {
+        out.push_str(&write_perfetto(
+            path,
+            None,
+            None,
+            &outcome.report.request_records,
+        )?);
+    }
+    let slo_report = match &args.slo {
+        Some(spec) => {
+            let report = match &outcome.recorder.timeline {
+                Some(tl) => {
+                    let windows: Vec<(u64, &iba_obs::Metrics)> =
+                        tl.windows().iter().map(|(i, m)| (*i, m)).collect();
+                    evaluate_slo(spec, &windows)?
+                }
+                None => evaluate_slo(spec, &[(0, &outcome.recorder.metrics)])?,
+            };
+            report.stamp(&mut outcome.recorder.metrics);
+            out.push('\n');
+            out.push_str(&report.render());
+            Some(report)
+        }
+        None => None,
+    };
+    let verdict_pass = outcome.passed();
+    let slo_pass = slo_report.as_ref().is_none_or(|r| r.pass);
+    if !verdict_pass || !slo_pass {
+        if let Some(dir) = &args.flight_dir {
+            let reason = if verdict_pass {
+                slo_first_line(slo_report.as_ref().expect("slo failed"))
+            } else {
+                outcome.summary_line()
+            };
+            out.push_str(&write_flight_bundle(
+                dir,
+                &iba_obs::FlightInput {
+                    reason: &reason,
+                    metrics: &outcome.recorder.metrics,
+                    timeline: outcome.recorder.timeline.as_ref(),
+                    tracer: outcome.recorder.tracer.as_ref(),
+                    requests: &outcome.report.request_records,
+                    slo: slo_report.as_ref(),
+                    tail_windows: 8,
+                },
+            )?);
+        }
+    }
+    if !verdict_pass {
+        return Err(format!("{}\n{out}", outcome.summary_line()));
+    }
+    if !slo_pass {
+        return Err(format!(
+            "{}\n{out}",
+            slo_first_line(slo_report.as_ref().expect("slo failed"))
+        ));
+    }
+    Ok(out)
+}
+
 /// `ibaqos timeline` — runs `--seeds` seeded experiments with a
 /// windowed timeline aggregator attached to every run and merges the
 /// per-run deltas in seed order. The `--json` document (schema
@@ -1003,6 +1094,49 @@ mod tests {
         assert!(json.contains("\"requests\""), "missing pid-3 track: {json}");
         assert!(json.contains("traceEvents"), "{json}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_serve_passes_and_negative_control_fails() {
+        let mut a = args(crate::Command::ChaosServe);
+        a.switches = 4;
+        a.seed = 7;
+        a.requests = 48;
+        a.shards = 2;
+        let out = chaos_serve(&a).expect("faulted service converges with the journal on");
+        assert!(out.starts_with("chaos-serve: verdict=PASS"), "{out}");
+        assert!(out.contains("crashes="), "{out}");
+        // The negative control: same calendar, journal off — crashes
+        // must lose reservations, and the machine-readable FAIL line
+        // must lead stderr.
+        a.no_journal = true;
+        let err = chaos_serve(&a).expect_err("journal-off run must fail");
+        assert!(
+            err.lines()
+                .next()
+                .unwrap_or_default()
+                .starts_with("chaos-serve: verdict=FAIL"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn chaos_serve_replay_is_shard_invariant() {
+        let reports: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| {
+                let mut a = args(crate::Command::ChaosServe);
+                a.switches = 4;
+                a.seed = 7;
+                a.requests = 48;
+                a.shards = shards;
+                a.replay = true;
+                chaos_serve(&a).expect("chaos-serve passes")
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "1 vs 2 shards");
+        assert_eq!(reports[0], reports[2], "1 vs 8 shards");
+        assert!(reports[0].contains("verdict: PASS"), "{}", reports[0]);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!               [--requests N] [--replay] [--window W]
 //!               [--slo SPEC] [--flight-dir DIR]
 //!               [--perfetto FILE]                       sharded admission service
+//! ibaqos chaos-serve [serve options] [--no-journal]    admission service under
+//!                                                      control-plane faults
 //! ibaqos timeline [run options] [--seeds N] [--threads T]
 //!               [--window W] [--json] [--slo SPEC]
 //!               [--flight-dir DIR]                      windowed metric timeline
@@ -40,7 +42,14 @@
 //! sharded admission service, differentially audits it against the
 //! sequential manager, and exits non-zero on any divergence; its
 //! `--replay` report is byte-identical at any `--shards`, and its
-//! `--perfetto` export renders one causal track per request. `timeline`
+//! `--perfetto` export renders one causal track per request.
+//! `chaos-serve` replays the same trace under a seeded control-plane
+//! fault calendar — shard-worker crashes, vote-message loss/delay,
+//! reply loss — and exits non-zero unless the write-ahead journal,
+//! deterministic timeouts and idempotent retries make the faulted run
+//! converge to the sequential manager with zero lost and zero
+//! duplicated reservations; `--no-journal` is the negative control and
+//! must FAIL under the same calendar. `timeline`
 //! merges windowed metric deltas from a seed sweep into a
 //! `TIMELINE.json` document that is byte-identical at any `--threads`.
 //! `report --prom` renders the registry in Prometheus text exposition.
@@ -70,6 +79,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Audit => commands::audit(&args),
         Command::Chaos => commands::chaos(&args),
         Command::Serve => commands::serve(&args),
+        Command::ChaosServe => commands::chaos_serve(&args),
         Command::Timeline => commands::timeline(&args),
         Command::Demo => Ok(commands::demo()),
         Command::Help => Ok(args::USAGE.to_string()),

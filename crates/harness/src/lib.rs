@@ -20,6 +20,7 @@
 
 pub mod audit;
 pub mod chaos;
+pub mod chaos_serve;
 pub mod engine;
 pub mod experiment;
 pub mod serve;
@@ -28,6 +29,9 @@ pub mod timeline;
 
 pub use audit::{run_audit, run_audit_spanned, AuditConfig, AuditOutcome};
 pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome};
+pub use chaos_serve::{
+    run_chaos_serve, run_chaos_serve_windowed, ChaosServeConfig, ChaosServeOutcome,
+};
 pub use engine::{run_sweep, run_sweep_recorded, run_sweep_recorded_with, threads_from_env};
 pub use experiment::{
     build_experiment_sized, run_measured, run_measured_faulted, run_measured_instrumented,

@@ -109,6 +109,11 @@ const WALL_CLOCK_ALLOWED: &[&str] = &["crates/obs/src/span.rs", "crates/bench/"]
 /// merge discipline keeps results byte-identical at any worker count.
 const THREADS_ALLOWED: &[&str] = &["crates/harness/src/"];
 
+/// Crates whose non-test source must not create unbounded channels:
+/// the admission control plane's load-shedding contract depends on
+/// every queue having a capacity that can exert backpressure.
+const BOUNDED_CHANNEL_SCOPE: &[&str] = &["crates/qos/src/", "crates/harness/src/"];
+
 /// The full rule registry. `LINTS.md` is cross-checked against this
 /// list by `cargo xtask check` (the `lints-doc` step).
 pub const RULES: &[RuleInfo] = &[
@@ -133,6 +138,15 @@ pub const RULES: &[RuleInfo] = &[
         scope: "non-test code everywhere except crates/harness",
         rationale: "all parallelism must go through the harness sweep engine, whose \
                     deterministic merge keeps output byte-identical at any IBA_THREADS",
+    },
+    RuleInfo {
+        name: "no-unbounded-channel",
+        severity: Severity::Error,
+        scope: "non-test code of qos, harness",
+        rationale: "`mpsc::channel()` has no capacity bound, so a slow consumer grows \
+                    the queue instead of exerting backpressure; the admission \
+                    control plane's load-shedding ladder only works over bounded \
+                    `sync_channel` queues — justify any exception with a pragma",
     },
     RuleInfo {
         name: "no-panic",
@@ -273,6 +287,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
     }
     if !in_any(rel_path, THREADS_ALLOWED) && !test_file {
         no_thread_spawn(rel_path, &code, &mut findings);
+    }
+    if in_any(rel_path, BOUNDED_CHANNEL_SCOPE) && !test_file {
+        no_unbounded_channel(rel_path, &code, &mut findings);
     }
     if !rel_path.starts_with("crates/core/") && !test_file {
         no_raw_occupancy_arith(rel_path, source, &code, &mut findings);
@@ -600,6 +617,25 @@ fn no_thread_spawn(rel_path: &str, nt: &[Token<'_>], findings: &mut Vec<Finding>
     }
 }
 
+fn no_unbounded_channel(rel_path: &str, nt: &[Token<'_>], findings: &mut Vec<Finding>) {
+    for (i, tok) in nt.iter().enumerate() {
+        if tok.kind == TokenKind::Ident
+            && tok.text == "mpsc"
+            && path_seg(nt, i, &["channel"]).is_some()
+        {
+            push(
+                findings,
+                rel_path,
+                tok.line,
+                "no-unbounded-channel",
+                "`mpsc::channel()` is unbounded and cannot exert backpressure; \
+                 use `mpsc::sync_channel(cap)` or justify with a pragma"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Flags raw bit manipulation in files (outside core) that read
 /// `.occupancy()`. Shifts and `^` must be space-delimited in the
 /// source (rustfmt guarantees it) so `Vec<Vec<u8>>` never fires.
@@ -867,6 +903,32 @@ mod tests {
         // thread::current is not creation.
         let current = "fn f() { let _ = std::thread::current(); }\n";
         assert!(lint_source(QOS, current).findings.is_empty());
+    }
+
+    #[test]
+    fn unbounded_channels_are_scoped() {
+        let bad = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n";
+        assert_eq!(
+            rules_of(&lint_source(QOS, bad)),
+            vec!["no-unbounded-channel"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/harness/src/x.rs", bad)),
+            vec!["no-unbounded-channel"]
+        );
+        // Out of scope elsewhere, and in test files.
+        assert!(lint_source(CLI, bad).findings.is_empty());
+        assert!(lint_source("crates/qos/tests/x.rs", bad)
+            .findings
+            .is_empty());
+        // Bounded channels are the sanctioned alternative.
+        let ok = "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(8); }\n";
+        assert!(lint_source(QOS, ok).findings.is_empty());
+        // A justified pragma on the line above suppresses the finding.
+        let pragma = "// lint: allow(no-unbounded-channel) -- reply fan-in; senders never block\nfn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n";
+        let r = lint_source(QOS, pragma);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn json_report_snapshot() {
         suppressed: 4,
     };
     let expected = format!(
-        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"tool\": \"iba-lint\",\n  \"files_scanned\": 2,\n  \"counts\": {{\"errors\": 1, \"warnings\": 0, \"baselined\": 1, \"suppressed\": 4}},\n  \"rules\": [{{\"name\":\"no-unordered-iter\",\"severity\":\"error\"}},{{\"name\":\"no-wall-clock\",\"severity\":\"error\"}},{{\"name\":\"no-thread-spawn\",\"severity\":\"error\"}},{{\"name\":\"no-panic\",\"severity\":\"error\"}},{{\"name\":\"forbid-unsafe\",\"severity\":\"error\"}},{{\"name\":\"no-raw-occupancy-arith\",\"severity\":\"error\"}},{{\"name\":\"no-env-read\",\"severity\":\"error\"}},{{\"name\":\"todo-tracked\",\"severity\":\"warning\"}},{{\"name\":\"pragma-hygiene\",\"severity\":\"error\"}}],\n  \"findings\": [{{\"file\":\"crates/qos/src/cac.rs\",\"line\":7,\"rule\":\"no-unordered-iter\",\"severity\":\"error\",\"detail\":\"`HashMap` in determinism-critical code\",\"baselined\":false}},{{\"file\":\"crates/cli/src/main.rs\",\"line\":3,\"rule\":\"todo-tracked\",\"severity\":\"warning\",\"detail\":\"`TODO` without an issue reference\",\"baselined\":true}}]\n}}\n"
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"tool\": \"iba-lint\",\n  \"files_scanned\": 2,\n  \"counts\": {{\"errors\": 1, \"warnings\": 0, \"baselined\": 1, \"suppressed\": 4}},\n  \"rules\": [{{\"name\":\"no-unordered-iter\",\"severity\":\"error\"}},{{\"name\":\"no-wall-clock\",\"severity\":\"error\"}},{{\"name\":\"no-thread-spawn\",\"severity\":\"error\"}},{{\"name\":\"no-unbounded-channel\",\"severity\":\"error\"}},{{\"name\":\"no-panic\",\"severity\":\"error\"}},{{\"name\":\"forbid-unsafe\",\"severity\":\"error\"}},{{\"name\":\"no-raw-occupancy-arith\",\"severity\":\"error\"}},{{\"name\":\"no-env-read\",\"severity\":\"error\"}},{{\"name\":\"todo-tracked\",\"severity\":\"warning\"}},{{\"name\":\"pragma-hygiene\",\"severity\":\"error\"}}],\n  \"findings\": [{{\"file\":\"crates/qos/src/cac.rs\",\"line\":7,\"rule\":\"no-unordered-iter\",\"severity\":\"error\",\"detail\":\"`HashMap` in determinism-critical code\",\"baselined\":false}},{{\"file\":\"crates/cli/src/main.rs\",\"line\":3,\"rule\":\"todo-tracked\",\"severity\":\"warning\",\"detail\":\"`TODO` without an issue reference\",\"baselined\":true}}]\n}}\n"
     );
     assert_eq!(render_json(&report), expected);
 }

@@ -80,4 +80,4 @@ pub use request::{reassemble, RequestSpan, StageRecord};
 pub use slo::{SloClause, SloReport, SloSpec};
 pub use span::{SpanEvent, SpanPhase, SpanRecorder};
 pub use timeline::{Timeline, DEFAULT_WINDOW_LEN, TIMELINE_SCHEMA};
-pub use trace::{fault_code, request_stage, RingTracer, TraceEvent, RECORD_BYTES};
+pub use trace::{fault_code, request_stage, serve_code, RingTracer, TraceEvent, RECORD_BYTES};

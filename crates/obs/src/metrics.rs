@@ -269,6 +269,10 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve_shard_rollback_total",
     "serve_queue_depth",
     "serve_batch_latency",
+    "serve_crash_total",
+    "serve_journal_replay_total",
+    "serve_timeout_total",
+    "serve_shed_total",
     "timeline_window_total",
     "slo_eval_total",
     "slo_breach_total",
@@ -287,6 +291,8 @@ pub enum Dim {
     Reason(&'static str),
     /// An admission-service shard index (0..16).
     Shard(u8),
+    /// A load-shedding ladder rung (0 = shed, 1 = degraded install).
+    Rung(u8),
 }
 
 impl std::fmt::Display for Dim {
@@ -297,6 +303,7 @@ impl std::fmt::Display for Dim {
             Dim::Sl(s) => write!(f, "sl={s}"),
             Dim::Reason(r) => write!(f, "reason={r}"),
             Dim::Shard(s) => write!(f, "shard={s}"),
+            Dim::Rung(r) => write!(f, "rung={r}"),
         }
     }
 }
@@ -331,11 +338,12 @@ pub struct Sample {
 }
 
 /// Rejection-reason labels, in `cac_reject_total` snapshot order.
-pub const REJECT_REASONS: [&str; 4] = [
+pub const REJECT_REASONS: [&str; 5] = [
     "no_free_sequence",
     "capacity_exceeded",
     "request_too_large",
     "invalid",
+    "overloaded",
 ];
 
 /// The flat metrics registry: one field per contract metric.
@@ -384,7 +392,7 @@ pub struct Metrics {
     pub cac_admit: PerLane<Counter>,
     /// `cac_reject_total`: rejected requests, indexed like
     /// [`REJECT_REASONS`].
-    pub cac_reject: [Counter; 4],
+    pub cac_reject: [Counter; 5],
     /// `cac_release_total`: connection teardowns.
     pub cac_release: Counter,
     /// `harness_runs_total`: sweep points completed by the experiment
@@ -447,6 +455,18 @@ pub struct Metrics {
     /// `serve_batch_latency`: logical ticks (finalized operations)
     /// between an operation's dispatch and its finalization.
     pub serve_batch_latency: Histogram,
+    /// `serve_crash_total`: injected shard-worker crashes per shard
+    /// (each one forced a supervised restart).
+    pub serve_crash: PerLane<Counter>,
+    /// `serve_journal_replay_total`: write-ahead journal records
+    /// replayed during supervised restarts, per shard.
+    pub serve_journal_replay: PerLane<Counter>,
+    /// `serve_timeout_total`: deterministic coordinator timeouts fired
+    /// (= protocol retries sent), per shard.
+    pub serve_timeout: PerLane<Counter>,
+    /// `serve_shed_total`: load-shedding ladder actions, indexed by
+    /// rung (0 = lowest-SL shed, 1 = degraded install).
+    pub serve_shed: [Counter; 2],
     /// `timeline_window_total`: telemetry windows closed by a
     /// [`crate::timeline::Timeline`] aggregator.
     pub timeline_windows: Counter,
@@ -683,6 +703,23 @@ impl Metrics {
                 &self.serve_batch_latency,
             ));
         }
+        for (i, c) in self.serve_crash.0.iter().enumerate() {
+            counter(&mut out, "serve_crash_total", Dim::Shard(i as u8), *c);
+        }
+        for (i, c) in self.serve_journal_replay.0.iter().enumerate() {
+            counter(
+                &mut out,
+                "serve_journal_replay_total",
+                Dim::Shard(i as u8),
+                *c,
+            );
+        }
+        for (i, c) in self.serve_timeout.0.iter().enumerate() {
+            counter(&mut out, "serve_timeout_total", Dim::Shard(i as u8), *c);
+        }
+        for (i, c) in self.serve_shed.iter().enumerate() {
+            counter(&mut out, "serve_shed_total", Dim::Rung(i as u8), *c);
+        }
         counter(
             &mut out,
             "timeline_window_total",
@@ -816,6 +853,33 @@ impl Metrics {
         }
         self.serve_queue_depth.merge(&other.serve_queue_depth);
         self.serve_batch_latency.merge(&other.serve_batch_latency);
+        for (a, b) in self
+            .serve_crash
+            .0
+            .iter_mut()
+            .zip(other.serve_crash.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .serve_journal_replay
+            .0
+            .iter_mut()
+            .zip(other.serve_journal_replay.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self
+            .serve_timeout
+            .0
+            .iter_mut()
+            .zip(other.serve_timeout.0.iter())
+        {
+            a.merge(*b);
+        }
+        for (a, b) in self.serve_shed.iter_mut().zip(other.serve_shed.iter()) {
+            a.merge(*b);
+        }
         self.timeline_windows.merge(other.timeline_windows);
         self.slo_evals.merge(other.slo_evals);
         self.slo_breaches.merge(other.slo_breaches);
@@ -950,6 +1014,33 @@ impl Metrics {
         }
         sub_h(&mut self.serve_queue_depth, &earlier.serve_queue_depth);
         sub_h(&mut self.serve_batch_latency, &earlier.serve_batch_latency);
+        for (a, b) in self
+            .serve_crash
+            .0
+            .iter_mut()
+            .zip(earlier.serve_crash.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self
+            .serve_journal_replay
+            .0
+            .iter_mut()
+            .zip(earlier.serve_journal_replay.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self
+            .serve_timeout
+            .0
+            .iter_mut()
+            .zip(earlier.serve_timeout.0.iter())
+        {
+            sub_c(a, *b);
+        }
+        for (a, b) in self.serve_shed.iter_mut().zip(earlier.serve_shed.iter()) {
+            sub_c(a, *b);
+        }
         sub_c(&mut self.timeline_windows, earlier.timeline_windows);
         sub_c(&mut self.slo_evals, earlier.slo_evals);
         sub_c(&mut self.slo_breaches, earlier.slo_breaches);
@@ -1078,6 +1169,11 @@ mod tests {
         m.serve_shard_rollback.lane(0).incr();
         m.serve_queue_depth.observe(2);
         m.serve_batch_latency.observe(1);
+        m.serve_crash.lane(0).incr();
+        m.serve_journal_replay.lane(0).add(5);
+        m.serve_timeout.lane(1).incr();
+        m.serve_shed[0].incr();
+        m.serve_shed[1].incr();
         m.timeline_windows.incr();
         m.slo_evals.add(2);
         m.slo_breaches.incr();

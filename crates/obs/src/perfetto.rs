@@ -118,6 +118,18 @@ fn sim_event_fields(ev: &TraceEvent) -> (u8, &'static str, Vec<(String, Json)>) 
                 ("hop".to_string(), Json::uint(u64::from(path))),
             ],
         ),
+        TraceEvent::Serve {
+            code,
+            shard,
+            detail,
+        } => (
+            0,
+            crate::trace::serve_code::label(code),
+            vec![
+                ("shard".to_string(), Json::uint(u64::from(shard))),
+                ("detail".to_string(), Json::uint(u64::from(detail))),
+            ],
+        ),
     }
 }
 

@@ -75,6 +75,7 @@ fn label_set(dim: Dim, extra: &[(&str, &str)]) -> String {
         Dim::Sl(s) => labels.push(("sl".into(), s.to_string())),
         Dim::Reason(r) => labels.push(("reason".into(), r.to_string())),
         Dim::Shard(s) => labels.push(("shard".into(), s.to_string())),
+        Dim::Rung(r) => labels.push(("rung".into(), r.to_string())),
     }
     for (k, v) in extra {
         labels.push(((*k).to_string(), (*v).to_string()));

@@ -68,6 +68,9 @@ pub enum RejectKind {
     RequestTooLarge,
     /// Malformed request (zero weight, stale handle, ...).
     Invalid,
+    /// Shed by the admission service's load-shedding ladder (bounded
+    /// queue full, SL below the shedding floor).
+    Overloaded,
 }
 
 impl RejectKind {
@@ -80,6 +83,7 @@ impl RejectKind {
             RejectKind::CapacityExceeded => 1,
             RejectKind::RequestTooLarge => 2,
             RejectKind::Invalid => 3,
+            RejectKind::Overloaded => 4,
         }
     }
 
@@ -91,6 +95,7 @@ impl RejectKind {
             1 => Some(RejectKind::CapacityExceeded),
             2 => Some(RejectKind::RequestTooLarge),
             3 => Some(RejectKind::Invalid),
+            4 => Some(RejectKind::Overloaded),
             _ => None,
         }
     }
@@ -224,6 +229,27 @@ pub trait Recorder {
     /// dispatch and its finalization by the coordinator.
     #[inline]
     fn serve_batch_latency(&mut self, _ticks: u64) {}
+
+    /// An injected shard-worker crash destroyed `shard`'s volatile
+    /// state (tables, reply cache); a supervised restart follows.
+    #[inline]
+    fn serve_crash(&mut self, _shard: u8) {}
+
+    /// A supervised restart of `shard` replayed `records` write-ahead
+    /// journal records to rebuild its partition.
+    #[inline]
+    fn serve_journal_replay(&mut self, _shard: u8, _records: u64) {}
+
+    /// The coordinator's deterministic timeout for a message to
+    /// `shard` expired after a backoff of `backoff` cycles; a retry
+    /// goes out.
+    #[inline]
+    fn serve_timeout(&mut self, _shard: u8, _backoff: u64) {}
+
+    /// The admission queue was full and the load-shedding ladder acted
+    /// at `rung` (0 = lowest-SL shed, 1 = degraded install).
+    #[inline]
+    fn serve_shed(&mut self, _rung: u8) {}
 
     /// One causal stage of an admission-service request: `rid` is the
     /// request id (the trace-op index), `stage` one of the
@@ -523,6 +549,42 @@ impl Recorder for ObsRecorder {
         self.metrics.serve_batch_latency.observe(ticks);
     }
 
+    fn serve_crash(&mut self, shard: u8) {
+        self.metrics.serve_crash.lane(shard).incr();
+        self.trace(TraceEvent::Serve {
+            code: crate::trace::serve_code::CRASH,
+            shard,
+            detail: 0,
+        });
+    }
+
+    fn serve_journal_replay(&mut self, shard: u8, records: u64) {
+        self.metrics.serve_journal_replay.lane(shard).add(records);
+        self.trace(TraceEvent::Serve {
+            code: crate::trace::serve_code::JOURNAL_REPLAY,
+            shard,
+            detail: u32::try_from(records).unwrap_or(u32::MAX),
+        });
+    }
+
+    fn serve_timeout(&mut self, shard: u8, backoff: u64) {
+        self.metrics.serve_timeout.lane(shard).incr();
+        self.trace(TraceEvent::Serve {
+            code: crate::trace::serve_code::TIMEOUT,
+            shard,
+            detail: u32::try_from(backoff).unwrap_or(u32::MAX),
+        });
+    }
+
+    fn serve_shed(&mut self, rung: u8) {
+        self.metrics.serve_shed[usize::from(rung.min(1))].incr();
+        self.trace(TraceEvent::Serve {
+            code: crate::trace::serve_code::SHED,
+            shard: 0,
+            detail: u32::from(rung),
+        });
+    }
+
     #[inline]
     fn request_stage(&mut self, rid: u32, stage: u8, shard: u8, path: u8) {
         self.trace(TraceEvent::Request {
@@ -776,6 +838,7 @@ mod tests {
             RejectKind::CapacityExceeded,
             RejectKind::RequestTooLarge,
             RejectKind::Invalid,
+            RejectKind::Overloaded,
         ] {
             assert_eq!(RejectKind::from_code(k.index() as u16), Some(k));
         }

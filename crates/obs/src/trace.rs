@@ -49,6 +49,12 @@ pub const KIND_FAULT: u8 = 9;
 /// byte) and path index (low byte; [`request_stage::NO_PATH`] when the
 /// stage has no hop), and `value` is the request id.
 pub const KIND_REQUEST: u8 = 10;
+/// Record kind: a control-plane fault-tolerance action of the sharded
+/// admission service (crash, journal replay, timeout, shed). The
+/// `lane` byte carries the affected shard, `aux` a sub-kind from
+/// [`serve_code`] and `value` a sub-kind-specific detail (records
+/// replayed, backoff cycles, ladder rung).
+pub const KIND_SERVE: u8 = 11;
 
 /// Stage codes carried in the `lane` byte of a
 /// [`TraceEvent::Request`] record. The numeric order **is** the causal
@@ -82,6 +88,34 @@ pub mod request_stage {
     }
 }
 
+/// Sub-kind codes carried in the `aux` field of a
+/// [`TraceEvent::Serve`] record.
+pub mod serve_code {
+    /// An injected shard-worker crash (volatile state destroyed).
+    pub const CRASH: u8 = 0;
+    /// A supervised restart replayed the write-ahead journal; `value`
+    /// is the number of records replayed.
+    pub const JOURNAL_REPLAY: u8 = 1;
+    /// A coordinator timeout expired; `value` is the deterministic
+    /// backoff delay in cycles.
+    pub const TIMEOUT: u8 = 2;
+    /// The load-shedding ladder acted; `value` is the rung (0 = shed,
+    /// 1 = degraded install).
+    pub const SHED: u8 = 3;
+
+    /// Short label for reports; `"serve"` for unknown codes.
+    #[must_use]
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            CRASH => "crash",
+            JOURNAL_REPLAY => "journal-replay",
+            TIMEOUT => "timeout",
+            SHED => "shed",
+            _ => "serve",
+        }
+    }
+}
+
 /// Sub-kind codes carried in the `lane` byte of a
 /// [`TraceEvent::Fault`] record.
 pub mod fault_code {
@@ -109,6 +143,15 @@ pub mod fault_code {
     pub const RECOVERY_RETRY: u8 = 10;
     /// Recovery escalated a re-install down the distance ladder.
     pub const RECOVERY_DEGRADED: u8 = 11;
+    /// A control-plane fault calendar crashed an admission-service
+    /// shard worker; `value` is the targeted trace-op index.
+    pub const SERVE_CRASH: u8 = 12;
+    /// A control-plane fault calendar lost/delayed a coordinator→shard
+    /// vote message; `value` is the targeted trace-op index.
+    pub const SERVE_VOTE_LOSS: u8 = 13;
+    /// A control-plane fault calendar lost a shard→coordinator reply;
+    /// `value` is the targeted trace-op index.
+    pub const SERVE_REPLY_LOSS: u8 = 14;
 
     /// Short label for reports; `"fault"` for unknown codes.
     #[must_use]
@@ -124,6 +167,9 @@ pub mod fault_code {
             RECOVERY_REINSTALL => "recovery-reinstall",
             RECOVERY_RETRY => "recovery-retry",
             RECOVERY_DEGRADED => "recovery-degraded",
+            SERVE_CRASH => "serve-crash",
+            SERVE_VOTE_LOSS => "serve-vote-loss",
+            SERVE_REPLY_LOSS => "serve-reply-loss",
             _ => "fault",
         }
     }
@@ -200,6 +246,16 @@ pub enum TraceEvent {
         /// [`request_stage::NO_PATH`] when none.
         path: u8,
     },
+    /// A control-plane fault-tolerance action of the admission service.
+    Serve {
+        /// Sub-kind (one of the [`serve_code`] constants).
+        code: u8,
+        /// Affected shard (0 for coordinator-level actions).
+        shard: u8,
+        /// Sub-kind-specific detail (records replayed, backoff cycles,
+        /// ladder rung).
+        detail: u32,
+    },
 }
 
 impl TraceEvent {
@@ -236,6 +292,11 @@ impl TraceEvent {
                 (u16::from(shard) << 8) | u16::from(path),
                 rid,
             ),
+            TraceEvent::Serve {
+                code,
+                shard,
+                detail,
+            } => (KIND_SERVE, shard, u16::from(code), detail),
         };
         let mut buf = [0u8; RECORD_BYTES];
         buf[0..8].copy_from_slice(&now.to_le_bytes());
@@ -289,6 +350,11 @@ impl TraceEvent {
                 stage: lane,
                 shard: (aux >> 8) as u8,
                 path: (aux & 0xFF) as u8,
+            },
+            KIND_SERVE => TraceEvent::Serve {
+                code: aux as u8,
+                shard: lane,
+                detail: value,
             },
             _ => return None,
         };
@@ -345,6 +411,14 @@ impl TraceEvent {
                     request_stage::label(stage)
                 )
             }
+            TraceEvent::Serve {
+                code,
+                shard,
+                detail,
+            } => format!(
+                "{time:>10}  serve            kind={} shard={shard} detail={detail}",
+                serve_code::label(code)
+            ),
         }
     }
 }
@@ -500,6 +574,16 @@ mod tests {
                 shard: 255,
                 path: request_stage::NO_PATH,
             },
+            TraceEvent::Serve {
+                code: serve_code::JOURNAL_REPLAY,
+                shard: 2,
+                detail: 17,
+            },
+            TraceEvent::Serve {
+                code: serve_code::SHED,
+                shard: 0,
+                detail: 1,
+            },
         ];
         for (i, ev) in events.iter().enumerate() {
             let t = 1000 + i as u64;
@@ -508,7 +592,7 @@ mod tests {
         }
         // Every declared KIND_* constant is exercised above: the wire
         // kinds seen on encode must be exactly the declared set, with
-        // no numbering gaps left in 1..=10.
+        // no numbering gaps left in 1..=11.
         let mut kinds: Vec<u8> = events.iter().map(|ev| ev.encode(0)[8]).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -525,9 +609,10 @@ mod tests {
                 KIND_ALLOC_SELECT,
                 KIND_FAULT,
                 KIND_REQUEST,
+                KIND_SERVE,
             ]
         );
-        assert_eq!(kinds, (1..=10).collect::<Vec<u8>>());
+        assert_eq!(kinds, (1..=11).collect::<Vec<u8>>());
     }
 
     #[test]
@@ -543,6 +628,9 @@ mod tests {
             fault_code::RECOVERY_REINSTALL,
             fault_code::RECOVERY_RETRY,
             fault_code::RECOVERY_DEGRADED,
+            fault_code::SERVE_CRASH,
+            fault_code::SERVE_VOTE_LOSS,
+            fault_code::SERVE_REPLY_LOSS,
         ];
         let mut labels: Vec<&str> = codes.iter().map(|&c| fault_code::label(c)).collect();
         labels.sort_unstable();

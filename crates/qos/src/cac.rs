@@ -50,6 +50,9 @@ pub enum RejectReason {
     RequestTooLarge,
     /// The request was malformed (zero weight or a stale sequence id).
     InvalidRequest,
+    /// Shed by the admission service's bounded-queue load-shedding
+    /// ladder before any table was consulted.
+    Overloaded,
 }
 
 impl RejectReason {
@@ -62,6 +65,7 @@ impl RejectReason {
             RejectReason::CapacityExceeded(_) => iba_obs::RejectKind::CapacityExceeded,
             RejectReason::RequestTooLarge => iba_obs::RejectKind::RequestTooLarge,
             RejectReason::InvalidRequest => iba_obs::RejectKind::Invalid,
+            RejectReason::Overloaded => iba_obs::RejectKind::Overloaded,
         }
     }
 }
@@ -77,6 +81,7 @@ impl std::fmt::Display for RejectReason {
             }
             RejectReason::RequestTooLarge => f.write_str("request exceeds one sequence"),
             RejectReason::InvalidRequest => f.write_str("malformed admission request"),
+            RejectReason::Overloaded => f.write_str("admission queue overloaded"),
         }
     }
 }

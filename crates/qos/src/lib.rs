@@ -19,10 +19,19 @@
 //! * [`recovery`] — guarantee-preserving recovery: hot table repair,
 //!   re-admission through a graceful-degradation ladder, and bounded
 //!   retry with deterministic backoff;
+//! * [`retry`] — the shared deterministic retry machinery: saturating
+//!   exponential backoff with seeded jitter, used by both [`recovery`]
+//!   and the [`service`] coordinator timeouts;
+//! * [`journal`] — the per-shard write-ahead intent journal that makes
+//!   shard-worker crashes survivable: intents are appended before any
+//!   table mutation and replayed on supervised restart;
 //! * [`service`] — the sharded admission service: port tables
 //!   partitioned across exclusive worker threads, batched multi-hop
 //!   admission with vote/commit/abort, byte-identical to the
-//!   single-owner manager at any shard count.
+//!   single-owner manager at any shard count, and a deterministic
+//!   control-plane fault engine (crashes, vote loss/delay, reply loss)
+//!   survived via journal replay, idempotent retries and a bounded
+//!   admission queue with a load-shedding ladder.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,19 +40,23 @@ pub mod cac;
 pub mod churn;
 pub mod connection;
 pub mod frame;
+pub mod journal;
 pub mod manager;
 pub mod measure;
 pub mod recovery;
+pub mod retry;
 pub mod service;
 
 pub use cac::{PortKey, PortTables, RejectReason};
 pub use churn::{ChurnEvent, ChurnRunner, ChurnStats};
 pub use connection::{Connection, ConnectionId};
 pub use frame::{FillReport, QosFrame};
+pub use journal::{IntentJournal, JournalRecord, OpKey};
 pub use manager::{LowPriorityPolicy, QosManager};
 pub use measure::QosObserver;
 pub use recovery::{RecoveryManager, RecoveryPolicy, RecoveryStats, RecoverySummary};
+pub use retry::{saturating_backoff, Backoff, RetryPolicy};
 pub use service::{
-    apply_trace_sequential, generate_trace, run_trace, ServeReport, TraceConfig, TraceOp,
-    TraceOutcome,
+    apply_trace_sequential, generate_trace, run_trace, run_trace_faulted, FaultStats, ServeFault,
+    ServeFaultPlan, ServeOptions, ServeReport, TraceConfig, TraceOp, TraceOutcome,
 };

@@ -22,9 +22,9 @@
 //! chaos harness assert exact outcomes.
 
 use crate::cac::PortTables;
+use crate::retry::{Backoff, RetryPolicy};
 use iba_core::{
-    Admission, Distance, HighPriorityTable, ServiceLevel, SplitMix64, TableError, VirtualLane,
-    Weight,
+    Admission, Distance, HighPriorityTable, ServiceLevel, TableError, VirtualLane, Weight,
 };
 
 /// Tunables of the recovery ladder.
@@ -32,8 +32,9 @@ use iba_core::{
 pub struct RecoveryPolicy {
     /// Bounded retry attempts per admission (on top of the first try).
     pub max_retries: u32,
-    /// Base backoff in cycles; attempt `n` waits
-    /// `base << n` plus jitter in `[0, base)`.
+    /// Base backoff in cycles; attempt `n` waits `base << n`
+    /// (saturating, via [`crate::retry::saturating_backoff`]) plus
+    /// jitter in `[0, base)`.
     pub backoff_base: u64,
     /// How many [`Distance::looser`] steps the degradation ladder may
     /// take before declaring the reservation lost.
@@ -88,7 +89,7 @@ pub struct RecoverySummary {
 /// lifetime stats. One instance drives any number of tables.
 #[derive(Clone, Debug)]
 pub struct RecoveryManager {
-    rng: SplitMix64,
+    backoff: Backoff,
     policy: RecoveryPolicy,
     stats: RecoveryStats,
 }
@@ -104,7 +105,13 @@ impl RecoveryManager {
     #[must_use]
     pub fn with_policy(seed: u64, policy: RecoveryPolicy) -> Self {
         RecoveryManager {
-            rng: SplitMix64::seed_from_u64(seed ^ 0x5EC0_4E4F_1A2B_3C4D),
+            backoff: Backoff::new(
+                seed ^ 0x5EC0_4E4F_1A2B_3C4D,
+                RetryPolicy {
+                    max_retries: policy.max_retries,
+                    backoff_base: policy.backoff_base,
+                },
+            ),
             policy,
             stats: RecoveryStats::default(),
         }
@@ -238,12 +245,10 @@ impl RecoveryManager {
             match table.admit_observed(sl, vl, distance, weight, rec) {
                 Ok(a) => return Ok(a),
                 Err(e @ (TableError::NoFreeSequence | TableError::CapacityExceeded)) => {
-                    if attempt >= self.policy.max_retries {
+                    if self.backoff.exhausted(attempt) {
                         return Err(e);
                     }
-                    let base = self.policy.backoff_base.max(1);
-                    let backoff =
-                        (base << attempt.min(16)).saturating_add(self.rng.next_u64() % base);
+                    let backoff = self.backoff.delay(attempt);
                     rec.recovery_retry(backoff);
                     self.stats.retries += 1;
                     self.stats.backoff_cycles = self.stats.backoff_cycles.saturating_add(backoff);
@@ -259,6 +264,7 @@ impl RecoveryManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iba_core::SplitMix64;
     use iba_obs::{NullRecorder, ObsRecorder};
 
     fn sl(i: u8) -> ServiceLevel {

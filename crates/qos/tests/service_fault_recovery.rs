@@ -1,0 +1,97 @@
+//! Differential property tests for the admission service's
+//! control-plane fault engine.
+//!
+//! 100 seeded random traces, each replayed under a seeded fault
+//! calendar (worker crashes at every protocol step, vote-message
+//! loss/delay, reply loss), must still converge — outcomes and final
+//! tables **byte-identical** to the synchronous single-owner
+//! [`QosManager`] — because the write-ahead journal, deterministic
+//! timeouts and idempotent retries absorb every injected fault. The
+//! aggregate assertions at the bottom prove the equivalence is not
+//! vacuous: real crashes, replays and timeouts occurred.
+
+use iba_core::SlTable;
+use iba_obs::ObsRecorder;
+use iba_qos::service::{apply_trace_sequential, generate_trace, TraceConfig};
+use iba_qos::{run_trace_faulted, QosManager, ServeFaultPlan, ServeOptions};
+use iba_topo::{irregular, updown};
+
+const SEEDS: u64 = 100;
+const TRACE_LEN: usize = 48;
+const INTENSITY_PCT: u8 = 35;
+
+fn build_manager(seed: u64) -> (QosManager, u16) {
+    let topo = irregular::generate(irregular::IrregularConfig::with_switches(4, seed));
+    let hosts = topo.num_hosts() as u16;
+    let routing = updown::compute(&topo);
+    (
+        QosManager::new(topo, routing, SlTable::paper_table1()),
+        hosts,
+    )
+}
+
+#[test]
+fn faulted_service_recovers_to_sequential_on_100_seeds() {
+    let mut crashes = 0u64;
+    let mut timeouts = 0u64;
+    let mut losses = 0u64;
+    for seed in 0..SEEDS {
+        let (mut seq_mgr, hosts) = build_manager(seed);
+        let ops = generate_trace(&TraceConfig::new(hosts, seed, TRACE_LEN));
+        let mut seq_rec = ObsRecorder::new();
+        let seq = apply_trace_sequential(&mut seq_mgr, &ops, &mut seq_rec);
+        let seq_tables = format!("{:?}", seq_mgr.port_tables());
+
+        let plan = ServeFaultPlan::generate(seed, &ops, INTENSITY_PCT);
+        let (planner, _) = build_manager(seed);
+        let mut rec = ObsRecorder::new();
+        let report =
+            run_trace_faulted(&planner, &ops, 2, &plan, &ServeOptions::default(), &mut rec);
+        assert_eq!(report.outcomes, seq, "outcomes diverge: seed {seed}");
+        assert_eq!(
+            format!("{:?}", report.tables),
+            seq_tables,
+            "tables diverge after journal replay: seed {seed}"
+        );
+        report
+            .tables
+            .check_all()
+            .unwrap_or_else(|e| panic!("inconsistent after recovery: seed {seed}: {e}"));
+        crashes += report.fault_stats.crashes;
+        timeouts += report.fault_stats.timeouts;
+        losses += report.fault_stats.msg_losses + report.fault_stats.reply_losses;
+    }
+    // The recovery machinery must actually have been exercised.
+    assert!(crashes > 0, "no worker crash was ever injected");
+    assert!(timeouts > 0, "no deterministic timeout ever fired");
+    assert!(losses > 0, "no message or reply was ever lost");
+}
+
+/// The faulted run must be a pure function of `(trace, plan)`: two
+/// executions with the same inputs produce identical outcomes, tables
+/// and fault statistics even though worker scheduling is free-running.
+#[test]
+fn faulted_run_is_deterministic_across_executions() {
+    for seed in [3u64, 17, 41] {
+        let (_, hosts) = build_manager(seed);
+        let ops = generate_trace(&TraceConfig::new(hosts, seed, TRACE_LEN));
+        let plan = ServeFaultPlan::generate(seed, &ops, INTENSITY_PCT);
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let (planner, _) = build_manager(seed);
+                let mut rec = ObsRecorder::new();
+                let report =
+                    run_trace_faulted(&planner, &ops, 2, &plan, &ServeOptions::default(), &mut rec);
+                (
+                    report.outcomes.clone(),
+                    format!("{:?}", report.tables),
+                    report.fault_stats,
+                )
+            })
+            .collect();
+        assert_eq!(
+            runs[0], runs[1],
+            "faulted run nondeterministic: seed {seed}"
+        );
+    }
+}

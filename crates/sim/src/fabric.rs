@@ -721,6 +721,12 @@ impl Fabric {
         let Some(action) = self.faults.get(index).copied() else {
             return;
         };
+        if action.is_control_plane() {
+            // Serve faults are consumed by the admission service's
+            // fault engine; the fabric only traces their passage.
+            rec.fault_injected(action.code(), 0, 0);
+            return;
+        }
         let (node, port) = action.target();
         let code = action.code();
         let mut recompiled = false;
@@ -755,6 +761,10 @@ impl Fabric {
                     recompiled = true;
                     (seed & 0xFFFF_FFFF) as u32
                 }
+                // Handled by the early return above.
+                FaultAction::ServeCrash { .. }
+                | FaultAction::ServeVoteLoss { .. }
+                | FaultAction::ServeReplyLoss { .. } => 0,
             }
         };
         if recompiled {

@@ -302,3 +302,39 @@ fn serve_replay_matches_golden_file_at_every_shard_count() {
     }
     assert_matches_golden(&got, "serve_trace_s4_seed3.txt");
 }
+
+#[test]
+fn chaos_serve_replay_matches_golden_file_at_every_shard_count() {
+    // The fault engine targets the lowest participant shard and every
+    // timeout is logical, so the faulted replay report — fault counts
+    // included — is shard-count-invariant: one fixture, four shard
+    // counts. A diff here means either the fault calendar or the
+    // recovery machinery changed behaviour.
+    let replay = |shards: &str| {
+        run_cli(&[
+            "chaos-serve",
+            "--switches",
+            "4",
+            "--seed",
+            "7",
+            "--requests",
+            "48",
+            "--replay",
+            "--shards",
+            shards,
+        ])
+    };
+    let got = replay("4");
+    assert_eq!(got, replay("1"), "replay diverges between 1 and 4 shards");
+    assert_eq!(got, replay("2"), "replay diverges between 2 and 4 shards");
+    assert_eq!(got, replay("8"), "replay diverges between 4 and 8 shards");
+    let path = format!(
+        "{}/tests/golden/chaos_serve_s4_seed7.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("IBA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{got}\n")).expect("regenerate chaos-serve fixture");
+        return;
+    }
+    assert_matches_golden(&got, "chaos_serve_s4_seed7.txt");
+}
